@@ -1,0 +1,55 @@
+/// Ablation A — host/ASU speed ratio c. The paper simulates c = 4 and
+/// c = 8 (ASU clock at 1/4 or 1/8 of the host). Faster ASUs shift every
+/// crossover left and raise the plateau: the same offload pays off with
+/// fewer storage units.
+
+#include <array>
+#include <cstdio>
+
+#include "core/core.hpp"
+
+namespace core = lmas::core;
+namespace asu = lmas::asu;
+
+int main() {
+  constexpr std::size_t kRecords = 1 << 22;
+  constexpr std::array<unsigned, 5> kAsus{2, 4, 8, 16, 32};
+
+  std::printf("# Ablation A: speed ratio c in {4, 8}, alpha=256 and "
+              "adaptive, H=1, n=%zu\n", kRecords);
+  std::printf("%-6s %-4s %10s %8s %10s %s\n", "c", "D", "baseline",
+              "a=256", "adaptive", "(alpha*)");
+
+  bool all_ok = true;
+  for (const double c : {4.0, 8.0}) {
+    for (const auto d : kAsus) {
+      asu::MachineParams mp;
+      mp.num_hosts = 1;
+      mp.num_asus = d;
+      mp.c = c;
+
+      core::DsmSortConfig cfg;
+      cfg.total_records = kRecords;
+      cfg.seed = 42;
+      cfg.distribute_on_asus = false;
+      const auto base = core::run_dsm_sort(mp, cfg);
+
+      cfg.distribute_on_asus = true;
+      cfg.alpha = 256;
+      const auto hi = core::run_dsm_sort(mp, cfg);
+
+      constexpr std::array<unsigned, 5> kAlphas{1, 4, 16, 64, 256};
+      const unsigned star = core::choose_alpha(mp, cfg, kAlphas);
+      cfg.alpha = star;
+      const auto ad = core::run_dsm_sort(mp, cfg);
+
+      all_ok &= base.ok() && hi.ok() && ad.ok();
+      std::printf("%-6.0f %-4u %9.3fs %8.2f %10.2f  (a=%u)\n", c, d,
+                  base.pass1_seconds,
+                  base.pass1_seconds / hi.pass1_seconds,
+                  base.pass1_seconds / ad.pass1_seconds, star);
+    }
+  }
+  std::printf("# validation: %s\n", all_ok ? "all runs ok" : "FAILURES");
+  return all_ok ? 0 : 1;
+}

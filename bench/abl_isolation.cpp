@@ -1,0 +1,56 @@
+/// Ablation G — shared ASUs / performance isolation (the paper's stated
+/// future work, and the motivation for predictable declared costs):
+/// competing applications consume a fraction of every ASU's CPU. A fixed
+/// high-alpha configuration degrades badly; the adaptive configuration
+/// re-chooses alpha from the predictor and sheds work back to the host.
+
+#include <array>
+#include <cstdio>
+
+#include "core/core.hpp"
+
+namespace core = lmas::core;
+namespace asu = lmas::asu;
+
+int main() {
+  constexpr std::array<unsigned, 5> kAlphas{1, 4, 16, 64, 256};
+  constexpr std::size_t kRecords = 1 << 22;
+
+  std::printf("# Ablation G: ASU background load (competing tenants), "
+              "H=1, D=16, c=8, n=%zu\n", kRecords);
+  std::printf("%-10s %10s %10s %12s %12s %s\n", "bg load", "baseline",
+              "a=256", "adaptive", "degradation", "(alpha*)");
+
+  bool all_ok = true;
+  for (const double bg : {0.0, 0.25, 0.5, 0.75}) {
+    asu::MachineParams mp;
+    mp.num_hosts = 1;
+    mp.num_asus = 16;
+    mp.asu_background_load = bg;
+
+    core::DsmSortConfig cfg;
+    cfg.total_records = kRecords;
+    cfg.seed = 42;
+
+    cfg.distribute_on_asus = false;
+    const auto base = core::run_dsm_sort(mp, cfg);
+    cfg.distribute_on_asus = true;
+    cfg.alpha = 256;
+    const auto fixed = core::run_dsm_sort(mp, cfg);
+    const unsigned star = core::choose_alpha(mp, cfg, kAlphas);
+    cfg.alpha = star;
+    const auto adapt = core::run_dsm_sort(mp, cfg);
+    all_ok &= base.ok() && fixed.ok() && adapt.ok();
+
+    std::printf("%-10.2f %9.3fs %9.2fx %11.2fx %11.1f%%  (a=%u)\n", bg,
+                base.pass1_seconds,
+                base.pass1_seconds / fixed.pass1_seconds,
+                base.pass1_seconds / adapt.pass1_seconds,
+                100.0 * (fixed.pass1_seconds / adapt.pass1_seconds - 1.0),
+                star);
+  }
+  std::printf("# 'degradation' = how much slower the fixed alpha=256 "
+              "configuration is than adaptive\n");
+  std::printf("# validation: %s\n", all_ok ? "all runs ok" : "FAILURES");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,56 @@
+/// Ablation H — bucket delimitation vs. routing under skew. Quantile
+/// (sampled) splitters balance *stationary* skew at distribution time;
+/// SR routing of sets balances *any* skew — including the Figure 10
+/// time-varying workload, where splitters chosen for the whole input
+/// cannot balance each half.
+
+#include <cstdio>
+
+#include "core/core.hpp"
+
+namespace core = lmas::core;
+namespace asu = lmas::asu;
+
+int main() {
+  asu::MachineParams mp;
+  mp.num_hosts = 2;
+  mp.num_asus = 16;
+
+  std::printf("# Ablation H: splitter choice x routing under skew "
+              "(2 hosts, 16 ASUs, n=2^22, alpha=16)\n");
+  std::printf("%-24s %-10s %-9s %10s %11s\n", "workload", "splitters",
+              "routing", "pass1(s)", "imbalance");
+
+  bool all_ok = true;
+  for (const auto dist :
+       {core::KeyDist::Exponential, core::KeyDist::HalfUniformHalfExp}) {
+    for (const auto spl : {core::DsmSortConfig::Splitters::Range,
+                           core::DsmSortConfig::Splitters::Sampled}) {
+      for (const auto router : {core::RouterKind::Static,
+                                core::RouterKind::SimpleRandomization}) {
+        core::DsmSortConfig cfg;
+        cfg.total_records = std::size_t(1) << 22;
+        cfg.alpha = 16;
+        cfg.key_dist = dist;
+        cfg.splitters = spl;
+        cfg.sort_router = router;
+        cfg.seed = 42;
+        const auto r = core::run_dsm_sort(mp, cfg);
+        all_ok &= r.ok();
+        const double a = double(r.records_sorted_per_host[0]);
+        const double b = double(r.records_sorted_per_host[1]);
+        std::printf("%-24s %-10s %-9s %9.3fs %10.1f%%\n",
+                    core::key_dist_name(dist),
+                    spl == core::DsmSortConfig::Splitters::Range ? "range"
+                                                                 : "sampled",
+                    core::router_kind_name(router), r.pass1_seconds,
+                    100.0 * std::abs(a - b) / (a + b));
+      }
+    }
+  }
+  std::printf("# sampled splitters fix stationary exponential skew under "
+              "static routing,\n# but only SR also fixes the time-varying "
+              "half/half workload\n");
+  std::printf("# validation: %s\n", all_ok ? "all runs ok" : "FAILURES");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,69 @@
+/// Skew adaptation demo (Figure 10 in miniature): sort a half-uniform /
+/// half-exponential input on two hosts, with static subset partitioning
+/// vs. load-managed SR routing, and draw both hosts' CPU utilization over
+/// time as ASCII strip charts.
+///
+/// Usage: skew_adaptation_demo [records]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/core.hpp"
+
+namespace core = lmas::core;
+namespace asu = lmas::asu;
+
+namespace {
+
+void strip_chart(const char* label, const std::vector<double>& series) {
+  static const char* kShades[] = {" ", ".", ":", "-", "=", "#"};
+  std::printf("  %-22s|", label);
+  for (double v : series) {
+    const int idx = v <= 0 ? 0 : v < 0.2 ? 1 : v < 0.4 ? 2
+                    : v < 0.6 ? 3 : v < 0.85 ? 4 : 5;
+    std::fputs(kShades[idx], stdout);
+  }
+  std::printf("|\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  asu::MachineParams mp;
+  mp.num_hosts = 2;
+  mp.num_asus = 16;
+  mp.util_bin = 0.05;
+
+  core::DsmSortConfig cfg;
+  cfg.total_records = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                               : (1u << 22);
+  cfg.alpha = 16;
+  cfg.key_dist = core::KeyDist::HalfUniformHalfExp;
+
+  std::printf("DSM-Sort sort phase on 2 hosts + 16 ASUs, n=%zu\n",
+              cfg.total_records);
+  std::printf("input: first half uniform keys, second half exponential "
+              "(skewed toward low buckets)\n\n");
+
+  for (auto router : {core::RouterKind::Static,
+                      core::RouterKind::SimpleRandomization}) {
+    cfg.sort_router = router;
+    const auto rep = core::run_dsm_sort(mp, cfg);
+    std::printf("%s routing: pass 1 = %.2fs, host shares = %zu / %zu "
+                "records (checks %s)\n",
+                core::router_kind_name(router), rep.pass1_seconds,
+                rep.records_sorted_per_host[0],
+                rep.records_sorted_per_host[1],
+                rep.ok() ? "ok" : "FAILED");
+    strip_chart((std::string(rep.hosts[0].node) + " cpu").c_str(),
+                rep.hosts[0].series);
+    strip_chart((std::string(rep.hosts[1].node) + " cpu").c_str(),
+                rep.hosts[1].series);
+    std::printf("\n");
+  }
+  std::printf("static partitioning leaves one host idle once the skewed "
+              "half arrives;\nSR keeps both hosts equally busy and "
+              "finishes earlier (Figure 10).\n");
+  return 0;
+}

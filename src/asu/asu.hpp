@@ -1,0 +1,8 @@
+#pragma once
+
+/// Umbrella header for the active-storage machine model.
+#include "asu/cost_model.hpp"
+#include "asu/disk.hpp"
+#include "asu/network.hpp"
+#include "asu/node.hpp"
+#include "asu/params.hpp"

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+namespace lmas::asu {
+
+/// ceil(log2(x)) for x >= 1: comparisons per key for a fan-in/out of x.
+constexpr unsigned ceil_log2(std::uint64_t x) noexcept {
+  unsigned bits = 0;
+  std::uint64_t v = 1;
+  while (v < x) {
+    v <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+/// Declared per-record CPU costs, in **host-seconds** (an ASU of relative
+/// speed 1/c multiplies all charges by c). This replaces the paper's
+/// cycle-counter measurement of execution segments with a deterministic,
+/// calibrated model; the accounting is the paper's own
+/// `Total Work = n log(alpha beta gamma)` compares plus per-record stream
+/// handling. Constants are calibrated so that one host saturates at about
+/// sixteen c=8 ASUs in the Figure 9 configuration, as reported in the paper.
+struct CostModel {
+  /// One key comparison (the unit behind `n log(...)` work terms).
+  double compare = 15e-9;
+  /// Per-record stream handling at a host per functor stage (amortized
+  /// dispatch + record move through memory).
+  double host_handling = 20e-9;
+  /// Per-record handling at an ASU per functor stage, in host-seconds.
+  /// Larger than host_handling: covers the ASU-side I/O path (disk and
+  /// NIC per-record work) that the paper attributes to storage units.
+  double asu_handling = 150e-9;
+
+  /// Cost to route one record through an alpha-way distributor.
+  [[nodiscard]] double distribute_per_record(unsigned alpha,
+                                             bool on_asu) const noexcept {
+    return handling(on_asu) + double(ceil_log2(alpha)) * compare;
+  }
+
+  /// Cost per record of run formation with runs of `beta` records.
+  [[nodiscard]] double sort_per_record(std::uint64_t beta,
+                                       bool on_asu) const noexcept {
+    return handling(on_asu) + double(ceil_log2(beta)) * compare;
+  }
+
+  /// Cost per record of a gamma-way merge step.
+  [[nodiscard]] double merge_per_record(unsigned gamma,
+                                        bool on_asu) const noexcept {
+    return handling(on_asu) + double(ceil_log2(gamma)) * compare;
+  }
+
+  /// Cost per record of a pure forwarding / scan stage.
+  [[nodiscard]] double scan_per_record(bool on_asu) const noexcept {
+    return handling(on_asu);
+  }
+
+  [[nodiscard]] double handling(bool on_asu) const noexcept {
+    return on_asu ? asu_handling : host_handling;
+  }
+};
+
+}  // namespace lmas::asu

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+#include "sim/task.hpp"
+
+namespace lmas::asu {
+
+/// The paper's disk model (Section 5): a base sequential transfer rate,
+/// read-ahead, and write caching. "The disk initiates the next I/O
+/// automatically, and writes wait only for the previous write to
+/// complete." Reads and writes share one arm (a FIFO Resource), so mixed
+/// streams serialize against each other.
+class Disk {
+ public:
+  Disk(sim::Engine& eng, std::string name, double rate_bytes_per_sec,
+       double util_bin = 0.05)
+      : eng_(&eng),
+        arm_(eng, std::move(name), util_bin),
+        rate_(rate_bytes_per_sec) {}
+
+  Disk(const Disk&) = delete;
+  Disk& operator=(const Disk&) = delete;
+
+  [[nodiscard]] double rate() const noexcept { return rate_; }
+  [[nodiscard]] sim::Resource& arm() noexcept { return arm_; }
+  [[nodiscard]] const sim::Resource& arm() const noexcept { return arm_; }
+
+  /// Synchronous (random / first) read: waits for queued work + transfer.
+  [[nodiscard]] sim::Task<> read(std::size_t bytes) {
+    co_await arm_.use(seconds(bytes));
+  }
+
+  /// Write-behind: occupy the disk, but block the caller only if the
+  /// previously posted write has not completed yet.
+  [[nodiscard]] sim::Task<> write(std::size_t bytes) {
+    const sim::SimTime prev = last_write_end_;
+    if (prev > eng_->now()) {
+      co_await eng_->sleep(prev - eng_->now());
+    }
+    last_write_end_ = arm_.post(seconds(bytes));
+  }
+
+  /// Sequential read stream with one-block read-ahead: while the consumer
+  /// processes block i the disk fetches block i+1, so a consumer slower
+  /// than the disk never waits.
+  class ReadStream {
+   public:
+    ReadStream(Disk& disk, std::size_t block_bytes)
+        : disk_(&disk), block_bytes_(block_bytes) {
+      next_ready_at_ = disk_->arm_.post(disk_->seconds(block_bytes_));
+    }
+
+    /// Wait for the current block and immediately start prefetching the
+    /// next one. Pass `last = true` on the final block to stop prefetch.
+    [[nodiscard]] sim::Task<> next_block(bool last = false) {
+      const sim::SimTime ready = next_ready_at_;
+      if (!last) {
+        next_ready_at_ = disk_->arm_.post(disk_->seconds(block_bytes_));
+      }
+      if (ready > disk_->eng_->now()) {
+        co_await disk_->eng_->sleep(ready - disk_->eng_->now());
+      }
+    }
+
+   private:
+    Disk* disk_;
+    std::size_t block_bytes_;
+    sim::SimTime next_ready_at_;
+  };
+
+  [[nodiscard]] double seconds(std::size_t bytes) const noexcept {
+    return double(bytes) / rate_;
+  }
+
+ private:
+  friend class ReadStream;
+  sim::Engine* eng_;
+  sim::Resource arm_;
+  double rate_;
+  sim::SimTime last_write_end_ = 0;
+};
+
+}  // namespace lmas::asu

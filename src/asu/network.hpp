@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "asu/node.hpp"
+#include "asu/params.hpp"
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+#include "sim/task.hpp"
+
+namespace lmas::asu {
+
+/// Host<->ASU interconnect: one full-duplex link per (host, ASU) pair,
+/// plus per-node NIC serialization. The paper's network model only uses
+/// host-ASU communication and assumes processors saturate before links;
+/// the defaults preserve that regime while still charging transfer time.
+class Network {
+ public:
+  Network(sim::Engine& eng, const MachineParams& params, unsigned num_hosts,
+          unsigned num_asus)
+      : eng_(&eng),
+        params_(params),
+        num_hosts_(num_hosts),
+        num_asus_(num_asus) {
+    links_.reserve(std::size_t(num_hosts) * num_asus);
+    for (unsigned h = 0; h < num_hosts; ++h) {
+      for (unsigned a = 0; a < num_asus; ++a) {
+        links_.push_back(std::make_unique<sim::Resource>(
+            eng, "link.h" + std::to_string(h) + ".a" + std::to_string(a),
+            params.util_bin));
+      }
+    }
+  }
+
+  /// Move `bytes` between two nodes. Host<->ASU pairs (the only kind the
+  /// paper's model uses) occupy their dedicated link; same-tier transfers
+  /// charge only the two NICs plus latency; a node-to-itself transfer is
+  /// free. All transfers serialize on sender and receiver NICs.
+  [[nodiscard]] sim::Task<> transfer(Node& from, Node& to, std::size_t bytes) {
+    if (&from == &to) co_return;
+    co_await from.nic_transfer(bytes);
+    if (from.is_asu() != to.is_asu()) {
+      sim::Resource& l = link(from, to);
+      co_await l.use(params_.link_seconds(bytes));
+    }
+    co_await eng_->sleep(params_.link_latency);
+    co_await to.nic_transfer(bytes);
+  }
+
+  [[nodiscard]] const MachineParams& params() const noexcept {
+    return params_;
+  }
+
+  [[nodiscard]] sim::Resource& link(const Node& a, const Node& b) {
+    const Node& host = a.is_asu() ? b : a;
+    const Node& asu = a.is_asu() ? a : b;
+    assert(!host.is_asu() && asu.is_asu());
+    return *links_[std::size_t(host.id()) * num_asus_ + asu.id()];
+  }
+
+ private:
+  sim::Engine* eng_;
+  MachineParams params_;
+  unsigned num_hosts_;
+  unsigned num_asus_;
+  std::vector<std::unique_ptr<sim::Resource>> links_;
+};
+
+/// The emulated machine: H hosts, D ASUs, interconnect (Figure 2).
+class Cluster {
+ public:
+  Cluster(sim::Engine& eng, const MachineParams& params)
+      : eng_(&eng), params_(params) {
+    hosts_.reserve(params.num_hosts);
+    for (unsigned h = 0; h < params.num_hosts; ++h) {
+      hosts_.push_back(
+          std::make_unique<Node>(eng, NodeKind::Host, h, params));
+    }
+    asus_.reserve(params.num_asus);
+    for (unsigned a = 0; a < params.num_asus; ++a) {
+      asus_.push_back(std::make_unique<Node>(eng, NodeKind::Asu, a, params));
+    }
+    net_ = std::make_unique<Network>(eng, params, params.num_hosts,
+                                     params.num_asus);
+  }
+
+  [[nodiscard]] sim::Engine& engine() noexcept { return *eng_; }
+  [[nodiscard]] const MachineParams& params() const noexcept {
+    return params_;
+  }
+  [[nodiscard]] unsigned num_hosts() const noexcept {
+    return unsigned(hosts_.size());
+  }
+  [[nodiscard]] unsigned num_asus() const noexcept {
+    return unsigned(asus_.size());
+  }
+  [[nodiscard]] Node& host(unsigned i) { return *hosts_.at(i); }
+  [[nodiscard]] Node& asu(unsigned i) { return *asus_.at(i); }
+  [[nodiscard]] Network& network() noexcept { return *net_; }
+
+ private:
+  sim::Engine* eng_;
+  MachineParams params_;
+  std::vector<std::unique_ptr<Node>> hosts_;
+  std::vector<std::unique_ptr<Node>> asus_;
+  std::unique_ptr<Network> net_;
+};
+
+}  // namespace lmas::asu

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <string>
+
+#include "asu/disk.hpp"
+#include "asu/params.hpp"
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+#include "sim/task.hpp"
+
+namespace lmas::asu {
+
+enum class NodeKind { Host, Asu };
+
+/// One processing element of the emulated machine. Hosts have a fast CPU
+/// and no storage of their own; ASUs pair a (1/c)-speed CPU with a disk.
+/// CPU work is expressed in host-seconds and scaled by the node's speed,
+/// mirroring the paper's emulator, which scales measured execution-segment
+/// times by the relative speed of the emulated processor.
+class Node {
+ public:
+  Node(sim::Engine& eng, NodeKind kind, unsigned id,
+       const MachineParams& params)
+      : eng_(&eng),
+        kind_(kind),
+        id_(id),
+        speed_(kind == NodeKind::Host
+                   ? 1.0
+                   : (1.0 - params.asu_background_load) / params.c),
+        cpu_(eng, name() + ".cpu", params.util_bin),
+        nic_(eng, name() + ".nic", params.util_bin),
+        nic_rate_(kind == NodeKind::Host ? params.host_nic_bandwidth
+                                         : params.asu_nic_bandwidth),
+        memory_bytes_(kind == NodeKind::Host ? params.host_memory
+                                             : params.asu_memory) {
+    if (kind == NodeKind::Asu) {
+      disk_ = std::make_unique<Disk>(eng, name() + ".disk", params.disk_rate,
+                                     params.util_bin);
+    }
+  }
+
+  [[nodiscard]] NodeKind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_asu() const noexcept { return kind_ == NodeKind::Asu; }
+  [[nodiscard]] unsigned id() const noexcept { return id_; }
+  [[nodiscard]] double speed() const noexcept { return speed_; }
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return memory_bytes_;
+  }
+
+  [[nodiscard]] std::string name() const {
+    return (kind_ == NodeKind::Host ? "host" : "asu") + std::to_string(id_);
+  }
+
+  /// Charge `host_seconds` of CPU work, scaled by this node's speed.
+  [[nodiscard]] sim::Task<> compute(double host_seconds) {
+    co_await cpu_.use(host_seconds / speed_);
+  }
+
+  /// Charge NIC occupancy for `bytes` (send or receive side).
+  [[nodiscard]] sim::Task<> nic_transfer(std::size_t bytes) {
+    co_await nic_.use(double(bytes) / nic_rate_);
+  }
+
+  [[nodiscard]] sim::Resource& cpu() noexcept { return cpu_; }
+  [[nodiscard]] const sim::Resource& cpu() const noexcept { return cpu_; }
+  [[nodiscard]] sim::Resource& nic() noexcept { return nic_; }
+
+  /// ASU-only local disk.
+  [[nodiscard]] Disk& disk() {
+    assert(disk_);
+    return *disk_;
+  }
+  [[nodiscard]] bool has_disk() const noexcept { return bool(disk_); }
+
+ private:
+  sim::Engine* eng_;
+  NodeKind kind_;
+  unsigned id_;
+  double speed_;
+  sim::Resource cpu_;
+  sim::Resource nic_;
+  double nic_rate_;
+  std::size_t memory_bytes_;
+  std::unique_ptr<Disk> disk_;
+};
+
+}  // namespace lmas::asu

@@ -1,0 +1,106 @@
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <string>
+
+#include "asu/params.hpp"
+#include "core/dsm_sort.hpp"
+
+namespace lmas::core {
+
+/// Analytic pass-1 time prediction. This is the heart of load management:
+/// because functor costs are declared and bounded, the system can predict
+/// the effect of a configuration before running it, and pick the alpha
+/// that best matches the machine (hosts, ASUs, their speed ratio c).
+/// The pipeline completes when its slowest station finishes, so the
+/// prediction is the max over per-station aggregate service times.
+struct Pass1Prediction {
+  double seconds = 0;
+  double host_cpu_seconds = 0;  // run formation across H hosts
+  double asu_cpu_seconds = 0;   // distribute across D ASUs
+  double disk_seconds = 0;      // per-ASU read input + write runs
+  double net_seconds = 0;       // busiest network resource
+  std::string bottleneck;
+};
+
+inline Pass1Prediction predict_pass1(const asu::MachineParams& mp,
+                                     const DsmSortConfig& cfg) {
+  const double n = double(cfg.total_records);
+  const double d = double(mp.num_asus);
+  const double h = double(mp.num_hosts);
+
+  Pass1Prediction p;
+  // A station's serial work is its CPU charge plus its own send-side NIC
+  // serialization (sends are asynchronous past the local NIC).
+  const double host_send_nic =
+      double(mp.record_bytes) / mp.host_nic_bandwidth;
+  const double asu_send_nic = double(mp.record_bytes) / mp.asu_nic_bandwidth;
+  p.host_cpu_seconds =
+      n *
+      (mp.cost.sort_per_record(cfg.host_run_length(), /*on_asu=*/false) +
+       host_send_nic) /
+      h;
+  const double asu_free = std::max(1e-9, 1.0 - mp.asu_background_load);
+  p.asu_cpu_seconds =
+      cfg.distribute_on_asus
+          ? (n / d) * (mp.c / asu_free *
+                           mp.cost.distribute_per_record(cfg.alpha,
+                                                         /*on_asu=*/true) +
+                       asu_send_nic)
+          : (n / d) * asu_send_nic;
+  // Each ASU reads its input share and receives ~1/D of the run writes.
+  p.disk_seconds = (n / d) * 2.0 * double(mp.record_bytes) / mp.disk_rate;
+  // Busiest network element: an ASU link carries its share up and down;
+  // a host NIC carries 1/H of all traffic in both directions.
+  const double link = (n / d) * 2.0 * double(mp.record_bytes) /
+                      mp.link_bandwidth;
+  const double host_nic =
+      (n / h) * 2.0 * double(mp.record_bytes) / mp.host_nic_bandwidth;
+  p.net_seconds = std::max(link, host_nic);
+
+  p.seconds = std::max({p.host_cpu_seconds, p.asu_cpu_seconds,
+                        p.disk_seconds, p.net_seconds});
+  if (p.seconds == p.host_cpu_seconds) {
+    p.bottleneck = "host-cpu";
+  } else if (p.seconds == p.asu_cpu_seconds) {
+    p.bottleneck = "asu-cpu";
+  } else if (p.seconds == p.disk_seconds) {
+    p.bottleneck = "disk";
+  } else {
+    p.bottleneck = "network";
+  }
+  return p;
+}
+
+/// Predicted pass-1 speedup of a configuration over the passive baseline
+/// (all computation on the hosts) on the same machine.
+inline double predict_speedup(const asu::MachineParams& mp,
+                              const DsmSortConfig& cfg) {
+  DsmSortConfig base = cfg;
+  base.distribute_on_asus = false;
+  return predict_pass1(mp, base).seconds / predict_pass1(mp, cfg).seconds;
+}
+
+/// The adaptive configuration of Figure 9: evaluate the declared-cost
+/// model for each candidate distribute order and take the best. Ties
+/// break toward smaller alpha (less ASU state).
+inline unsigned choose_alpha(const asu::MachineParams& mp,
+                             const DsmSortConfig& base,
+                             std::span<const unsigned> candidates) {
+  unsigned best = candidates.empty() ? base.alpha : candidates.front();
+  double best_time = 1e300;
+  for (unsigned a : candidates) {
+    DsmSortConfig cfg = base;
+    cfg.alpha = a;
+    cfg.distribute_on_asus = true;
+    const double t = predict_pass1(mp, cfg).seconds;
+    if (t < best_time) {
+      best_time = t;
+      best = a;
+    }
+  }
+  return best;
+}
+
+}  // namespace lmas::core

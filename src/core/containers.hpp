@@ -1,0 +1,115 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace lmas::core {
+
+/// The model's three container types (Section 3.2, Figure 3). They differ
+/// only in the ordering contract their scans make — exactly the degrees of
+/// freedom the system may exploit:
+///   SetContainer    — unordered scan: any pending record may come next.
+///   StreamContainer — ordered scan: next unconsumed record in sequence.
+///   ArrayContainer  — random access in application-defined order.
+///
+/// Sets and streams are processed in their entirety per scan; records are
+/// marked pending/completed, and destructive scans release storage for
+/// completed records as they are consumed.
+
+template <typename T>
+class SetContainer {
+ public:
+  void insert(T v) { pending_.push_back(std::move(v)); }
+
+  [[nodiscard]] std::size_t pending_count() const noexcept {
+    return pending_.size();
+  }
+  [[nodiscard]] std::size_t completed_count() const noexcept {
+    return completed_.size();
+  }
+  [[nodiscard]] bool scan_done() const noexcept { return pending_.empty(); }
+
+  /// Consume any pending record (the system's choice; here FIFO for
+  /// determinism, but callers must not rely on the order). Destructive
+  /// scans drop the record after return; otherwise it is kept as
+  /// completed and restored by reset_scan().
+  std::optional<T> take_any(bool destructive = false,
+                            sim::Rng* rng = nullptr) {
+    if (pending_.empty()) return std::nullopt;
+    std::size_t idx = 0;
+    if (rng) idx = std::size_t(rng->below(pending_.size()));
+    T out = std::move(pending_[idx]);
+    pending_.erase(pending_.begin() + std::ptrdiff_t(idx));
+    if (!destructive) completed_.push_back(out);
+    return out;
+  }
+
+  /// Make all completed records pending again for the next scan pass.
+  void reset_scan() {
+    for (auto& v : completed_) pending_.push_back(std::move(v));
+    completed_.clear();
+  }
+
+ private:
+  std::deque<T> pending_;
+  std::vector<T> completed_;
+};
+
+template <typename T>
+class StreamContainer {
+ public:
+  void push_back(T v) { items_.push_back(std::move(v)); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+  [[nodiscard]] std::size_t pending_count() const noexcept {
+    return items_.size() - cursor_;
+  }
+  [[nodiscard]] bool scan_done() const noexcept {
+    return cursor_ >= items_.size();
+  }
+
+  /// Always delivers the next unconsumed record in sequence, even when a
+  /// set would have had something more convenient available. Use a
+  /// consistent `destructive` flag for the whole scan.
+  std::optional<T> take_next(bool destructive = false) {
+    if (cursor_ >= items_.size()) return std::nullopt;
+    if (destructive) {
+      T out = std::move(items_.front());
+      items_.pop_front();
+      return out;
+    }
+    return items_[cursor_++];
+  }
+
+  void reset_scan() { cursor_ = 0; }
+
+ private:
+  std::deque<T> items_;
+  std::size_t cursor_ = 0;
+};
+
+template <typename T>
+class ArrayContainer {
+ public:
+  explicit ArrayContainer(std::size_t n = 0) : items_(n) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+  void resize(std::size_t n) { items_.resize(n); }
+  void push_back(T v) { items_.push_back(std::move(v)); }
+
+  [[nodiscard]] T& at(std::size_t i) { return items_.at(i); }
+  [[nodiscard]] const T& at(std::size_t i) const { return items_.at(i); }
+  [[nodiscard]] T& operator[](std::size_t i) { return items_[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const { return items_[i]; }
+
+ private:
+  std::vector<T> items_;
+};
+
+}  // namespace lmas::core

@@ -1,0 +1,14 @@
+#pragma once
+
+/// Umbrella header for the load-managed active storage programming model.
+#include "core/adaptive.hpp"
+#include "core/containers.hpp"
+#include "core/dist_btree.hpp"
+#include "core/dsm_sort.hpp"
+#include "core/functor.hpp"
+#include "core/load_manager.hpp"
+#include "core/packet.hpp"
+#include "core/pipeline.hpp"
+#include "core/program.hpp"
+#include "core/routing.hpp"
+#include "core/workload.hpp"

@@ -1,0 +1,271 @@
+#include "core/dist_btree.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <memory>
+#include <vector>
+
+#include "asu/asu.hpp"
+#include "extmem/btree.hpp"
+#include "sim/sim.hpp"
+
+namespace lmas::core {
+
+namespace {
+
+namespace sim = lmas::sim;
+namespace asu_ns = lmas::asu;
+namespace em = lmas::em;
+
+constexpr std::size_t kIoBlockBytes = 4096;
+
+struct IndexRequest {
+  enum class Kind { Lookup, Insert, Batch } kind = Kind::Lookup;
+  std::uint32_t client = 0;
+  std::uint32_t key = 0;
+  std::uint32_t value = 0;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> batch;
+};
+
+struct IndexReply {
+  bool found = false;
+  std::uint32_t value = 0;
+};
+
+class DistBTreeSim {
+ public:
+  /// Client-id tag width in the low key bits (supports up to 16 clients).
+  static constexpr std::uint32_t kKeyMask = 0xf;
+
+  DistBTreeSim(const asu_ns::MachineParams& mp, const DistBTreeConfig& cfg)
+      : mp_(mp), cfg_(cfg), cluster_(eng_, mp), d_(mp.num_asus) {}
+
+  DistBTreeReport run() {
+    if (cfg_.clients > kKeyMask + 1) {
+      throw std::invalid_argument("dist btree sim supports <= 16 clients");
+    }
+    build_initial();
+    for (unsigned a = 0; a < d_; ++a) {
+      req_.push_back(std::make_unique<sim::Channel<IndexRequest>>(eng_, 16));
+    }
+    for (unsigned c = 0; c < cfg_.clients; ++c) {
+      reply_.push_back(std::make_unique<sim::Channel<IndexReply>>(eng_, 0));
+    }
+    pending_.assign(d_, {});
+
+    for (unsigned a = 0; a < d_; ++a) eng_.spawn(asu_worker(a));
+    for (unsigned c = 0; c < cfg_.clients; ++c) eng_.spawn(client(c));
+    eng_.run();
+
+    DistBTreeReport rep;
+    rep.makespan = eng_.now();
+    rep.mean_lookup_latency = lookup_lat_.mean();
+    rep.max_lookup_latency = lookup_lat_.max();
+    rep.lookups = lookup_lat_.count();
+    rep.inserts = inserts_;
+    rep.batches_shipped = batches_;
+    rep.lookups_ok = lookups_ok_;
+    rep.final_state_ok = check_final_state();
+    return rep;
+  }
+
+ private:
+  [[nodiscard]] unsigned owner(std::uint32_t key) const {
+    return unsigned((std::uint64_t(key) * d_) >> 32);
+  }
+
+  void build_initial() {
+    sim::Rng rng(cfg_.seed);
+    for (std::size_t i = 0; i < cfg_.initial_keys; ++i) {
+      const auto k = std::uint32_t(rng.next());
+      oracle_[k] = std::uint32_t(rng.next());  // duplicates: last wins
+    }
+    // The oracle *is* the initial state; slice it into per-ASU ranges
+    // (std::map iterates in key order, so slices arrive sorted).
+    std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>> per(d_);
+    for (const auto& [k, v] : oracle_) per[owner(k)].emplace_back(k, v);
+    for (unsigned a = 0; a < d_; ++a) {
+      trees_.push_back(std::make_unique<em::BTree>(
+          em::BTree::bulk_load(per[a], em::make_memory_bte())));
+    }
+  }
+
+  sim::Task<> client(unsigned c) {
+    asu_ns::Node& host = cluster_.host(0);
+    sim::Rng rng(cfg_.seed * 31 + c + 1);
+    const std::size_t ops = cfg_.operations / cfg_.clients;
+
+    for (std::size_t i = 0; i < ops; ++i) {
+      const bool is_insert = rng.uniform() < cfg_.insert_ratio;
+      // Clients own disjoint key slices (low bits = client id): the
+      // system guarantees per-client FIFO visibility (one channel per
+      // ASU, inserts ordered before later lookups), not global
+      // linearizability, so the oracle check must respect that.
+      const auto key =
+          (std::uint32_t(rng.next()) & ~std::uint32_t(kKeyMask)) | c;
+      // Host layer: route through the in-memory upper levels.
+      co_await host.compute(mp_.cost.host_handling +
+                            asu_ns::ceil_log2(d_) * mp_.cost.compare);
+      const unsigned a = owner(key);
+
+      if (is_insert) {
+        const auto value = std::uint32_t(rng.next());
+        oracle_[key] = value;
+        ++inserts_;
+        if (cfg_.maintenance == MaintenanceMode::Online) {
+          co_await send(host, a,
+                        IndexRequest{IndexRequest::Kind::Insert, c, key,
+                                     value, {}});
+        } else {
+          pending_[a].emplace_back(key, value);
+          if (pending_[a].size() >= cfg_.batch_size) {
+            co_await ship_batch(host, a);
+          }
+        }
+        continue;
+      }
+
+      // Lookup. The host's write buffer is part of the index: consult it
+      // first (batched maintenance must not lose visibility).
+      const double t0 = eng_.now();
+      bool found = false;
+      std::uint32_t value = 0;
+      if (cfg_.maintenance == MaintenanceMode::Batched) {
+        for (auto it = pending_[a].rbegin(); it != pending_[a].rend(); ++it) {
+          if (it->first == key) {
+            found = true;
+            value = it->second;
+            break;
+          }
+        }
+        co_await host.compute(
+            double(asu_ns::ceil_log2(
+                std::max<std::size_t>(2, pending_[a].size()))) *
+            mp_.cost.compare);
+      }
+      if (!found) {
+        co_await send(host, a,
+                      IndexRequest{IndexRequest::Kind::Lookup, c, key, 0,
+                                   {}});
+        const auto r = co_await reply_[c]->recv();
+        if (r) {
+          found = r->found;
+          value = r->value;
+        }
+      }
+      lookup_lat_.add(eng_.now() - t0);
+      // Oracle check.
+      const auto it = oracle_.find(key);
+      const bool expect = it != oracle_.end();
+      if (expect != found || (expect && it->second != value)) {
+        lookups_ok_ = false;
+      }
+    }
+
+    if (++clients_done_ == cfg_.clients) {
+      // Flush any buffered maintenance, then close the workers.
+      for (unsigned a = 0; a < d_; ++a) {
+        if (!pending_[a].empty()) {
+          co_await ship_batch(cluster_.host(0), a);
+        }
+      }
+      for (auto& ch : req_) ch->close();
+    }
+  }
+
+  sim::Task<> ship_batch(asu_ns::Node& host, unsigned a) {
+    IndexRequest r{IndexRequest::Kind::Batch, 0, 0, 0,
+                   std::move(pending_[a])};
+    pending_[a].clear();
+    std::sort(r.batch.begin(), r.batch.end());
+    ++batches_;
+    co_await send(host, a, std::move(r));
+  }
+
+  sim::Task<> send(asu_ns::Node& host, unsigned a, IndexRequest r) {
+    const std::size_t bytes = 32 + r.batch.size() * 8;
+    co_await cluster_.network().transfer(host, cluster_.asu(a), bytes);
+    co_await req_[a]->send(std::move(r));
+  }
+
+  sim::Task<> asu_worker(unsigned a) {
+    asu_ns::Node& node = cluster_.asu(a);
+    asu_ns::Node& host = cluster_.host(0);
+    em::BTree& tree = *trees_[a];
+    const double node_probe =
+        mp_.cost.asu_handling +
+        double(asu_ns::ceil_log2(em::BTree::kMaxKeys)) * mp_.cost.compare;
+
+    while (true) {
+      auto r = co_await req_[a]->recv();
+      if (!r) break;
+      switch (r->kind) {
+        case IndexRequest::Kind::Lookup: {
+          // Root-to-leaf block reads + per-node search.
+          co_await node.disk().read(tree.height() * kIoBlockBytes);
+          co_await node.compute(double(tree.height()) * node_probe);
+          const auto v = tree.find(r->key);
+          co_await cluster_.network().transfer(node, host, 16);
+          co_await reply_[r->client]->send(
+              IndexReply{v.has_value(), v.value_or(0)});
+          break;
+        }
+        case IndexRequest::Kind::Insert: {
+          // Online maintenance: random read-modify-write per insert.
+          co_await node.disk().read(tree.height() * kIoBlockBytes);
+          co_await node.disk().write(kIoBlockBytes);
+          co_await node.compute(double(tree.height()) * node_probe);
+          tree.insert(r->key, r->value);
+          break;
+        }
+        case IndexRequest::Kind::Batch: {
+          // Offline batch maintenance: one leaf-span pass, amortized.
+          const std::size_t touched_blocks =
+              tree.height() +
+              (r->batch.size() + em::BTree::kMaxKeys - 1) /
+                  em::BTree::kMaxKeys;
+          co_await node.disk().read(touched_blocks * kIoBlockBytes);
+          co_await node.disk().write(touched_blocks * kIoBlockBytes);
+          co_await node.compute(double(r->batch.size()) * node_probe);
+          for (const auto& [k, v] : r->batch) tree.insert(k, v);
+          break;
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] bool check_final_state() {
+    for (const auto& [k, v] : oracle_) {
+      const auto got = trees_[owner(k)]->find(k);
+      if (!got || *got != v) return false;
+    }
+    return true;
+  }
+
+  asu_ns::MachineParams mp_;
+  DistBTreeConfig cfg_;
+  sim::Engine eng_;
+  asu_ns::Cluster cluster_;
+  unsigned d_;
+  std::vector<std::unique_ptr<em::BTree>> trees_;
+  std::vector<std::unique_ptr<sim::Channel<IndexRequest>>> req_;
+  std::vector<std::unique_ptr<sim::Channel<IndexReply>>> reply_;
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>> pending_;
+  std::map<std::uint32_t, std::uint32_t> oracle_;
+  sim::Accumulator lookup_lat_;
+  std::size_t inserts_ = 0;
+  std::size_t batches_ = 0;
+  unsigned clients_done_ = 0;
+  bool lookups_ok_ = true;
+};
+
+}  // namespace
+
+DistBTreeReport run_dist_btree(const asu::MachineParams& mp,
+                               const DistBTreeConfig& cfg) {
+  DistBTreeSim s(mp, cfg);
+  return s.run();
+}
+
+}  // namespace lmas::core

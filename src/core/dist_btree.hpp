@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+
+#include "asu/params.hpp"
+
+namespace lmas::core {
+
+/// Distributed two-level B+-tree (Section 4.2: the R-tree distribution
+/// technique "also applies to other two-level I/O-efficient index
+/// structures. For online data structures, the maintenance work ... at
+/// the lower levels can run as a batch job running on the ASUs, while
+/// the host layer maintains the upper levels online").
+///
+/// The host keeps the range map (upper levels) in memory and routes
+/// operations; each ASU owns a real extmem::BTree over a contiguous key
+/// range (lower levels). Inserts can be applied per-operation (online
+/// random I/O at the ASU) or accumulated at the host and shipped as
+/// sorted batches that the ASU applies as offline maintenance.
+enum class MaintenanceMode { Online, Batched };
+
+struct DistBTreeConfig {
+  std::size_t initial_keys = 100000;
+  std::size_t operations = 4000;
+  /// Fraction of operations that are inserts (the rest are lookups).
+  double insert_ratio = 0.5;
+  unsigned clients = 4;
+  MaintenanceMode maintenance = MaintenanceMode::Batched;
+  /// Inserts buffered per ASU before a batch ships.
+  std::size_t batch_size = 256;
+  std::uint64_t seed = 5;
+};
+
+struct DistBTreeReport {
+  double makespan = 0;
+  double mean_lookup_latency = 0;
+  double max_lookup_latency = 0;
+  std::size_t lookups = 0;
+  std::size_t inserts = 0;
+  std::size_t batches_shipped = 0;
+  bool lookups_ok = false;   // every lookup agreed with the oracle
+  bool final_state_ok = false;  // all inserts present afterwards
+};
+
+DistBTreeReport run_dist_btree(const asu::MachineParams& mp,
+                               const DistBTreeConfig& cfg);
+
+}  // namespace lmas::core

@@ -1,0 +1,702 @@
+#include "core/dsm_sort.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+#include "asu/asu.hpp"
+#include "core/pipeline.hpp"
+#include "core/splitters.hpp"
+#include "extmem/distribute.hpp"
+#include "extmem/merge.hpp"
+#include "extmem/record.hpp"
+#include "sim/sim.hpp"
+
+namespace lmas::core {
+
+namespace {
+
+namespace sim = lmas::sim;
+namespace asu_ns = lmas::asu;
+namespace em = lmas::em;
+
+constexpr std::uint32_t kSubsetDoneMarker = 0xffffffffu;
+
+/// Wall-clock seconds on the emulation host (the paper's fine-grained
+/// processor cycle counter, in portable form).
+double wall_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct StoredRun {
+  std::uint32_t subset = 0;
+  std::vector<em::KeyRecord> records;
+};
+
+/// Whole-program state for one emulated DSM-Sort execution. Instance
+/// bodies are member coroutines; the object outlives the engine run.
+class DsmSortSim {
+ public:
+  DsmSortSim(const asu_ns::MachineParams& machine, const DsmSortConfig& cfg)
+      : mp_(machine),
+        cfg_(cfg),
+        cluster_(eng_, machine),
+        d_(machine.num_asus),
+        h_(machine.num_hosts),
+        alpha_(cfg.distribute_on_asus ? cfg.alpha : 1),
+        packet_records_(derive_packet_records()),
+        block_records_(std::max<std::size_t>(
+            1, std::size_t(64 * 1024) / machine.record_bytes)),
+        classifier_(make_classifier()),
+        checksum_in_(d_, 0),
+        count_in_(d_, 0) {}
+
+  DsmSortReport run() {
+    run_pass1();
+    DsmSortReport rep;
+    rep.pass1_seconds = pass1_end_;
+    validate_pass1(rep);
+    if (cfg_.run_merge_pass) {
+      run_pass2(rep);
+    }
+    rep.makespan = eng_.now();
+    collect_utilization(rep);
+    return rep;
+  }
+
+ private:
+  // ----------------------------- pass 1 -------------------------------
+
+  void run_pass1() {
+    // The host-side inbox may buffer generously: hosts have large
+    // memories (the model's asymmetry), and smooth pipelining requires
+    // roughly K = alpha*beta records of slack to absorb the synchronized
+    // beta-block fill waves across subsets. ASU-side inboxes stay small
+    // (bounded ASU memory).
+    const std::size_t host_inbox_packets = std::max<std::size_t>(
+        64, mp_.host_memory / mp_.record_bytes / 2 /
+                std::max<std::size_t>(1, packet_records_) / h_);
+    sort_in_ = std::make_unique<StageInboxes>(eng_, h_, host_inbox_packets);
+    store_in_ = std::make_unique<StageInboxes>(eng_, d_, 64);
+
+    std::vector<asu_ns::Node*> host_nodes, asu_nodes;
+    for (unsigned i = 0; i < h_; ++i) host_nodes.push_back(&cluster_.host(i));
+    for (unsigned i = 0; i < d_; ++i) asu_nodes.push_back(&cluster_.asu(i));
+
+    // Passive baseline has no subsets, so spread packets round-robin; the
+    // active configurations route per the configured policy.
+    const RouterKind sort_kind =
+        cfg_.distribute_on_asus ? cfg_.sort_router : RouterKind::RoundRobin;
+    to_sort_ = std::make_unique<StageOutput>(
+        eng_, cluster_.network(), mp_.record_bytes,
+        sort_in_->endpoints(host_nodes),
+        make_router(sort_kind, sim::Rng(cfg_.seed ^ 0x5eed), alpha_), d_);
+    // Runs are striped across ASUs at packet granularity (Section 4.3:
+    // merged/sorted runs are stored striped across the ASUs).
+    to_store_ = std::make_unique<StageOutput>(
+        eng_, cluster_.network(), mp_.record_bytes,
+        store_in_->endpoints(asu_nodes), std::make_unique<RoundRobinRouter>(),
+        h_);
+
+    stored_.assign(d_, {});
+    records_sorted_per_host_.assign(h_, 0);
+    store_end_.assign(d_, 0.0);
+
+    for (unsigned a = 0; a < d_; ++a) eng_.spawn(distribute_instance(a));
+    for (unsigned hh = 0; hh < h_; ++hh) eng_.spawn(sort_instance(hh));
+    for (unsigned a = 0; a < d_; ++a) eng_.spawn(store_instance(a));
+
+    eng_.run();
+    if (eng_.unfinished_tasks() != 0) {
+      throw std::logic_error("DSM-Sort pass 1 deadlocked");
+    }
+    pass1_end_ = *std::max_element(store_end_.begin(), store_end_.end());
+  }
+
+  [[nodiscard]] std::size_t local_share(unsigned a) const {
+    const std::size_t base = cfg_.total_records / d_;
+    const std::size_t extra = a < cfg_.total_records % d_ ? 1 : 0;
+    return base + extra;
+  }
+
+  sim::Task<> distribute_instance(unsigned a) {
+    asu_ns::Node& node = cluster_.asu(a);
+    const std::size_t n_local = local_share(a);
+    if (n_local == 0) {
+      to_sort_->producer_done();
+      co_return;
+    }
+    KeyGenerator gen(cfg_.key_dist, n_local,
+                     sim::Rng(cfg_.seed * 1000003ULL + a));
+    asu_ns::Disk::ReadStream rs(node.disk(),
+                                block_records_ * mp_.record_bytes);
+
+    std::vector<Packet> staging(alpha_);
+    std::vector<std::uint32_t> seq(alpha_, 0);
+    for (unsigned s = 0; s < alpha_; ++s) staging[s].subset = s;
+
+    const double per_record_cpu =
+        cfg_.distribute_on_asus
+            ? mp_.cost.distribute_per_record(cfg_.alpha, /*on_asu=*/true)
+            : 0.0;  // conventional storage: no integrated processing
+
+    // The staged-record budget is the ASU memory bound; when staging
+    // grows past it, the fullest subset buffer is flushed as a (possibly
+    // partial) packet. This keeps ASU state bounded while records flow
+    // downstream continuously instead of bursting at end-of-input.
+    const std::size_t budget_records = std::max<std::size_t>(
+        packet_records_, mp_.asu_memory / mp_.record_bytes / 2);
+    std::size_t staged_records = 0;
+
+    std::uint32_t next_id = a * 0x1000000u;
+    std::size_t remaining = n_local;
+    std::vector<Packet> ready;
+    while (remaining > 0) {
+      const std::size_t blk = std::min(block_records_, remaining);
+      remaining -= blk;
+      co_await rs.next_block(/*last=*/remaining == 0);
+
+      // Execute the real classification for this block; flushes are
+      // collected and emitted after the (possibly measured) CPU charge.
+      ready.clear();
+      const double w0 = wall_seconds();
+      for (std::size_t i = 0; i < blk; ++i) {
+        const std::uint32_t key = gen.next();
+        checksum_in_[a] += key;
+        ++count_in_[a];
+        const auto s = cfg_.distribute_on_asus
+                           ? classifier_(em::KeyRecord{key, 0})
+                           : 0u;
+        staging[s].records.push_back({key, next_id++});
+        ++staged_records;
+        if (staging[s].records.size() >= packet_records_) {
+          staged_records -= staging[s].records.size();
+          stage_ready(staging[s], seq[s], ready);
+        } else if (staged_records >= budget_records) {
+          std::size_t fullest = 0;
+          for (unsigned t = 1; t < alpha_; ++t) {
+            if (staging[t].records.size() >
+                staging[fullest].records.size()) {
+              fullest = t;
+            }
+          }
+          staged_records -= staging[fullest].records.size();
+          stage_ready(staging[fullest], seq[fullest], ready);
+        }
+      }
+      const double wall = wall_seconds() - w0;
+
+      if (cfg_.distribute_on_asus) {
+        // Measured mode times the real classification kernel; the
+        // per-record I/O-path handling is not executed by the emulation
+        // (disk and NIC are models), so it stays a declared charge.
+        const double charge =
+            mp_.measured_timing
+                ? wall * mp_.measured_scale +
+                      double(blk) * mp_.cost.asu_handling
+                : double(blk) * per_record_cpu;
+        if (charge > 0) co_await node.compute(charge);
+      }
+      for (auto& pkt : ready) {
+        co_await to_sort_->emit(node, std::move(pkt));
+      }
+    }
+    ready.clear();
+    for (unsigned s = 0; s < alpha_; ++s) {
+      if (!staging[s].records.empty()) {
+        stage_ready(staging[s], seq[s], ready);
+      }
+    }
+    for (auto& pkt : ready) {
+      co_await to_sort_->emit(node, std::move(pkt));
+    }
+    to_sort_->producer_done();
+  }
+
+  static void stage_ready(Packet& slot, std::uint32_t& seq,
+                          std::vector<Packet>& ready) {
+    Packet out;
+    out.subset = slot.subset;
+    out.seq = seq++;
+    out.records = std::move(slot.records);
+    slot.records.clear();
+    ready.push_back(std::move(out));
+  }
+
+  sim::Task<> sort_instance(unsigned hh) {
+    asu_ns::Node& node = cluster_.host(hh);
+    auto& in = sort_in_->inbox(hh);
+    const std::size_t run_len = cfg_.host_run_length();
+    std::unordered_map<std::uint32_t, std::vector<em::KeyRecord>> staging;
+    std::uint32_t next_run_id = hh * 0x100000u;
+
+    while (true) {
+      auto p = co_await in.recv();
+      if (!p) break;
+      auto& buf = staging[p->subset];
+      buf.insert(buf.end(), p->records.begin(), p->records.end());
+      while (buf.size() >= run_len) {
+        std::vector<em::KeyRecord> block(buf.begin(),
+                                         buf.begin() + std::ptrdiff_t(run_len));
+        buf.erase(buf.begin(), buf.begin() + std::ptrdiff_t(run_len));
+        co_await emit_run(node, hh, p->subset, std::move(block),
+                          next_run_id++);
+      }
+    }
+    // Input closed: flush partial blocks as short runs.
+    for (auto& [subset, buf] : staging) {
+      if (!buf.empty()) {
+        co_await emit_run(node, hh, subset, std::move(buf), next_run_id++);
+      }
+    }
+    to_store_->producer_done();
+  }
+
+  sim::Task<> emit_run(asu_ns::Node& node, unsigned hh, std::uint32_t subset,
+                       std::vector<em::KeyRecord> block,
+                       std::uint32_t run_id) {
+    const double w0 = wall_seconds();
+    std::sort(block.begin(), block.end());
+    const double wall = wall_seconds() - w0;
+    const double charge =
+        mp_.measured_timing
+            ? wall * mp_.measured_scale +
+                  double(block.size()) * mp_.cost.host_handling
+            : double(block.size()) *
+                  mp_.cost.sort_per_record(cfg_.host_run_length(),
+                                           /*on_asu=*/false);
+    co_await node.compute(charge);
+    records_sorted_per_host_[hh] += block.size();
+
+    std::size_t off = 0;
+    std::uint32_t seq = 0;
+    while (off < block.size()) {
+      const std::size_t n = std::min(packet_records_, block.size() - off);
+      Packet out;
+      out.subset = subset;
+      out.run_id = run_id;
+      out.seq = seq++;
+      out.sorted = true;
+      out.records.assign(block.begin() + std::ptrdiff_t(off),
+                         block.begin() + std::ptrdiff_t(off + n));
+      off += n;
+      co_await to_store_->emit(node, std::move(out));
+    }
+  }
+
+  sim::Task<> store_instance(unsigned a) {
+    asu_ns::Node& node = cluster_.asu(a);
+    auto& in = store_in_->inbox(a);
+    std::map<std::uint32_t, StoredRun> open;  // run_id -> accumulating run
+    while (true) {
+      auto p = co_await in.recv();
+      if (!p) break;
+      co_await node.disk().write(p->wire_bytes(mp_.record_bytes));
+      StoredRun& run = open[p->run_id];
+      run.subset = p->subset;
+      run.records.insert(run.records.end(), p->records.begin(),
+                         p->records.end());
+    }
+    auto& dest = stored_[a];
+    dest.reserve(open.size());
+    for (auto& [run_id, run] : open) dest.push_back(std::move(run));
+    store_end_[a] = eng_.now();
+  }
+
+  void validate_pass1(DsmSortReport& rep) const {
+    rep.records_in = 0;
+    std::uint64_t checksum_in = 0;
+    for (unsigned a = 0; a < d_; ++a) {
+      rep.records_in += count_in_[a];
+      checksum_in += checksum_in_[a];
+    }
+    rep.runs_sorted_ok = true;
+    rep.subsets_ok = true;
+    std::uint64_t checksum_out = 0;
+    for (const auto& asu_runs : stored_) {
+      rep.runs_stored += asu_runs.size();
+      for (const auto& run : asu_runs) {
+        rep.records_stored += run.records.size();
+        if (!std::is_sorted(run.records.begin(), run.records.end())) {
+          rep.runs_sorted_ok = false;
+        }
+        for (const auto& r : run.records) {
+          checksum_out += r.key;
+          if (cfg_.distribute_on_asus &&
+              classifier_(r) != run.subset) {
+            rep.subsets_ok = false;
+          }
+        }
+      }
+    }
+    rep.checksum_ok = (checksum_in == checksum_out) &&
+                      (rep.records_in == rep.records_stored);
+    rep.records_sorted_per_host = records_sorted_per_host_;
+  }
+
+  // ----------------------------- pass 2 -------------------------------
+
+  void run_pass2(DsmSortReport& rep) {
+    merge_in_ = std::make_unique<StageInboxes>(eng_, h_, 16);
+    final_in_ = std::make_unique<StageInboxes>(eng_, d_, 8);
+
+    std::vector<asu_ns::Node*> host_nodes, asu_nodes;
+    for (unsigned i = 0; i < h_; ++i) host_nodes.push_back(&cluster_.host(i));
+    for (unsigned i = 0; i < d_; ++i) asu_nodes.push_back(&cluster_.asu(i));
+
+    to_host_merge_ = std::make_unique<StageOutput>(
+        eng_, cluster_.network(), mp_.record_bytes,
+        merge_in_->endpoints(host_nodes),
+        std::make_unique<StaticPartitionRouter>(), d_);
+    to_final_store_ = std::make_unique<StageOutput>(
+        eng_, cluster_.network(), mp_.record_bytes,
+        final_in_->endpoints(asu_nodes), std::make_unique<RoundRobinRouter>(),
+        h_);
+
+    final_end_.assign(d_, pass1_end_);
+    subset_bounds_.assign(alpha_, {});
+    final_sorted_ok_ = true;
+
+    for (unsigned a = 0; a < d_; ++a) eng_.spawn(asu_merge_instance(a));
+    for (unsigned hh = 0; hh < h_; ++hh) eng_.spawn(host_merge_instance(hh));
+    for (unsigned a = 0; a < d_; ++a) eng_.spawn(final_store_instance(a));
+
+    eng_.run();
+    if (eng_.unfinished_tasks() != 0) {
+      throw std::logic_error("DSM-Sort pass 2 deadlocked");
+    }
+
+    rep.pass2_seconds =
+        *std::max_element(final_end_.begin(), final_end_.end()) - pass1_end_;
+    rep.records_final = records_final_;
+
+    // Cross-subset order: max key of subset s <= min key of subset s+1.
+    std::uint32_t prev_max = 0;
+    bool have_prev = false;
+    for (const auto& b : subset_bounds_) {
+      if (b.count == 0) continue;
+      if (have_prev && b.min_key < prev_max) final_sorted_ok_ = false;
+      prev_max = b.max_key;
+      have_prev = true;
+    }
+    rep.final_sorted_ok =
+        final_sorted_ok_ && records_final_ == rep.records_in;
+  }
+
+  sim::Task<> asu_merge_instance(unsigned a) {
+    asu_ns::Node& node = cluster_.asu(a);
+    std::uint32_t next_run_id = a * 0x10000u + 1;
+    for (std::uint32_t s = 0; s < alpha_; ++s) {
+      // Collect this ASU's local runs of subset s.
+      std::vector<const StoredRun*> runs;
+      for (const auto& run : stored_[a]) {
+        if (run.subset == s && !run.records.empty()) runs.push_back(&run);
+      }
+      if (!runs.empty()) {
+        // Sequential disk read of the runs we are about to merge.
+        std::size_t bytes = 0;
+        for (const auto* r : runs) {
+          bytes += r->records.size() * mp_.record_bytes;
+        }
+        co_await node.disk().read(bytes);
+
+        if (cfg_.gamma1 == 1 || runs.size() == 1) {
+          // No ASU-side merge: ship runs as-is (hosts take full fan-in).
+          for (const auto* r : runs) {
+            co_await ship_run(node, s, next_run_id++, r->records);
+          }
+        } else {
+          const std::size_t g =
+              cfg_.gamma1 == 0 ? runs.size()
+                               : std::min<std::size_t>(cfg_.gamma1,
+                                                       runs.size());
+          for (std::size_t base = 0; base < runs.size(); base += g) {
+            const std::size_t cnt = std::min(g, runs.size() - base);
+            auto merged = merge_group(runs, base, cnt);
+            co_await node.compute(
+                double(merged.size()) *
+                mp_.cost.merge_per_record(unsigned(cnt), /*on_asu=*/true));
+            co_await ship_run(node, s, next_run_id++, merged);
+          }
+        }
+      }
+      // Per-subset completion marker so hosts can merge s immediately.
+      Packet marker;
+      marker.subset = s;
+      marker.run_id = kSubsetDoneMarker;
+      co_await to_host_merge_->emit(node, std::move(marker));
+    }
+    to_host_merge_->producer_done();
+  }
+
+  static std::vector<em::KeyRecord> merge_group(
+      const std::vector<const StoredRun*>& runs, std::size_t base,
+      std::size_t cnt) {
+    std::vector<em::LoserTree<em::KeyRecord>::Source> sources;
+    sources.reserve(cnt);
+    for (std::size_t i = 0; i < cnt; ++i) {
+      const auto* run = runs[base + i];
+      sources.push_back(
+          [run, pos = std::size_t(0)]() mutable -> std::optional<em::KeyRecord> {
+            if (pos >= run->records.size()) return std::nullopt;
+            return run->records[pos++];
+          });
+    }
+    em::LoserTree<em::KeyRecord> tree(std::move(sources));
+    std::vector<em::KeyRecord> out;
+    while (auto r = tree.next()) out.push_back(*r);
+    return out;
+  }
+
+  sim::Task<> ship_run(asu_ns::Node& node, std::uint32_t subset,
+                       std::uint32_t run_id,
+                       const std::vector<em::KeyRecord>& records) {
+    std::size_t off = 0;
+    std::uint32_t seq = 0;
+    while (off < records.size()) {
+      const std::size_t n =
+          std::min(packet_records_, records.size() - off);
+      Packet out;
+      out.subset = subset;
+      out.run_id = run_id;
+      out.seq = seq++;
+      out.sorted = true;
+      out.records.assign(records.begin() + std::ptrdiff_t(off),
+                         records.begin() + std::ptrdiff_t(off + n));
+      off += n;
+      co_await to_host_merge_->emit(node, std::move(out));
+    }
+  }
+
+  sim::Task<> host_merge_instance(unsigned hh) {
+    asu_ns::Node& node = cluster_.host(hh);
+    auto& in = merge_in_->inbox(hh);
+    std::map<std::uint32_t, std::map<std::uint32_t, std::vector<em::KeyRecord>>>
+        pending;  // subset -> run_id -> records
+    std::vector<unsigned> done_markers(alpha_, 0);
+
+    while (true) {
+      auto p = co_await in.recv();
+      if (!p) break;
+      if (p->run_id == kSubsetDoneMarker) {
+        if (++done_markers[p->subset] == d_) {
+          co_await merge_subset(node, p->subset, pending[p->subset]);
+          pending.erase(p->subset);
+        }
+        continue;
+      }
+      auto& run = pending[p->subset][p->run_id];
+      run.insert(run.end(), p->records.begin(), p->records.end());
+    }
+    to_final_store_->producer_done();
+  }
+
+  sim::Task<> merge_subset(
+      asu_ns::Node& node, std::uint32_t subset,
+      std::map<std::uint32_t, std::vector<em::KeyRecord>>& runs) {
+    if (runs.empty()) co_return;
+
+    // Multiple host-side merge passes when the fan-in exceeds gamma2_max
+    // (bounded merge buffers): groups of gamma2_max runs pre-merge into
+    // intermediate runs, charged at the grouped fan-in.
+    std::vector<std::vector<em::KeyRecord>> work;
+    work.reserve(runs.size());
+    for (auto& [id, vec] : runs) work.push_back(std::move(vec));
+    while (cfg_.gamma2_max >= 2 && work.size() > cfg_.gamma2_max) {
+      std::vector<std::vector<em::KeyRecord>> next;
+      for (std::size_t base = 0; base < work.size();
+           base += cfg_.gamma2_max) {
+        const std::size_t cnt =
+            std::min<std::size_t>(cfg_.gamma2_max, work.size() - base);
+        if (cnt == 1) {
+          next.push_back(std::move(work[base]));
+          continue;
+        }
+        std::vector<em::LoserTree<em::KeyRecord>::Source> sources;
+        sources.reserve(cnt);
+        std::size_t total = 0;
+        for (std::size_t i = 0; i < cnt; ++i) {
+          total += work[base + i].size();
+          sources.push_back([v = &work[base + i],
+                             pos = std::size_t(0)]() mutable
+                            -> std::optional<em::KeyRecord> {
+            if (pos >= v->size()) return std::nullopt;
+            return (*v)[pos++];
+          });
+        }
+        em::LoserTree<em::KeyRecord> tree(std::move(sources));
+        std::vector<em::KeyRecord> merged;
+        merged.reserve(total);
+        while (auto r = tree.next()) merged.push_back(*r);
+        co_await node.compute(
+            double(total) *
+            mp_.cost.merge_per_record(unsigned(cnt), /*on_asu=*/false));
+        next.push_back(std::move(merged));
+      }
+      work = std::move(next);
+    }
+    runs.clear();
+    for (std::size_t i = 0; i < work.size(); ++i) {
+      runs.emplace(std::uint32_t(i), std::move(work[i]));
+    }
+
+    const unsigned gamma2 = unsigned(runs.size());
+    std::vector<em::LoserTree<em::KeyRecord>::Source> sources;
+    sources.reserve(runs.size());
+    for (auto& [id, vec] : runs) {
+      sources.push_back(
+          [v = &vec, pos = std::size_t(0)]() mutable
+          -> std::optional<em::KeyRecord> {
+            if (pos >= v->size()) return std::nullopt;
+            return (*v)[pos++];
+          });
+    }
+    em::LoserTree<em::KeyRecord> tree(std::move(sources));
+    const double per_rec =
+        mp_.cost.merge_per_record(gamma2, /*on_asu=*/false);
+
+    SubsetBounds bounds;
+    std::uint32_t prev_key = 0;
+    bool first = true;
+    std::uint32_t seq = 0;
+    while (true) {
+      Packet out;
+      out.subset = subset;
+      out.seq = seq++;
+      out.sorted = true;
+      while (out.records.size() < packet_records_) {
+        auto r = tree.next();
+        if (!r) break;
+        if (!first && r->key < prev_key) final_sorted_ok_ = false;
+        prev_key = r->key;
+        first = false;
+        if (bounds.count == 0) bounds.min_key = r->key;
+        bounds.max_key = r->key;
+        ++bounds.count;
+        out.records.push_back(*r);
+      }
+      if (out.records.empty()) break;
+      co_await node.compute(double(out.records.size()) * per_rec);
+      co_await to_final_store_->emit(node, std::move(out));
+    }
+    subset_bounds_[subset] = bounds;
+  }
+
+  sim::Task<> final_store_instance(unsigned a) {
+    asu_ns::Node& node = cluster_.asu(a);
+    auto& in = final_in_->inbox(a);
+    while (true) {
+      auto p = co_await in.recv();
+      if (!p) break;
+      co_await node.disk().write(p->wire_bytes(mp_.record_bytes));
+      records_final_ += p->records.size();
+    }
+    final_end_[a] = eng_.now();
+  }
+
+  // ----------------------------- reporting ----------------------------
+
+  void collect_utilization(DsmSortReport& rep) {
+    const double horizon = rep.makespan > 0 ? rep.makespan : 1e-9;
+    for (unsigned i = 0; i < h_; ++i) {
+      const auto& cpu = cluster_.host(i).cpu();
+      rep.hosts.push_back({cpu.name(),
+                           cpu.utilization().mean_utilization(horizon),
+                           cpu.utilization().series(horizon)});
+    }
+    for (unsigned i = 0; i < d_; ++i) {
+      const auto& cpu = cluster_.asu(i).cpu();
+      rep.asus.push_back({cpu.name(),
+                          cpu.utilization().mean_utilization(horizon),
+                          cpu.utilization().series(horizon)});
+    }
+    rep.util_bin_seconds = mp_.util_bin;
+  }
+
+  /// Build the bucket classifier. Sampled splitters take a deterministic
+  /// pre-pass over each ASU's key stream (the generators are cheap and
+  /// reproducible; a real deployment would sample the stored input).
+  [[nodiscard]] std::function<std::uint32_t(const em::KeyRecord&)>
+  make_classifier() const {
+    if (cfg_.splitters == DsmSortConfig::Splitters::Sampled && alpha_ > 1) {
+      std::vector<std::uint32_t> sample;
+      for (unsigned a = 0; a < d_; ++a) {
+        const std::size_t n_local = local_share(a);
+        if (n_local == 0) continue;
+        KeyGenerator gen(cfg_.key_dist, n_local,
+                         sim::Rng(cfg_.seed * 1000003ULL + a));
+        const std::size_t stride = std::max<std::size_t>(1, n_local / 4096);
+        for (std::size_t i = 0; i < n_local; ++i) {
+          const auto k = gen.next();
+          if (i % stride == 0) sample.push_back(k);
+        }
+      }
+      return SplitterClassifier(choose_splitters(std::move(sample), alpha_));
+    }
+    return [cls = em::RangeClassifier<std::uint32_t>(0, std::uint32_t(-1),
+                                                     alpha_)](
+               const em::KeyRecord& r) { return std::uint32_t(cls(r)); };
+  }
+
+  [[nodiscard]] std::size_t derive_packet_records() const {
+    if (cfg_.packet_records != 0) return cfg_.packet_records;
+    const unsigned buckets = cfg_.distribute_on_asus ? cfg_.alpha : 1;
+    const std::size_t by_memory =
+        mp_.asu_memory / (std::size_t(buckets) * mp_.record_bytes);
+    return std::clamp<std::size_t>(by_memory, 64, 4096);
+  }
+
+  struct SubsetBounds {
+    std::uint32_t min_key = 0;
+    std::uint32_t max_key = 0;
+    std::size_t count = 0;
+  };
+
+  asu_ns::MachineParams mp_;
+  DsmSortConfig cfg_;
+  sim::Engine eng_;
+  asu_ns::Cluster cluster_;
+  unsigned d_;
+  unsigned h_;
+  unsigned alpha_;
+  std::size_t packet_records_;
+  std::size_t block_records_;
+  std::function<std::uint32_t(const em::KeyRecord&)> classifier_;
+
+  std::unique_ptr<StageInboxes> sort_in_;
+  std::unique_ptr<StageInboxes> store_in_;
+  std::unique_ptr<StageOutput> to_sort_;
+  std::unique_ptr<StageOutput> to_store_;
+
+  std::unique_ptr<StageInboxes> merge_in_;
+  std::unique_ptr<StageInboxes> final_in_;
+  std::unique_ptr<StageOutput> to_host_merge_;
+  std::unique_ptr<StageOutput> to_final_store_;
+
+  std::vector<std::uint64_t> checksum_in_;
+  std::vector<std::size_t> count_in_;
+  std::vector<std::vector<StoredRun>> stored_;  // per ASU
+  std::vector<std::size_t> records_sorted_per_host_;
+  std::vector<double> store_end_;
+  double pass1_end_ = 0;
+
+  std::vector<double> final_end_;
+  std::vector<SubsetBounds> subset_bounds_;
+  std::size_t records_final_ = 0;
+  bool final_sorted_ok_ = true;
+};
+
+}  // namespace
+
+DsmSortReport run_dsm_sort(const asu::MachineParams& machine,
+                           const DsmSortConfig& config) {
+  DsmSortSim sim(machine, config);
+  return sim.run();
+}
+
+}  // namespace lmas::core

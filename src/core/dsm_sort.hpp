@@ -1,0 +1,122 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "asu/params.hpp"
+#include "core/routing.hpp"
+#include "core/workload.hpp"
+
+namespace lmas::core {
+
+/// Configuration of the hybrid distribute/sort/merge program (Section 4.3).
+/// DSM-Sort partitions records into alpha buckets, forms sorted runs of
+/// beta records per bucket, and gamma-way merges the runs, with
+/// alpha * beta * gamma = n and `Total Work = n log(alpha beta gamma)`.
+/// Choosing alpha shifts comparisons between the ASU-resident distribute
+/// functors and the host-resident sort functors — the knob behind Fig. 9.
+struct DsmSortConfig {
+  std::size_t total_records = 1 << 20;
+
+  /// Distribute order (buckets). alpha = 1 degenerates to pure forwarding.
+  unsigned alpha = 16;
+
+  /// log2 of the fixed product K = alpha * beta: both configurations reach
+  /// the same post-pass-1 sortedness (pass-2 fan-in gamma = n / K), so
+  /// raising alpha lowers beta one-for-one in compare counts.
+  unsigned log2_alpha_beta = 18;
+
+  /// false = passive-storage baseline: conventional storage units stream
+  /// raw blocks, all computation (full-K run formation) on the hosts.
+  bool distribute_on_asus = true;
+
+  /// Routing of subset packets across replicated host sort functors.
+  /// Static partitioning is Fig. 10's unmanaged run; SR is the managed one.
+  RouterKind sort_router = RouterKind::Static;
+
+  KeyDist key_dist = KeyDist::Uniform;
+
+  /// How distribute buckets are delimited: Range = equal-width key
+  /// slices (assumes uniform keys); Sampled = quantile splitters from a
+  /// key sample (balances stationary skew, but not time-varying skew —
+  /// that is what SR routing addresses).
+  enum class Splitters { Range, Sampled };
+  Splitters splitters = Splitters::Range;
+
+  /// Records per network packet; 0 derives it from the ASU memory bound
+  /// (alpha staging buffers of packet_records * record_bytes must fit).
+  std::size_t packet_records = 0;
+
+  /// Run pass 2 (the final merges) as well; Fig. 9 reports pass 1 only.
+  bool run_merge_pass = false;
+
+  /// ASU-side pre-merge fan-in gamma_1 (gamma = gamma_1 * gamma_2 split
+  /// between ASUs and hosts): 0 = merge all local runs per subset at the
+  /// ASU, 1 = no ASU merge (hosts take the full fan-in).
+  unsigned gamma1 = 0;
+
+  /// Host-side merge fan-in cap gamma_2 (0 = unlimited). When a subset
+  /// arrives with more runs than this, the host merges in multiple
+  /// passes — the paper notes more passes may be required if gamma is
+  /// small, though two suffice in practice.
+  unsigned gamma2_max = 0;
+
+  std::uint64_t seed = 42;
+
+  [[nodiscard]] std::size_t beta() const {
+    const std::size_t k = std::size_t(1) << log2_alpha_beta;
+    const std::size_t b = k / std::max(1u, alpha);
+    return b == 0 ? 1 : b;
+  }
+  /// Effective run length on the host: the baseline forms full-K runs.
+  [[nodiscard]] std::size_t host_run_length() const {
+    return distribute_on_asus ? beta()
+                              : (std::size_t(1) << log2_alpha_beta);
+  }
+};
+
+/// Per-node utilization summary extracted from the simulation.
+struct NodeUtilization {
+  std::string node;
+  double mean = 0;                   // busy fraction over the makespan
+  std::vector<double> series;        // per-bin utilization (Fig. 10)
+};
+
+struct DsmSortReport {
+  double pass1_seconds = 0;
+  double pass2_seconds = 0;          // 0 when pass 2 not run
+  double makespan = 0;
+
+  std::size_t records_in = 0;
+  std::size_t records_stored = 0;    // run records written back to ASUs
+  std::size_t records_final = 0;     // pass-2 output records
+  std::size_t runs_stored = 0;
+
+  bool runs_sorted_ok = false;       // every stored run is key-sorted
+  bool subsets_ok = false;           // records landed in the right bucket
+  bool checksum_ok = false;          // key-sum conservation in == out
+  bool final_sorted_ok = false;      // pass-2 global order (if run)
+
+  std::vector<NodeUtilization> hosts;
+  std::vector<NodeUtilization> asus;
+
+  /// Records sorted per host (skew visibility for Fig. 10).
+  std::vector<std::size_t> records_sorted_per_host;
+
+  double util_bin_seconds = 0;
+
+  [[nodiscard]] bool ok() const {
+    return runs_sorted_ok && subsets_ok && checksum_ok &&
+           (pass2_seconds == 0 || final_sorted_ok);
+  }
+};
+
+/// Execute DSM-Sort on an emulated cluster built from `machine`, timing it
+/// with the discrete-event simulator. Records are really distributed,
+/// sorted and merged; only time is modeled.
+DsmSortReport run_dsm_sort(const asu::MachineParams& machine,
+                           const DsmSortConfig& config);
+
+}  // namespace lmas::core

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "asu/network.hpp"
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+
+namespace lmas::core {
+
+/// One utilization sample across the cluster.
+struct LoadSample {
+  double time = 0;
+  std::vector<double> host_backlog;  // queued CPU seconds per host
+  std::vector<double> asu_backlog;
+
+  [[nodiscard]] double host_imbalance() const {
+    return imbalance(host_backlog);
+  }
+  [[nodiscard]] double asu_imbalance() const { return imbalance(asu_backlog); }
+
+  static double imbalance(const std::vector<double>& v) {
+    if (v.size() < 2) return 0;
+    const double mx = *std::max_element(v.begin(), v.end());
+    const double sum = std::accumulate(v.begin(), v.end(), 0.0);
+    if (sum <= 0) return 0;
+    // 0 = perfectly even, 1 = all load on one node.
+    const double even = sum / double(v.size());
+    return (mx - even) / (sum - even + 1e-30);
+  }
+};
+
+/// The monitoring half of the load manager: a simulated process that
+/// samples every node's CPU backlog on a fixed period. Dynamic policies
+/// (LeastLoadedRouter, migration callbacks, adaptive reconfiguration)
+/// consume exactly this kind of information; the monitor makes it
+/// observable and testable on its own.
+class LoadMonitor {
+ public:
+  LoadMonitor(asu::Cluster& cluster, double period_seconds = 0.05)
+      : cluster_(&cluster), period_(period_seconds) {}
+
+  /// Spawn the sampling process; it runs until the engine drains (it
+  /// samples only while other work is pending, so it cannot keep the
+  /// simulation alive by itself... which a periodic task would; instead
+  /// it stops after `max_samples`).
+  void start(std::size_t max_samples = 10000) {
+    cluster_->engine().spawn(run(max_samples));
+  }
+
+  [[nodiscard]] const std::vector<LoadSample>& samples() const noexcept {
+    return samples_;
+  }
+
+  /// Peak observed host imbalance (0 = always even).
+  [[nodiscard]] double peak_host_imbalance() const {
+    double peak = 0;
+    for (const auto& s : samples_) peak = std::max(peak, s.host_imbalance());
+    return peak;
+  }
+
+ private:
+  sim::Task<> run(std::size_t max_samples) {
+    for (std::size_t i = 0; i < max_samples; ++i) {
+      co_await cluster_->engine().sleep(period_);
+      LoadSample s;
+      s.time = cluster_->engine().now();
+      for (unsigned h = 0; h < cluster_->num_hosts(); ++h) {
+        s.host_backlog.push_back(cluster_->host(h).cpu().backlog());
+      }
+      for (unsigned a = 0; a < cluster_->num_asus(); ++a) {
+        s.asu_backlog.push_back(cluster_->asu(a).cpu().backlog());
+      }
+      const bool all_idle =
+          std::all_of(s.host_backlog.begin(), s.host_backlog.end(),
+                      [](double b) { return b <= 0; }) &&
+          std::all_of(s.asu_backlog.begin(), s.asu_backlog.end(),
+                      [](double b) { return b <= 0; });
+      samples_.push_back(std::move(s));
+      // Two consecutive all-idle samples: the workload has drained; stop
+      // so the monitor does not keep the event queue alive forever.
+      if (all_idle && saw_work_) break;
+      if (!all_idle) saw_work_ = true;
+    }
+  }
+
+  asu::Cluster* cluster_;
+  double period_;
+  std::vector<LoadSample> samples_;
+  bool saw_work_ = false;
+};
+
+}  // namespace lmas::core

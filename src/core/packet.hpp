@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "extmem/record.hpp"
+
+namespace lmas::core {
+
+/// A packet groups related records that must be processed as a whole
+/// (Section 3.2). Packets give sets intermediate structure: they impose a
+/// partial order (records within a packet stay together and in order) while
+/// leaving the system free to route whole packets to any instance of a
+/// replicated functor.
+struct Packet {
+  /// The distribute subset (bucket) these records belong to. Routing
+  /// constraints and merge grouping key off this.
+  std::uint32_t subset = 0;
+
+  /// Sequence number of this packet within its subset at its producer
+  /// (used by tests to check per-producer FIFO delivery).
+  std::uint32_t seq = 0;
+
+  /// Identifier of the sorted run this packet belongs to (unique per
+  /// producer); consumers reassemble multi-packet runs with it.
+  std::uint32_t run_id = 0;
+
+  /// True when the records inside the packet are sorted by key — e.g. a
+  /// run emitted by a sort functor (Figure 4). Downstream functors may
+  /// rely on this to merge rather than re-sort.
+  bool sorted = false;
+
+  std::vector<em::KeyRecord> records;
+
+  [[nodiscard]] std::size_t size() const noexcept { return records.size(); }
+
+  /// Modeled wire/storage footprint: the evaluation's records are
+  /// `record_bytes` long even though the simulation carries only keys.
+  [[nodiscard]] std::size_t wire_bytes(std::size_t record_bytes) const {
+    return records.size() * record_bytes;
+  }
+};
+
+}  // namespace lmas::core

@@ -1,0 +1,203 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "asu/network.hpp"
+#include "asu/node.hpp"
+#include "core/packet.hpp"
+#include "core/routing.hpp"
+#include "sim/channel.hpp"
+#include "sim/resource.hpp"
+#include "sim/task.hpp"
+
+namespace lmas::core {
+
+/// Declared execution cost of a functor, in host-seconds. Bounded,
+/// statically known per-record cost is what makes functors safe to place
+/// on shared ASUs and lets the load manager predict placement effects
+/// (Section 3.1).
+struct FunctorCost {
+  double per_record = 0;
+  double per_packet = 0;
+
+  [[nodiscard]] double packet_cost(std::size_t records) const noexcept {
+    return per_packet + per_record * double(records);
+  }
+};
+
+/// One instance of a (possibly replicated) downstream functor: its inbox
+/// and the node it is pinned to.
+struct Endpoint {
+  sim::Channel<Packet>* ch = nullptr;
+  asu::Node* node = nullptr;
+};
+
+/// The outbound side of a functor stage: routes packets across the
+/// replicated instances of the next stage, charging network transfer
+/// between nodes. Producers must call producer_done(); when the last
+/// producer finishes and the last in-flight packet lands, all downstream
+/// inboxes are closed.
+///
+/// Sends are windowed-asynchronous: the sender is occupied only for its
+/// own NIC serialization, while link occupancy, propagation latency and
+/// receiver-side NIC time play out in flight (DMA-style). A bounded
+/// in-flight window keeps memory finite and re-imposes backpressure when
+/// the receiver or the wire is the bottleneck.
+class StageOutput {
+ public:
+  StageOutput(sim::Engine& eng, asu::Network& net, std::size_t record_bytes,
+              std::vector<Endpoint> endpoints,
+              std::unique_ptr<RoutingPolicy> router, unsigned producers,
+              std::size_t window_per_producer = 32)
+      : eng_(&eng),
+        net_(&net),
+        record_bytes_(record_bytes),
+        endpoints_(std::move(endpoints)),
+        router_(std::move(router)),
+        producers_left_(producers),
+        window_(std::max<std::size_t>(1, window_per_producer) * producers),
+        slot_free_(eng),
+        drained_(eng) {
+    targets_.reserve(endpoints_.size());
+    for (const auto& ep : endpoints_) targets_.push_back({ep.node});
+  }
+
+  StageOutput(const StageOutput&) = delete;
+  StageOutput& operator=(const StageOutput&) = delete;
+
+  [[nodiscard]] std::size_t target_count() const noexcept {
+    return endpoints_.size();
+  }
+  [[nodiscard]] asu::Node& target_node(std::size_t i) {
+    return *endpoints_.at(i).node;
+  }
+
+  /// Re-pin an instance's inbox to a new node (functor migration):
+  /// subsequent transfers are charged to the new location. Packets
+  /// already in flight complete against the old accounting.
+  void set_target_node(std::size_t i, asu::Node& node) {
+    endpoints_.at(i).node = &node;
+    targets_.at(i).node = &node;
+  }
+  [[nodiscard]] std::uint64_t packets_sent() const noexcept {
+    return packets_sent_;
+  }
+  [[nodiscard]] std::uint64_t records_sent() const noexcept {
+    return records_sent_;
+  }
+
+  /// Route `p` with this stage's policy, pay the transfer, deliver.
+  [[nodiscard]] sim::Task<> emit(asu::Node& from, Packet p) {
+    const std::size_t idx = router_->pick(p, targets_);
+    co_await emit_to(idx, from, std::move(p));
+  }
+
+  /// Deliver to an explicit instance (ordered streams pin their route).
+  [[nodiscard]] sim::Task<> emit_to(std::size_t idx, asu::Node& from,
+                                    Packet p) {
+    while (inflight_ >= window_) {
+      co_await slot_free_.wait();
+    }
+    ++inflight_;
+    ++packets_sent_;
+    records_sent_ += p.records.size();
+    const std::size_t bytes = p.wire_bytes(record_bytes_);
+    // Sender occupancy: its own NIC only.
+    co_await from.nic_transfer(bytes);
+    eng_->spawn(deliver(idx, &from, std::move(p), bytes));
+  }
+
+  void producer_done() {
+    assert(producers_left_ > 0);
+    if (--producers_left_ == 0) {
+      eng_->spawn(close_when_drained());
+    }
+  }
+
+ private:
+  [[nodiscard]] sim::Task<> deliver(std::size_t idx, asu::Node* from,
+                                    Packet p, std::size_t bytes) {
+    Endpoint& ep = endpoints_[idx];
+    if (from != ep.node) {
+      if (from->is_asu() != ep.node->is_asu()) {
+        co_await net_->link(*from, *ep.node)
+            .use(double(bytes) / link_bandwidth());
+      }
+      co_await eng_->sleep(link_latency());
+      co_await ep.node->nic_transfer(bytes);
+    }
+    co_await ep.ch->send(std::move(p));
+    --inflight_;
+    slot_free_.notify_one();
+    if (inflight_ == 0) drained_.notify_all();
+  }
+
+  [[nodiscard]] sim::Task<> close_when_drained() {
+    while (inflight_ > 0) {
+      co_await drained_.wait();
+    }
+    for (auto& ep : endpoints_) ep.ch->close();
+  }
+
+  [[nodiscard]] double link_bandwidth() const noexcept {
+    return net_->params().link_bandwidth;
+  }
+  [[nodiscard]] double link_latency() const noexcept {
+    return net_->params().link_latency;
+  }
+
+  sim::Engine* eng_;
+  asu::Network* net_;
+  std::size_t record_bytes_;
+  std::vector<Endpoint> endpoints_;
+  std::vector<RouteTarget> targets_;
+  std::unique_ptr<RoutingPolicy> router_;
+  unsigned producers_left_;
+  std::size_t window_;
+  std::size_t inflight_ = 0;
+  sim::Condition slot_free_;
+  sim::Condition drained_;
+  std::uint64_t packets_sent_ = 0;
+  std::uint64_t records_sent_ = 0;
+};
+
+/// Inboxes for one stage: one bounded channel per instance. Bounded
+/// capacity gives backpressure, modeling the bounded buffers that the
+/// model requires of ASU-resident functors.
+class StageInboxes {
+ public:
+  StageInboxes(sim::Engine& eng, std::size_t instances,
+               std::size_t capacity_packets = 8) {
+    chans_.reserve(instances);
+    for (std::size_t i = 0; i < instances; ++i) {
+      chans_.push_back(
+          std::make_unique<sim::Channel<Packet>>(eng, capacity_packets));
+    }
+  }
+
+  [[nodiscard]] sim::Channel<Packet>& inbox(std::size_t i) {
+    return *chans_.at(i);
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return chans_.size(); }
+
+  /// Build the endpoint list for a StageOutput feeding these inboxes.
+  [[nodiscard]] std::vector<Endpoint> endpoints(
+      const std::vector<asu::Node*>& nodes) {
+    assert(nodes.size() == chans_.size());
+    std::vector<Endpoint> eps;
+    eps.reserve(chans_.size());
+    for (std::size_t i = 0; i < chans_.size(); ++i) {
+      eps.push_back({chans_[i].get(), nodes[i]});
+    }
+    return eps;
+  }
+
+ private:
+  std::vector<std::unique_ptr<sim::Channel<Packet>>> chans_;
+};
+
+}  // namespace lmas::core

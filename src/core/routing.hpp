@@ -1,0 +1,165 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <numeric>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "asu/node.hpp"
+#include "core/packet.hpp"
+#include "sim/random.hpp"
+
+namespace lmas::core {
+
+/// A candidate destination for a packet: one instance of a replicated
+/// functor, pinned to a node whose load the router may inspect.
+struct RouteTarget {
+  asu::Node* node = nullptr;
+};
+
+/// Chooses which instance of a replicated functor consumes a packet.
+/// Because sets do not define record order, the system is free to route
+/// each packet to any instance (Section 3.3); policies differ in how they
+/// use static and dynamic information.
+class RoutingPolicy {
+ public:
+  virtual ~RoutingPolicy() = default;
+
+  /// Return the target index in [0, targets.size()) for this packet.
+  virtual std::size_t pick(const Packet& p,
+                           std::span<const RouteTarget> targets) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Baseline static partitioning. With the total subset count known, each
+/// instance owns a contiguous block of subsets — the paper's Figure 10
+/// baseline "assigns half of the alpha distribute subsets to one host,
+/// and the other half to the second host". Skewed subsets then produce
+/// persistent imbalance. Without a subset count it falls back to modulo.
+class StaticPartitionRouter final : public RoutingPolicy {
+ public:
+  explicit StaticPartitionRouter(std::uint32_t total_subsets = 0)
+      : total_subsets_(total_subsets) {}
+
+  std::size_t pick(const Packet& p,
+                   std::span<const RouteTarget> targets) override {
+    const std::size_t k = targets.size();
+    if (total_subsets_ == 0) return p.subset % k;
+    const std::size_t idx = std::size_t(p.subset) * k / total_subsets_;
+    return idx >= k ? k - 1 : idx;
+  }
+  [[nodiscard]] std::string name() const override { return "static"; }
+
+ private:
+  std::uint32_t total_subsets_;
+};
+
+/// Oblivious rotation over instances, ignoring subsets.
+class RoundRobinRouter final : public RoutingPolicy {
+ public:
+  std::size_t pick(const Packet&,
+                   std::span<const RouteTarget> targets) override {
+    return next_++ % targets.size();
+  }
+  [[nodiscard]] std::string name() const override { return "round-robin"; }
+
+ private:
+  std::size_t next_ = 0;
+};
+
+/// Simple randomization (SR) in the randomized-cycling style of Vitter &
+/// Hutchinson [35]: for every subset, targets are visited in a random
+/// cyclic order, reshuffled each cycle. Each subset's records spread
+/// evenly over all instances while consecutive packets of a subset avoid
+/// hammering one instance — Figure 10's "load-controlled" configuration.
+class SimpleRandomizationRouter final : public RoutingPolicy {
+ public:
+  explicit SimpleRandomizationRouter(sim::Rng rng) : rng_(rng) {}
+
+  std::size_t pick(const Packet& p,
+                   std::span<const RouteTarget> targets) override {
+    Cycle& c = cycles_[p.subset];
+    if (c.order.size() != targets.size()) {
+      c.order.resize(targets.size());
+      std::iota(c.order.begin(), c.order.end(), std::size_t{0});
+      c.pos = c.order.size();  // force shuffle below
+    }
+    if (c.pos >= c.order.size()) {
+      shuffle(c.order);
+      c.pos = 0;
+    }
+    return c.order[c.pos++];
+  }
+  [[nodiscard]] std::string name() const override { return "sr"; }
+
+ private:
+  struct Cycle {
+    std::vector<std::size_t> order;
+    std::size_t pos = 0;
+  };
+
+  void shuffle(std::vector<std::size_t>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[rng_.below(i)]);
+    }
+  }
+
+  sim::Rng rng_;
+  std::unordered_map<std::uint32_t, Cycle> cycles_;
+};
+
+/// Dynamic policy: send to the instance whose node has the least queued
+/// CPU work right now. Uses exactly the information the load manager is
+/// entitled to — declared functor costs produce a CPU backlog per node.
+class LeastLoadedRouter final : public RoutingPolicy {
+ public:
+  std::size_t pick(const Packet&,
+                   std::span<const RouteTarget> targets) override {
+    std::size_t best = 0;
+    double best_backlog = targets[0].node->cpu().backlog();
+    for (std::size_t i = 1; i < targets.size(); ++i) {
+      const double b = targets[i].node->cpu().backlog();
+      if (b < best_backlog) {
+        best = i;
+        best_backlog = b;
+      }
+    }
+    return best;
+  }
+  [[nodiscard]] std::string name() const override { return "least-loaded"; }
+};
+
+enum class RouterKind { Static, RoundRobin, SimpleRandomization, LeastLoaded };
+
+inline std::unique_ptr<RoutingPolicy> make_router(
+    RouterKind kind, sim::Rng rng = sim::Rng(1),
+    std::uint32_t total_subsets = 0) {
+  switch (kind) {
+    case RouterKind::Static:
+      return std::make_unique<StaticPartitionRouter>(total_subsets);
+    case RouterKind::RoundRobin:
+      return std::make_unique<RoundRobinRouter>();
+    case RouterKind::SimpleRandomization:
+      return std::make_unique<SimpleRandomizationRouter>(rng);
+    case RouterKind::LeastLoaded:
+      return std::make_unique<LeastLoadedRouter>();
+  }
+  return nullptr;
+}
+
+inline const char* router_kind_name(RouterKind k) {
+  switch (k) {
+    case RouterKind::Static: return "static";
+    case RouterKind::RoundRobin: return "round-robin";
+    case RouterKind::SimpleRandomization: return "sr";
+    case RouterKind::LeastLoaded: return "least-loaded";
+  }
+  return "?";
+}
+
+}  // namespace lmas::core

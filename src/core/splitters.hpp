@@ -1,0 +1,58 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "extmem/record.hpp"
+
+namespace lmas::core {
+
+/// Pick alpha-1 splitter keys as quantiles of a key sample, so the alpha
+/// distribute buckets carry near-equal record counts even for skewed key
+/// distributions. This is how distribution sorts balance *stationary*
+/// skew; Figure 10's point is that it cannot fix skew that changes over
+/// time, which is what the SR routing of sets handles.
+inline std::vector<std::uint32_t> choose_splitters(
+    std::vector<std::uint32_t> sample, unsigned alpha) {
+  std::vector<std::uint32_t> splitters;
+  if (alpha <= 1 || sample.empty()) return splitters;
+  std::sort(sample.begin(), sample.end());
+  splitters.reserve(alpha - 1);
+  for (unsigned i = 1; i < alpha; ++i) {
+    const std::size_t idx =
+        std::min(sample.size() - 1, i * sample.size() / alpha);
+    splitters.push_back(sample[idx]);
+  }
+  // Duplicate splitters simply leave some buckets empty, which is
+  // correct (ordered, conserving).
+  return splitters;
+}
+
+/// Bucket index by binary search over sorted splitters: ceil(log2 alpha)
+/// compares per key — exactly the distribute cost the model declares.
+class SplitterClassifier {
+ public:
+  explicit SplitterClassifier(std::vector<std::uint32_t> splitters)
+      : splitters_(std::move(splitters)) {}
+
+  /// Keys equal to a splitter go to the lower bucket.
+  template <typename R>
+  [[nodiscard]] std::size_t operator()(const R& r) const {
+    return std::size_t(std::lower_bound(splitters_.begin(), splitters_.end(),
+                                        r.key) -
+                       splitters_.begin());
+  }
+
+  [[nodiscard]] unsigned buckets() const noexcept {
+    return unsigned(splitters_.size()) + 1;
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& splitters() const noexcept {
+    return splitters_;
+  }
+
+ private:
+  std::vector<std::uint32_t> splitters_;
+};
+
+}  // namespace lmas::core

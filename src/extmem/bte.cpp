@@ -1,0 +1,143 @@
+#include "extmem/bte.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+#include <vector>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace lmas::em {
+
+namespace {
+
+class MemoryBte final : public Bte {
+ public:
+  [[nodiscard]] std::uint64_t size() const override { return data_.size(); }
+
+  void read(std::uint64_t offset, std::span<std::byte> out) override {
+    if (offset + out.size() > data_.size()) {
+      throw std::out_of_range("MemoryBte::read past end");
+    }
+    std::memcpy(out.data(), data_.data() + offset, out.size());
+    stats_.bytes_read += out.size();
+    ++stats_.read_ops;
+  }
+
+  void write(std::uint64_t offset, std::span<const std::byte> in) override {
+    if (offset + in.size() > data_.size()) {
+      data_.resize(offset + in.size());
+    }
+    std::memcpy(data_.data() + offset, in.data(), in.size());
+    stats_.bytes_written += in.size();
+    ++stats_.write_ops;
+  }
+
+  void truncate(std::uint64_t new_size) override {
+    if (new_size < data_.size()) data_.resize(new_size);
+  }
+
+ private:
+  std::vector<std::byte> data_;
+};
+
+class FileBte final : public Bte {
+ public:
+  explicit FileBte(int fd) : fd_(fd) {
+    if (fd_ < 0) {
+      throw std::system_error(errno, std::generic_category(),
+                              "FileBte: open failed");
+    }
+    const off_t end = ::lseek(fd_, 0, SEEK_END);
+    size_ = end < 0 ? 0 : std::uint64_t(end);
+  }
+
+  ~FileBte() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  FileBte(const FileBte&) = delete;
+  FileBte& operator=(const FileBte&) = delete;
+
+  [[nodiscard]] std::uint64_t size() const override { return size_; }
+
+  void read(std::uint64_t offset, std::span<std::byte> out) override {
+    if (offset + out.size() > size_) {
+      throw std::out_of_range("FileBte::read past end");
+    }
+    full_pread(out.data(), out.size(), offset);
+    stats_.bytes_read += out.size();
+    ++stats_.read_ops;
+  }
+
+  void write(std::uint64_t offset, std::span<const std::byte> in) override {
+    full_pwrite(in.data(), in.size(), offset);
+    if (offset + in.size() > size_) size_ = offset + in.size();
+    stats_.bytes_written += in.size();
+    ++stats_.write_ops;
+  }
+
+  void truncate(std::uint64_t new_size) override {
+    if (new_size < size_) {
+      if (::ftruncate(fd_, off_t(new_size)) != 0) {
+        throw std::system_error(errno, std::generic_category(),
+                                "FileBte: ftruncate failed");
+      }
+      size_ = new_size;
+    }
+  }
+
+ private:
+  void full_pread(std::byte* dst, std::size_t n, std::uint64_t off) const {
+    while (n > 0) {
+      const ssize_t got = ::pread(fd_, dst, n, off_t(off));
+      if (got <= 0) {
+        throw std::system_error(errno, std::generic_category(),
+                                "FileBte: pread failed");
+      }
+      dst += got;
+      n -= std::size_t(got);
+      off += std::uint64_t(got);
+    }
+  }
+
+  void full_pwrite(const std::byte* src, std::size_t n, std::uint64_t off) {
+    while (n > 0) {
+      const ssize_t put = ::pwrite(fd_, src, n, off_t(off));
+      if (put <= 0) {
+        throw std::system_error(errno, std::generic_category(),
+                                "FileBte: pwrite failed");
+      }
+      src += put;
+      n -= std::size_t(put);
+      off += std::uint64_t(put);
+    }
+  }
+
+  int fd_;
+  std::uint64_t size_;
+};
+
+}  // namespace
+
+std::unique_ptr<Bte> make_memory_bte() { return std::make_unique<MemoryBte>(); }
+
+std::unique_ptr<Bte> make_file_bte(const std::string& path,
+                                   bool truncate_existing) {
+  int flags = O_RDWR | O_CREAT;
+  if (truncate_existing) flags |= O_TRUNC;
+  return std::make_unique<FileBte>(::open(path.c_str(), flags, 0644));
+}
+
+std::unique_ptr<Bte> make_temp_file_bte() {
+  char tmpl[] = "/tmp/lmas_bte_XXXXXX";
+  const int fd = ::mkstemp(tmpl);
+  if (fd >= 0) ::unlink(tmpl);
+  return std::make_unique<FileBte>(fd);
+}
+
+}  // namespace lmas::em

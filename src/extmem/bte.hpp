@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+namespace lmas::em {
+
+/// I/O statistics every BTE keeps; the unit of accounting in the
+/// I/O-complexity model is the logical block transfer.
+struct BteStats {
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t read_ops = 0;
+  std::uint64_t write_ops = 0;
+};
+
+/// Block Transfer Engine: TPIE's pluggable abstraction over the underlying
+/// storage system. Streams perform block-aligned transfers through this
+/// interface, so swapping memory / file / simulated backends never touches
+/// algorithm code.
+class Bte {
+ public:
+  virtual ~Bte() = default;
+
+  /// Logical length in bytes (high-water mark of writes).
+  [[nodiscard]] virtual std::uint64_t size() const = 0;
+
+  /// Read exactly `out.size()` bytes at `offset`; reading past `size()` is
+  /// a programming error and throws.
+  virtual void read(std::uint64_t offset, std::span<std::byte> out) = 0;
+
+  /// Write `in.size()` bytes at `offset`, extending the store if needed.
+  virtual void write(std::uint64_t offset, std::span<const std::byte> in) = 0;
+
+  /// Discard contents beyond `new_size`.
+  virtual void truncate(std::uint64_t new_size) = 0;
+
+  [[nodiscard]] const BteStats& stats() const noexcept { return stats_; }
+
+ protected:
+  BteStats stats_;
+};
+
+/// Heap-backed BTE: fast, used for tests and for the emulator (which
+/// charges I/O time through the disk model instead of a real device).
+std::unique_ptr<Bte> make_memory_bte();
+
+/// POSIX-file-backed BTE for genuinely out-of-core runs.
+std::unique_ptr<Bte> make_file_bte(const std::string& path,
+                                   bool truncate_existing = true);
+
+/// Anonymous temporary file BTE (unlinked at creation).
+std::unique_ptr<Bte> make_temp_file_bte();
+
+}  // namespace lmas::em

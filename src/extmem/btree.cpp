@@ -1,0 +1,269 @@
+#include "extmem/btree.hpp"
+
+#include <algorithm>
+
+namespace lmas::em {
+
+void BTree::split_child(Node& parent, std::uint32_t parent_id,
+                        std::size_t ci) {
+  Node child;
+  const std::uint32_t child_id = parent.slots[ci];
+  read_node(child_id, child);
+
+  Node right;
+  right.is_leaf = child.is_leaf;
+  const std::uint32_t right_id = alloc_node();
+
+  const std::size_t mid = child.count / 2;
+  std::uint32_t separator;
+  if (child.is_leaf) {
+    // B+ leaf split: upper half moves right; separator is the right
+    // node's first key (keys stay in the leaves).
+    right.count = std::uint16_t(child.count - mid);
+    for (std::size_t i = 0; i < right.count; ++i) {
+      right.keys[i] = child.keys[mid + i];
+      right.slots[i] = child.slots[mid + i];
+    }
+    separator = right.keys[0];
+    right.next_leaf = child.next_leaf;
+    child.next_leaf = right_id;
+    child.count = std::uint16_t(mid);
+  } else {
+    // Internal split: the middle key moves up.
+    separator = child.keys[mid];
+    right.count = std::uint16_t(child.count - mid - 1);
+    for (std::size_t i = 0; i < right.count; ++i) {
+      right.keys[i] = child.keys[mid + 1 + i];
+      right.slots[i] = child.slots[mid + 1 + i];
+    }
+    right.slots[right.count] = child.slots[child.count];
+    child.count = std::uint16_t(mid);
+  }
+
+  // Insert separator + right child into the parent at position ci.
+  for (std::size_t i = parent.count; i > ci; --i) {
+    parent.keys[i] = parent.keys[i - 1];
+    parent.slots[i + 1] = parent.slots[i];
+  }
+  parent.keys[ci] = separator;
+  parent.slots[ci + 1] = right_id;
+  parent.count = std::uint16_t(parent.count + 1);
+
+  write_node(child_id, child);
+  write_node(right_id, right);
+  write_node(parent_id, parent);
+}
+
+void BTree::insert(std::uint32_t key, std::uint32_t value) {
+  Node root;
+  read_node(root_, root);
+  if (root.count >= max_keys_) {
+    // Grow: fresh root with the old root as its only child.
+    Node new_root;
+    new_root.is_leaf = 0;
+    new_root.slots[0] = root_;
+    const std::uint32_t new_root_id = alloc_node();
+    write_node(new_root_id, new_root);
+    root_ = new_root_id;
+    ++height_;
+    split_child(new_root, new_root_id, 0);
+    root = new_root;
+  }
+
+  // Preemptive-split descent: every node we enter has room.
+  std::uint32_t id = root_;
+  Node node = root;
+  while (!node.is_leaf) {
+    std::size_t ci = child_index(node, key);
+    Node child;
+    read_node(node.slots[ci], child);
+    if (child.count >= max_keys_) {
+      split_child(node, id, ci);
+      ci = child_index(node, key);
+      read_node(node.slots[ci], child);
+    }
+    id = node.slots[ci];
+    node = child;
+  }
+
+  // Leaf insert (or overwrite).
+  std::size_t pos = 0;
+  while (pos < node.count && node.keys[pos] < key) ++pos;
+  if (pos < node.count && node.keys[pos] == key) {
+    node.slots[pos] = value;
+    write_node(id, node);
+    return;
+  }
+  for (std::size_t i = node.count; i > pos; --i) {
+    node.keys[i] = node.keys[i - 1];
+    node.slots[i] = node.slots[i - 1];
+  }
+  node.keys[pos] = key;
+  node.slots[pos] = value;
+  node.count = std::uint16_t(node.count + 1);
+  write_node(id, node);
+  ++size_;
+}
+
+std::optional<std::uint32_t> BTree::find(std::uint32_t key) {
+  Node node;
+  read_node(root_, node);
+  while (!node.is_leaf) {
+    read_node(node.slots[child_index(node, key)], node);
+  }
+  for (std::size_t i = 0; i < node.count; ++i) {
+    if (node.keys[i] == key) return node.slots[i];
+  }
+  return std::nullopt;
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>> BTree::range(
+    std::uint32_t lo, std::uint32_t hi) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> out;
+  Node node;
+  std::uint32_t id = root_;
+  read_node(id, node);
+  while (!node.is_leaf) {
+    id = node.slots[child_index(node, lo)];
+    read_node(id, node);
+  }
+  while (true) {
+    for (std::size_t i = 0; i < node.count; ++i) {
+      if (node.keys[i] < lo) continue;
+      if (node.keys[i] > hi) return out;
+      out.emplace_back(node.keys[i], node.slots[i]);
+    }
+    if (node.next_leaf == kNil) return out;
+    read_node(node.next_leaf, node);
+  }
+}
+
+BTree BTree::bulk_load(
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& sorted,
+    std::unique_ptr<Bte> storage, std::size_t max_keys) {
+  BTree t(std::move(storage), max_keys);
+  if (sorted.empty()) return t;
+
+  // Pack leaves at ~90% fill, chained left to right.
+  const std::size_t per_leaf =
+      std::max<std::size_t>(2, t.max_keys_ * 9 / 10);
+  struct Entry {
+    std::uint32_t first_key;
+    std::uint32_t id;
+  };
+  std::vector<Entry> level;
+  std::uint32_t prev_leaf = kNil;
+  // Reuse the preallocated empty root as the very first leaf.
+  for (std::size_t off = 0; off < sorted.size(); off += per_leaf) {
+    const std::size_t n = std::min(per_leaf, sorted.size() - off);
+    Node leaf;
+    leaf.is_leaf = 1;
+    leaf.count = std::uint16_t(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      leaf.keys[i] = sorted[off + i].first;
+      leaf.slots[i] = sorted[off + i].second;
+    }
+    const std::uint32_t id = off == 0 ? t.root_ : t.alloc_node();
+    if (prev_leaf != kNil) {
+      Node prev;
+      t.read_node(prev_leaf, prev);
+      prev.next_leaf = id;
+      t.write_node(prev_leaf, prev);
+    }
+    t.write_node(id, leaf);
+    prev_leaf = id;
+    level.push_back({leaf.keys[0], id});
+    t.size_ += n;
+  }
+
+  // Internal levels: child i sits left of key i (= first key of child
+  // i+1's subtree).
+  const std::size_t per_node =
+      std::max<std::size_t>(2, t.max_keys_ * 9 / 10);
+  while (level.size() > 1) {
+    std::vector<Entry> up;
+    for (std::size_t off = 0; off < level.size(); off += per_node + 1) {
+      const std::size_t n = std::min(per_node + 1, level.size() - off);
+      Node internal;
+      internal.is_leaf = 0;
+      internal.count = std::uint16_t(n - 1);
+      for (std::size_t i = 0; i < n; ++i) {
+        internal.slots[i] = level[off + i].id;
+        if (i > 0) internal.keys[i - 1] = level[off + i].first_key;
+      }
+      const std::uint32_t id = t.alloc_node();
+      t.write_node(id, internal);
+      up.push_back({level[off].first_key, id});
+    }
+    level = std::move(up);
+    ++t.height_;
+  }
+  t.root_ = level.front().id;
+  return t;
+}
+
+bool BTree::validate() {
+  std::size_t leaves_seen = 0;
+  if (!validate_node(root_, 0, 0, false, false, 0, SIZE_MAX, leaves_seen)) {
+    return false;
+  }
+  // Leaf chain must enumerate exactly size_ keys in order.
+  Node node;
+  read_node(root_, node);
+  std::uint32_t id = root_;
+  while (!node.is_leaf) {
+    id = node.slots[0];
+    read_node(id, node);
+  }
+  std::size_t chained = 0;
+  bool first = true;
+  std::uint32_t prev = 0;
+  while (true) {
+    for (std::size_t i = 0; i < node.count; ++i) {
+      if (!first && node.keys[i] <= prev) return false;
+      prev = node.keys[i];
+      first = false;
+      ++chained;
+    }
+    if (node.next_leaf == kNil) break;
+    read_node(node.next_leaf, node);
+  }
+  return chained == size_;
+}
+
+bool BTree::validate_node(std::uint32_t id, std::uint32_t lo,
+                          std::uint32_t hi, bool has_lo, bool has_hi,
+                          std::size_t depth, std::size_t leaf_depth,
+                          std::size_t& leaves_seen) {
+  static thread_local std::size_t expected_leaf_depth = SIZE_MAX;
+  if (depth == 0) expected_leaf_depth = SIZE_MAX;
+  (void)leaf_depth;
+
+  Node n;
+  read_node(id, n);
+  for (std::size_t i = 0; i + 1 < n.count; ++i) {
+    if (n.keys[i] >= n.keys[i + 1]) return false;
+  }
+  for (std::size_t i = 0; i < n.count; ++i) {
+    if (has_lo && n.keys[i] < lo) return false;
+    if (has_hi && n.keys[i] >= hi) return false;
+  }
+  if (n.is_leaf) {
+    if (expected_leaf_depth == SIZE_MAX) expected_leaf_depth = depth;
+    if (depth != expected_leaf_depth) return false;  // balanced
+    ++leaves_seen;
+    return true;
+  }
+  for (std::size_t i = 0; i <= n.count; ++i) {
+    const bool clo = i > 0;
+    const bool chi = i < n.count;
+    if (!validate_node(n.slots[i], clo ? n.keys[i - 1] : lo,
+                       chi ? n.keys[i] : hi, clo || has_lo, chi || has_hi,
+                       depth + 1, leaf_depth, leaves_seen)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace lmas::em

@@ -1,0 +1,123 @@
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "extmem/bte.hpp"
+
+namespace lmas::em {
+
+/// External-memory B+-tree over 4-byte keys and values, nodes stored as
+/// fixed-size blocks in a BTE. This is the classic two-level-splittable
+/// index structure Section 4.2 generalizes to distributed settings: the
+/// upper levels can stay on a host while leaf ranges ship to ASUs, and
+/// lower-level maintenance can run as ASU batch work.
+///
+/// Map semantics: keys are unique; inserting an existing key overwrites
+/// its value. Leaves are chained for range scans. No deletion (the
+/// paper's workloads are append/scan/search; see DESIGN.md).
+class BTree {
+ public:
+  /// Maximum keys per node (compile-time node layout; the constructor
+  /// can lower the effective fan-out for testing deep trees).
+  static constexpr std::size_t kMaxKeys = 64;
+
+  explicit BTree(std::unique_ptr<Bte> storage = make_memory_bte(),
+                 std::size_t max_keys = kMaxKeys)
+      : bte_(std::move(storage)),
+        max_keys_(max_keys < 4 ? 4 : (max_keys > kMaxKeys ? kMaxKeys
+                                                          : max_keys)) {
+    root_ = alloc_node();
+    Node root;
+    root.is_leaf = 1;
+    write_node(root_, root);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t height() const noexcept { return height_; }
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_; }
+  [[nodiscard]] const BteStats& io_stats() const noexcept {
+    return bte_->stats();
+  }
+
+  /// Insert or overwrite.
+  void insert(std::uint32_t key, std::uint32_t value);
+
+  /// Value for `key`, if present.
+  [[nodiscard]] std::optional<std::uint32_t> find(std::uint32_t key);
+
+  /// All (key, value) pairs with lo <= key <= hi, in key order.
+  [[nodiscard]] std::vector<std::pair<std::uint32_t, std::uint32_t>> range(
+      std::uint32_t lo, std::uint32_t hi);
+
+  /// Build from key-sorted unique pairs (bottom-up packing — the batch
+  /// construction path, analogous to the R-tree's STR load).
+  static BTree bulk_load(
+      const std::vector<std::pair<std::uint32_t, std::uint32_t>>& sorted,
+      std::unique_ptr<Bte> storage = make_memory_bte(),
+      std::size_t max_keys = kMaxKeys);
+
+  /// Internal consistency check (tests): key order within nodes, child
+  /// separation, leaf chain completeness. Returns false on any violation.
+  [[nodiscard]] bool validate();
+
+ private:
+  struct Node {
+    std::uint16_t count = 0;
+    std::uint16_t is_leaf = 0;
+    std::uint32_t next_leaf = kNil;  // leaf chain
+    std::array<std::uint32_t, kMaxKeys> keys{};
+    // Leaves: values[i] pairs with keys[i]. Internal: children[i] is the
+    // subtree left of keys[i]; children[count] the rightmost subtree.
+    std::array<std::uint32_t, kMaxKeys + 1> slots{};
+  };
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  [[nodiscard]] std::uint32_t alloc_node() {
+    ++nodes_;
+    return next_id_++;
+  }
+
+  void read_node(std::uint32_t id, Node& out) {
+    bte_->read(std::uint64_t(id) * sizeof(Node),
+               std::as_writable_bytes(std::span(&out, 1)));
+  }
+  void write_node(std::uint32_t id, const Node& n) {
+    bte_->write(std::uint64_t(id) * sizeof(Node),
+                std::as_bytes(std::span(&n, 1)));
+  }
+
+  /// Index of the child to descend into for `key` (keys equal to a
+  /// separator live in the right subtree).
+  [[nodiscard]] static std::size_t child_index(const Node& n,
+                                               std::uint32_t key) {
+    std::size_t i = 0;
+    while (i < n.count && key >= n.keys[i]) ++i;
+    return i;
+  }
+
+  /// Split the full child `ci` of `parent` (which has room). Returns the
+  /// updated parent.
+  void split_child(Node& parent, std::uint32_t parent_id, std::size_t ci);
+
+  [[nodiscard]] bool validate_node(std::uint32_t id, std::uint32_t lo,
+                                   std::uint32_t hi, bool has_lo,
+                                   bool has_hi, std::size_t depth,
+                                   std::size_t leaf_depth,
+                                   std::size_t& leaves_seen);
+
+  std::unique_ptr<Bte> bte_;
+  std::size_t max_keys_;
+  std::uint32_t root_ = 0;
+  std::uint32_t next_id_ = 0;
+  std::size_t size_ = 0;
+  std::size_t nodes_ = 0;
+  std::size_t height_ = 1;
+};
+
+}  // namespace lmas::em

@@ -1,0 +1,130 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "extmem/distribute.hpp"
+#include "extmem/sort.hpp"
+#include "extmem/stream.hpp"
+#include "sim/random.hpp"
+
+namespace lmas::em {
+
+struct DistributionSortStats {
+  std::size_t items = 0;
+  std::size_t buckets = 0;
+  std::size_t sample_size = 0;
+  std::size_t max_bucket = 0;
+  std::size_t recursion_depth = 0;
+};
+
+struct DistributionSortOptions {
+  /// Memory for in-place bucket sorting (the model's M).
+  std::size_t memory_bytes = 64 << 20;
+  /// Distribution order per pass (bounded by buffer space in the model).
+  std::size_t fan_out = 64;
+  /// Sample size per bucket decision (larger = better balance).
+  std::size_t sample_per_bucket = 32;
+  std::uint64_t seed = 1;
+  BteFactory scratch = memory_bte_factory();
+};
+
+/// Distribution sort with sampled splitters — the dual of mergesort and
+/// the algorithm family of Vitter & Hutchinson's randomized-cycling
+/// distribution sort (the paper's reference [35], whence SR routing).
+/// The input is partitioned into fan_out buckets by quantile splitters
+/// from a random sample; buckets that fit in memory are sorted directly,
+/// larger ones recurse. Output is the concatenation in bucket order.
+template <FixedSizeRecord T, typename KeyFn = KeyOf>
+void distribution_sort(Stream<T>& in, Stream<T>& out,
+                       const DistributionSortOptions& opt = {},
+                       KeyFn key_of = {},
+                       DistributionSortStats* stats = nullptr) {
+  DistributionSortStats local;
+  DistributionSortStats& st = stats ? *stats : local;
+  st = {};
+  st.buckets = opt.fan_out;
+
+  out.clear();
+  sim::Rng rng(opt.seed);
+
+  // Recursive worker over a stream segment held as its own stream.
+  const std::size_t memory_records =
+      std::max<std::size_t>(16, opt.memory_bytes / sizeof(T));
+
+  std::function<void(Stream<T>&, std::size_t)> sort_bucket =
+      [&](Stream<T>& bucket, std::size_t depth) {
+        st.recursion_depth = std::max(st.recursion_depth, depth);
+        bucket.rewind();
+        if (bucket.size() <= memory_records) {
+          std::vector<T> buf(bucket.size());
+          bucket.read_bulk(buf);
+          std::sort(buf.begin(), buf.end(),
+                    [&](const T& a, const T& b) {
+                      return key_of(a) < key_of(b);
+                    });
+          out.append(std::span<const T>(buf));
+          return;
+        }
+
+        // Sample -> splitters.
+        const std::size_t want =
+            std::min(bucket.size(), opt.fan_out * opt.sample_per_bucket);
+        std::vector<std::uint32_t> sample;
+        sample.reserve(want);
+        const std::size_t stride =
+            std::max<std::size_t>(1, bucket.size() / want);
+        std::size_t idx = 0;
+        bucket.rewind();
+        while (auto r = bucket.read()) {
+          if (idx++ % stride == 0) {
+            sample.push_back(std::uint32_t(key_of(*r)));
+          }
+        }
+        std::sort(sample.begin(), sample.end());
+        std::vector<std::uint32_t> splitters;
+        for (std::size_t i = 1; i < opt.fan_out; ++i) {
+          splitters.push_back(
+              sample[std::min(sample.size() - 1,
+                              i * sample.size() / opt.fan_out)]);
+        }
+
+        // Distribute into sub-buckets. Keys equal to a splitter go low,
+        // so a bucket of all-equal keys cannot recurse forever: the
+        // all-equal case lands entirely in bucket 0 and is then detected
+        // and emitted directly.
+        bucket.rewind();
+        auto subs = distribute(
+            bucket, opt.fan_out,
+            [&](const T& r) {
+              const auto k = std::uint32_t(key_of(r));
+              return std::size_t(std::lower_bound(splitters.begin(),
+                                                  splitters.end(), k) -
+                                 splitters.begin());
+            },
+            opt.scratch);
+        st.sample_size += sample.size();
+
+        for (auto& sub : subs) {
+          if (sub->empty()) continue;
+          st.max_bucket = std::max(st.max_bucket, sub->size());
+          if (sub->size() == bucket.size()) {
+            // Did not shrink (all keys equal): already "sorted" by key.
+            sub->rewind();
+            while (auto r = sub->read()) out.push_back(*r);
+            continue;
+          }
+          sort_bucket(*sub, depth + 1);
+        }
+      };
+
+  in.rewind();
+  st.items = in.size();
+  sort_bucket(in, 0);
+  out.rewind();
+}
+
+}  // namespace lmas::em

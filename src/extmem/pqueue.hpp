@@ -1,0 +1,151 @@
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "extmem/merge.hpp"
+#include "extmem/stream.hpp"
+
+namespace lmas::em {
+
+/// External-memory priority queue in the buffered-heap style: an in-memory
+/// min-heap bounded by a memory budget, with overflow spilled as sorted
+/// runs to scratch streams. Pop takes the minimum of the heap top and the
+/// run heads; runs are compacted by k-way merge when too numerous.
+///
+/// This is the enabling structure for time-forward processing (Chiang et
+/// al.), which TerraFlow's watershed step relies on: a cell sends values
+/// "forward in time" to cells processed later in the elevation order.
+template <FixedSizeRecord T, typename Less = std::less<T>>
+class ExternalPq {
+ public:
+  explicit ExternalPq(std::size_t max_hot_items = 1 << 16,
+                      BteFactory scratch = memory_bte_factory(),
+                      Less less = {})
+      : max_hot_(std::max<std::size_t>(4, max_hot_items)),
+        scratch_(std::move(scratch)),
+        less_(less),
+        greater_([this](const T& a, const T& b) { return less_(b, a); }) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t spill_count() const noexcept { return spills_; }
+  [[nodiscard]] std::size_t run_count() const noexcept {
+    return runs_.size();
+  }
+
+  void push(const T& v) {
+    hot_.push_back(v);
+    std::push_heap(hot_.begin(), hot_.end(), greater_);
+    ++size_;
+    if (hot_.size() > max_hot_) spill();
+  }
+
+  /// Smallest element without removing it.
+  [[nodiscard]] std::optional<T> peek() const {
+    const T* best = nullptr;
+    if (!hot_.empty()) best = &hot_.front();
+    for (const auto& run : runs_) {
+      if (run.head && (!best || less_(*run.head, *best))) {
+        best = &*run.head;
+      }
+    }
+    return best ? std::optional<T>(*best) : std::nullopt;
+  }
+
+  std::optional<T> pop() {
+    // Find the minimum among the hot heap top and all run heads.
+    int best_run = -1;
+    const T* best = hot_.empty() ? nullptr : &hot_.front();
+    for (std::size_t i = 0; i < runs_.size(); ++i) {
+      if (runs_[i].head && (!best || less_(*runs_[i].head, *best))) {
+        best = &*runs_[i].head;
+        best_run = int(i);
+      }
+    }
+    if (!best) return std::nullopt;
+    T out;
+    if (best_run < 0) {
+      std::pop_heap(hot_.begin(), hot_.end(), greater_);
+      out = hot_.back();
+      hot_.pop_back();
+    } else {
+      Run& run = runs_[std::size_t(best_run)];
+      out = *run.head;
+      run.head = run.stream->read();
+      if (!run.head) {
+        runs_.erase(runs_.begin() + best_run);
+      }
+    }
+    --size_;
+    return out;
+  }
+
+ private:
+  struct Run {
+    std::unique_ptr<Stream<T>> stream;
+    std::optional<T> head;
+  };
+
+  void spill() {
+    ++spills_;
+    // Sort the hot set, keep the smallest half hot, spill the larger half
+    // as an ascending run (minimizes how often the run heads win pops).
+    std::sort(hot_.begin(), hot_.end(), less_);
+    const std::size_t keep = hot_.size() / 2;
+    auto run_stream = std::make_unique<Stream<T>>(scratch_());
+    run_stream->append(
+        std::span<const T>(hot_.data() + keep, hot_.size() - keep));
+    run_stream->rewind();
+    hot_.resize(keep);
+    std::make_heap(hot_.begin(), hot_.end(), greater_);
+    Run run{std::move(run_stream), std::nullopt};
+    run.head = run.stream->read();
+    if (run.head) runs_.push_back(std::move(run));
+    if (runs_.size() > kMaxRuns) compact();
+  }
+
+  /// Merge all spill runs into one (keeps the head scan cheap).
+  void compact() {
+    std::vector<typename LoserTree<T, Less>::Source> sources;
+    sources.reserve(runs_.size());
+    // Re-inject cached heads ahead of their streams.
+    for (auto& run : runs_) {
+      sources.push_back(
+          [head = run.head, s = run.stream.get()]() mutable {
+            if (head) {
+              auto out = head;
+              head.reset();
+              return out;
+            }
+            return s->read();
+          });
+    }
+    LoserTree<T, Less> tree(std::move(sources), less_);
+    auto merged = std::make_unique<Stream<T>>(scratch_());
+    while (auto r = tree.next()) merged->push_back(*r);
+    merged->rewind();
+    runs_.clear();
+    Run run{std::move(merged), std::nullopt};
+    run.head = run.stream->read();
+    if (run.head) runs_.push_back(std::move(run));
+  }
+
+  static constexpr std::size_t kMaxRuns = 24;
+
+  std::size_t max_hot_;
+  BteFactory scratch_;
+  Less less_;
+  std::function<bool(const T&, const T&)> greater_;
+  std::vector<T> hot_;  // min-heap under greater_
+  std::vector<Run> runs_;
+  std::size_t size_ = 0;
+  std::size_t spills_ = 0;
+};
+
+}  // namespace lmas::em

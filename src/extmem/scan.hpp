@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstddef>
+
+#include "extmem/stream.hpp"
+
+namespace lmas::em {
+
+/// Streaming primitives in TPIE's scan style: each consumes its input
+/// sequentially from the current cursor and appends to the output. These
+/// are the building blocks the paper's functors wrap.
+
+/// Apply `fn(const T&)` to every record from the cursor to the end.
+template <FixedSizeRecord T, typename Fn>
+std::size_t for_each(Stream<T>& in, Fn&& fn) {
+  std::size_t n = 0;
+  while (auto r = in.read()) {
+    fn(*r);
+    ++n;
+  }
+  return n;
+}
+
+/// out[i] = fn(in[i]); returns records processed.
+template <FixedSizeRecord T, FixedSizeRecord U, typename Fn>
+std::size_t transform(Stream<T>& in, Stream<U>& out, Fn&& fn) {
+  std::size_t n = 0;
+  while (auto r = in.read()) {
+    out.push_back(fn(*r));
+    ++n;
+  }
+  return n;
+}
+
+/// Copy records satisfying `pred` to `out`; returns records kept.
+template <FixedSizeRecord T, typename Pred>
+std::size_t filter(Stream<T>& in, Stream<T>& out, Pred&& pred) {
+  std::size_t kept = 0;
+  while (auto r = in.read()) {
+    if (pred(*r)) {
+      out.push_back(*r);
+      ++kept;
+    }
+  }
+  return kept;
+}
+
+/// Left fold over the remaining records.
+template <FixedSizeRecord T, typename Acc, typename Fn>
+Acc reduce(Stream<T>& in, Acc init, Fn&& fn) {
+  Acc acc = std::move(init);
+  while (auto r = in.read()) acc = fn(std::move(acc), *r);
+  return acc;
+}
+
+/// True if the remaining records are sorted under `less`.
+template <FixedSizeRecord T, typename Less = std::less<T>>
+bool is_sorted(Stream<T>& in, Less less = {}) {
+  auto prev = in.read();
+  if (!prev) return true;
+  while (auto cur = in.read()) {
+    if (less(*cur, *prev)) return false;
+    prev = cur;
+  }
+  return true;
+}
+
+}  // namespace lmas::em

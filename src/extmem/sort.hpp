@@ -1,0 +1,104 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "extmem/merge.hpp"
+#include "extmem/stream.hpp"
+
+namespace lmas::em {
+
+struct SortStats {
+  std::size_t items = 0;
+  std::size_t runs_formed = 0;
+  std::size_t initial_run_length = 0;  // records per run (last may be short)
+  std::size_t merge_passes = 0;
+  std::size_t max_fan_in = 0;
+};
+
+struct SortOptions {
+  /// Memory available for run formation, in bytes (the model's M).
+  std::size_t memory_bytes = 64 << 20;
+  /// Maximum merge fan-in per pass (bounded by buffer space in the model).
+  std::size_t max_fan_in = 64;
+  /// Where scratch runs live.
+  BteFactory scratch = memory_bte_factory();
+};
+
+/// External mergesort, the workhorse of I/O-efficient algorithms
+/// (O((N/B) log_{M/B}(N/B)) block transfers): form memory-sized sorted
+/// runs, then merge them with bounded fan-in until one run remains.
+template <FixedSizeRecord T, typename Less = std::less<T>>
+void sort_stream(Stream<T>& in, Stream<T>& out, const SortOptions& opt = {},
+                 Less less = {}, SortStats* stats = nullptr) {
+  SortStats local;
+  SortStats& st = stats ? *stats : local;
+  st = {};
+
+  const std::size_t run_len =
+      std::max<std::size_t>(1, opt.memory_bytes / sizeof(T));
+  st.initial_run_length = run_len;
+
+  // Pass 0: run formation.
+  std::vector<std::unique_ptr<Stream<T>>> runs;
+  std::vector<T> buf;
+  buf.reserve(std::min<std::size_t>(run_len, std::size_t(1) << 22));
+  in.rewind();
+  while (!in.eof()) {
+    buf.clear();
+    while (buf.size() < run_len) {
+      auto r = in.read();
+      if (!r) break;
+      buf.push_back(*r);
+    }
+    if (buf.empty()) break;
+    std::sort(buf.begin(), buf.end(), less);
+    st.items += buf.size();
+    auto run = std::make_unique<Stream<T>>(opt.scratch());
+    run->append(std::span<const T>(buf));
+    run->rewind();
+    runs.push_back(std::move(run));
+  }
+  st.runs_formed = runs.size();
+
+  const std::size_t fan_in = std::max<std::size_t>(2, opt.max_fan_in);
+
+  // Merge passes until at most fan_in runs remain; final merge goes to out.
+  while (runs.size() > fan_in) {
+    ++st.merge_passes;
+    std::vector<std::unique_ptr<Stream<T>>> next;
+    for (std::size_t i = 0; i < runs.size(); i += fan_in) {
+      const std::size_t group =
+          std::min(fan_in, runs.size() - i);
+      st.max_fan_in = std::max(st.max_fan_in, group);
+      std::vector<Stream<T>*> group_inputs;
+      group_inputs.reserve(group);
+      for (std::size_t j = 0; j < group; ++j) {
+        runs[i + j]->rewind();
+        group_inputs.push_back(runs[i + j].get());
+      }
+      auto merged = std::make_unique<Stream<T>>(opt.scratch());
+      merge_streams<T, Less>(group_inputs, *merged, less);
+      next.push_back(std::move(merged));
+    }
+    runs = std::move(next);
+  }
+
+  out.clear();
+  if (runs.empty()) return;
+  ++st.merge_passes;
+  st.max_fan_in = std::max(st.max_fan_in, runs.size());
+  std::vector<Stream<T>*> final_inputs;
+  final_inputs.reserve(runs.size());
+  for (auto& r : runs) {
+    r->rewind();
+    final_inputs.push_back(r.get());
+  }
+  merge_streams<T, Less>(final_inputs, out, less);
+  out.rewind();
+}
+
+}  // namespace lmas::em

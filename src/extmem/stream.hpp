@@ -1,0 +1,189 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "extmem/bte.hpp"
+#include "extmem/record.hpp"
+
+namespace lmas::em {
+
+/// Factory for scratch storage used by sort/merge/distribute intermediates.
+using BteFactory = std::function<std::unique_ptr<Bte>()>;
+
+inline BteFactory memory_bte_factory() {
+  return [] { return make_memory_bte(); };
+}
+inline BteFactory temp_file_bte_factory() {
+  return [] { return make_temp_file_bte(); };
+}
+
+/// Sequential stream of fixed-size records over a BTE (TPIE's central
+/// abstraction). Reads and writes go through a block buffer so the BTE only
+/// sees block-granularity transfers — the unit the I/O model counts.
+///
+/// The stream keeps one cursor. Typical life cycle: write a phase's output
+/// sequentially, `rewind()`, then read it back as the next phase's input.
+/// Interleaved read/write at arbitrary positions is supported but flushes
+/// the buffer on each mode switch.
+template <FixedSizeRecord T>
+class Stream {
+ public:
+  static constexpr std::size_t kDefaultBlockBytes = 64 * 1024;
+
+  explicit Stream(std::unique_ptr<Bte> bte = make_memory_bte(),
+                  std::size_t block_bytes = kDefaultBlockBytes)
+      : bte_(std::move(bte)),
+        records_per_block_(block_bytes < sizeof(T) ? 1
+                                                   : block_bytes / sizeof(T)),
+        buffer_(records_per_block_) {
+    assert(bte_);
+    size_ = bte_->size() / sizeof(T);
+  }
+
+  Stream(Stream&&) noexcept = default;
+  Stream& operator=(Stream&&) noexcept = default;
+
+  ~Stream() {
+    if (bte_) flush();
+  }
+
+  /// Number of records in the stream.
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// Current cursor position (record index).
+  [[nodiscard]] std::size_t tell() const noexcept { return pos_; }
+
+  /// True when the cursor is at or past the last record.
+  [[nodiscard]] bool eof() const noexcept { return pos_ >= size_; }
+
+  void seek(std::size_t record_index) {
+    assert(record_index <= size_);
+    pos_ = record_index;
+  }
+  void rewind() { pos_ = 0; }
+
+  /// Append one record at the end (common write pattern).
+  void push_back(const T& r) {
+    pos_ = size_;
+    write(r);
+  }
+
+  /// Write at the cursor, advancing it; extends the stream at the end.
+  void write(const T& r) {
+    const std::size_t block = pos_ / records_per_block_;
+    ensure_block(block, /*for_write=*/true);
+    buffer_[pos_ % records_per_block_] = r;
+    dirty_ = true;
+    ++pos_;
+    if (pos_ > size_) size_ = pos_;
+  }
+
+  /// Read the record at the cursor, advancing it; nullopt at end.
+  std::optional<T> read() {
+    if (pos_ >= size_) return std::nullopt;
+    const std::size_t block = pos_ / records_per_block_;
+    ensure_block(block, /*for_write=*/false);
+    return buffer_[pos_++ % records_per_block_];
+  }
+
+  /// Peek without advancing.
+  std::optional<T> peek() {
+    auto r = read();
+    if (r) --pos_;
+    return r;
+  }
+
+  /// Bulk append (amortizes per-record overhead in run writers).
+  void append(std::span<const T> items) {
+    for (const T& r : items) push_back(r);
+  }
+
+  /// Read up to `out.size()` records; returns how many were read.
+  std::size_t read_bulk(std::span<T> out) {
+    std::size_t got = 0;
+    while (got < out.size()) {
+      auto r = read();
+      if (!r) break;
+      out[got++] = *r;
+    }
+    return got;
+  }
+
+  /// Drop all contents and reset the cursor.
+  void clear() {
+    flush();
+    bte_->truncate(0);
+    size_ = 0;
+    pos_ = 0;
+    loaded_block_ = kNoBlock;
+  }
+
+  /// Shrink to `n` records.
+  void truncate(std::size_t n) {
+    if (n >= size_) return;
+    flush();
+    bte_->truncate(std::uint64_t(n) * sizeof(T));
+    size_ = n;
+    if (pos_ > n) pos_ = n;
+    loaded_block_ = kNoBlock;
+  }
+
+  /// Write back any dirty buffered block.
+  void flush() {
+    if (dirty_ && loaded_block_ != kNoBlock) {
+      const std::uint64_t off =
+          std::uint64_t(loaded_block_) * records_per_block_ * sizeof(T);
+      const std::size_t nrec = block_record_count(loaded_block_);
+      bte_->write(off, std::as_bytes(std::span(buffer_.data(), nrec)));
+    }
+    dirty_ = false;
+  }
+
+  [[nodiscard]] const BteStats& io_stats() const {
+    return bte_->stats();
+  }
+  [[nodiscard]] std::size_t records_per_block() const noexcept {
+    return records_per_block_;
+  }
+
+ private:
+  static constexpr std::size_t kNoBlock = std::size_t(-1);
+
+  [[nodiscard]] std::size_t block_record_count(std::size_t block) const {
+    const std::size_t first = block * records_per_block_;
+    const std::size_t live = size_ > first ? size_ - first : 0;
+    return live < records_per_block_ ? live : records_per_block_;
+  }
+
+  void ensure_block(std::size_t block, bool for_write) {
+    if (block == loaded_block_) return;
+    flush();
+    const std::size_t nrec = block_record_count(block);
+    if (nrec > 0) {
+      const std::uint64_t off =
+          std::uint64_t(block) * records_per_block_ * sizeof(T);
+      bte_->read(off, std::as_writable_bytes(std::span(buffer_.data(), nrec)));
+    } else {
+      assert(for_write && "reading an empty block");
+      (void)for_write;
+    }
+    loaded_block_ = block;
+  }
+
+  std::unique_ptr<Bte> bte_;
+  std::size_t records_per_block_;
+  std::vector<T> buffer_;
+  std::size_t loaded_block_ = kNoBlock;
+  bool dirty_ = false;
+  std::size_t size_ = 0;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace lmas::em

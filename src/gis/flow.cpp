@@ -1,0 +1,127 @@
+#include "gis/flow.hpp"
+
+#include <stdexcept>
+
+#include "extmem/pqueue.hpp"
+
+namespace lmas::gis {
+
+namespace {
+
+/// Area message: accumulated upstream area delivered to the receiving
+/// cell at its (descending-order) processing time.
+struct AreaMsg {
+  float to_elev = 0;
+  std::uint32_t to_id = 0;
+  std::uint64_t area = 0;
+
+  /// Min-PQ order = descending (elevation, id): higher cells first.
+  friend bool operator<(const AreaMsg& a, const AreaMsg& b) noexcept {
+    if (a.to_elev != b.to_elev) return a.to_elev > b.to_elev;
+    return a.to_id > b.to_id;
+  }
+};
+static_assert(em::FixedSizeRecord<AreaMsg>);
+
+/// Descending (elevation, id): the processing order of accumulation.
+struct CellAfter {
+  bool operator()(const CellRecord& a, const CellRecord& b) const noexcept {
+    if (a.elevation != b.elevation) return a.elevation > b.elevation;
+    return a.id > b.id;
+  }
+};
+
+/// Steepest-descent neighbor slot of a cell, or -1 for a pit. Ties on
+/// elevation break toward the smaller neighbor id (the same total order
+/// the watershed step uses, so the two analyses agree on plateaus).
+int steepest_descent_slot(const CellRecord& c, std::uint32_t grid_width) {
+  int best = -1;
+  float best_elev = 0;
+  std::uint32_t best_id = 0;
+  for (int s = 0; s < 8; ++s) {
+    if (!(c.nbr_mask & (1u << s))) continue;
+    const std::uint32_t nid =
+        c.id + std::uint32_t(CellRecord::kDy[s]) * grid_width +
+        std::uint32_t(CellRecord::kDx[s]);
+    const float ne = c.nbr_elev[s];
+    const bool lower = ne < c.elevation ||
+                       (ne == c.elevation && nid < c.id);
+    if (!lower) continue;
+    const bool better =
+        best < 0 || ne < best_elev || (ne == best_elev && nid < best_id);
+    if (better) {
+      best = s;
+      best_elev = ne;
+      best_id = nid;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<std::int8_t> flow_directions(const Grid& g) {
+  std::vector<std::int8_t> dir(g.cells(), -1);
+  em::Stream<CellRecord> cells;
+  restructure_grid(g, cells);
+  cells.rewind();
+  while (auto c = cells.read()) {
+    dir[c->id] = std::int8_t(steepest_descent_slot(*c, g.width()));
+  }
+  return dir;
+}
+
+std::vector<std::uint64_t> flow_accumulation(const Grid& g, FlowStats* stats,
+                                             const TerraFlowOptions& opt) {
+  FlowStats local;
+  FlowStats& st = stats ? *stats : local;
+  st = {};
+  st.cells = g.cells();
+
+  // Step 1: restructure.
+  em::Stream<CellRecord> cells(opt.scratch());
+  restructure_grid(g, cells);
+
+  // Step 2: external sort, highest cell first.
+  em::Stream<CellRecord> sorted(opt.scratch());
+  em::SortOptions sort_opt;
+  sort_opt.memory_bytes = opt.memory_bytes;
+  sort_opt.scratch = opt.scratch;
+  em::sort_stream(cells, sorted, sort_opt, CellAfter{}, &st.sort);
+
+  // Step 3: descending time-forward accumulation.
+  const std::size_t pq_hot =
+      std::max<std::size_t>(64, opt.memory_bytes / sizeof(AreaMsg) / 4);
+  em::ExternalPq<AreaMsg> pq(pq_hot, opt.scratch);
+  std::vector<std::uint64_t> area(g.cells(), 0);
+
+  const std::uint32_t w = g.width();
+  sorted.rewind();
+  while (auto cell = sorted.read()) {
+    std::uint64_t acc = 1;  // the cell itself
+    while (auto m = pq.peek()) {
+      if (m->to_elev != cell->elevation || m->to_id != cell->id) break;
+      acc += pq.pop()->area;
+    }
+    area[cell->id] = acc;
+    if (acc > st.max_area) st.max_area = acc;
+
+    const int slot = steepest_descent_slot(*cell, w);
+    if (slot < 0) {
+      ++st.pits;  // sink: the area stays here
+      continue;
+    }
+    const std::uint32_t nid =
+        cell->id + std::uint32_t(CellRecord::kDy[slot]) * w +
+        std::uint32_t(CellRecord::kDx[slot]);
+    pq.push(AreaMsg{cell->nbr_elev[slot], nid, acc});
+    ++st.messages_sent;
+  }
+  if (!pq.empty()) {
+    throw std::logic_error("flow: undelivered accumulation messages");
+  }
+  st.pq_spills = pq.spill_count();
+  return area;
+}
+
+}  // namespace lmas::gis

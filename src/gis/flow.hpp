@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "extmem/sort.hpp"
+#include "gis/grid.hpp"
+#include "gis/terraflow.hpp"
+
+namespace lmas::gis {
+
+/// TerraFlow's headline products (Section 4.1): flow indices
+/// characterizing the slope orientation and the "upstream" area of each
+/// grid cell. Flow direction is D8 steepest descent under the
+/// (elevation, id) total order; upstream area counts every cell whose
+/// flow path passes through this one (including itself).
+
+/// Per-cell D8 flow direction: the neighbor slot (CellRecord::kDx/kDy
+/// index, 0..7) the cell drains to, or -1 for local minima (pits).
+std::vector<std::int8_t> flow_directions(const Grid& g);
+
+struct FlowStats {
+  std::size_t cells = 0;
+  std::size_t pits = 0;             // local minima (flow sinks)
+  std::uint64_t max_area = 0;       // largest upstream area
+  std::size_t messages_sent = 0;
+  std::size_t pq_spills = 0;
+  em::SortStats sort;
+};
+
+/// Upstream (contributing) area of every cell, in cells, computed
+/// I/O-efficiently: restructure -> external sort by *descending*
+/// (elevation, id) -> time-forward accumulation (each cell receives the
+/// areas of all higher cells draining into it, adds itself, and forwards
+/// the total to its steepest-descent neighbor).
+std::vector<std::uint64_t> flow_accumulation(const Grid& g,
+                                             FlowStats* stats = nullptr,
+                                             const TerraFlowOptions& opt = {});
+
+}  // namespace lmas::gis

@@ -1,0 +1,8 @@
+#pragma once
+
+/// Umbrella header for the GIS application layer (Section 4).
+#include "gis/flow.hpp"
+#include "gis/grid.hpp"
+#include "gis/rtree.hpp"
+#include "gis/rtree_sim.hpp"
+#include "gis/terraflow.hpp"

@@ -1,0 +1,66 @@
+#include "gis/grid.hpp"
+
+namespace lmas::gis {
+
+namespace {
+
+/// Smallest 2^k + 1 covering max(w, h).
+std::uint32_t fractal_size(std::uint32_t need) {
+  std::uint32_t s = 2;
+  while (s + 1 < need) s *= 2;
+  return s + 1;
+}
+
+}  // namespace
+
+Grid make_fractal(std::uint32_t w, std::uint32_t h, std::uint64_t seed,
+                  double roughness) {
+  const std::uint32_t n = fractal_size(std::max(w, h));
+  std::vector<double> e(std::size_t(n) * n, 0.0);
+  sim::Rng rng(seed);
+  auto at = [&](std::uint32_t x, std::uint32_t y) -> double& {
+    return e[std::size_t(y) * n + x];
+  };
+
+  at(0, 0) = rng.uniform(0, 100);
+  at(n - 1, 0) = rng.uniform(0, 100);
+  at(0, n - 1) = rng.uniform(0, 100);
+  at(n - 1, n - 1) = rng.uniform(0, 100);
+
+  double amp = 50.0;
+  for (std::uint32_t step = n - 1; step > 1; step /= 2, amp *= roughness) {
+    const std::uint32_t half = step / 2;
+    // Diamond step.
+    for (std::uint32_t y = half; y < n; y += step) {
+      for (std::uint32_t x = half; x < n; x += step) {
+        const double avg = (at(x - half, y - half) + at(x + half, y - half) +
+                            at(x - half, y + half) + at(x + half, y + half)) /
+                           4.0;
+        at(x, y) = avg + rng.uniform(-amp, amp);
+      }
+    }
+    // Square step.
+    for (std::uint32_t y = 0; y < n; y += half) {
+      for (std::uint32_t x = (y / half) % 2 == 0 ? half : 0; x < n;
+           x += step) {
+        double sum = 0;
+        int cnt = 0;
+        if (x >= half) { sum += at(x - half, y); ++cnt; }
+        if (x + half < n) { sum += at(x + half, y); ++cnt; }
+        if (y >= half) { sum += at(x, y - half); ++cnt; }
+        if (y + half < n) { sum += at(x, y + half); ++cnt; }
+        at(x, y) = sum / cnt + rng.uniform(-amp, amp);
+      }
+    }
+  }
+
+  Grid g(w, h);
+  for (std::uint32_t y = 0; y < h; ++y) {
+    for (std::uint32_t x = 0; x < w; ++x) {
+      g.set(x, y, float(at(x, y)));
+    }
+  }
+  return g;
+}
+
+}  // namespace lmas::gis

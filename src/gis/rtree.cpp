@@ -1,0 +1,156 @@
+#include "gis/rtree.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lmas::gis {
+
+RTree RTree::bulk_load(std::vector<Item> items, RTreeParams params) {
+  RTree t;
+  t.params_ = params;
+  if (items.empty()) {
+    t.items_ = std::move(items);
+    return t;
+  }
+
+  // STR: sort by center-x, cut into vertical slabs of ~sqrt(P) leaf
+  // groups, sort each slab by center-y, then chunk into leaves.
+  const std::size_t cap = std::max<std::size_t>(1, params.leaf_capacity);
+  const std::size_t num_leaves = (items.size() + cap - 1) / cap;
+  const std::size_t slabs =
+      std::max<std::size_t>(1, std::size_t(std::ceil(std::sqrt(
+                                   double(num_leaves)))));
+  const std::size_t slab_items =
+      (items.size() + slabs - 1) / slabs;
+
+  std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+    return a.rect.cx() < b.rect.cx();
+  });
+  for (std::size_t s = 0; s < slabs; ++s) {
+    const std::size_t lo = std::min(s * slab_items, items.size());
+    const std::size_t hi = std::min(lo + slab_items, items.size());
+    std::sort(items.begin() + std::ptrdiff_t(lo),
+              items.begin() + std::ptrdiff_t(hi),
+              [](const Item& a, const Item& b) {
+                return a.rect.cy() < b.rect.cy();
+              });
+  }
+
+  t.items_ = std::move(items);
+
+  // Leaves over consecutive chunks.
+  std::vector<Node> level;
+  for (std::size_t i = 0; i < t.items_.size(); i += cap) {
+    Node n;
+    n.first_child = std::uint32_t(i);
+    n.num_children =
+        std::uint32_t(std::min(cap, t.items_.size() - i));
+    n.mbr = t.items_[i].rect;
+    for (std::size_t j = 1; j < n.num_children; ++j) {
+      n.mbr.grow(t.items_[i + j].rect);
+    }
+    level.push_back(n);
+  }
+  t.levels_.push_back(level);
+
+  // Internal levels until a single root.
+  const std::size_t fanout = std::max<std::size_t>(2, params.node_fanout);
+  while (t.levels_.back().size() > 1) {
+    const auto& below = t.levels_.back();
+    std::vector<Node> up;
+    for (std::size_t i = 0; i < below.size(); i += fanout) {
+      Node n;
+      n.first_child = std::uint32_t(i);
+      n.num_children = std::uint32_t(std::min(fanout, below.size() - i));
+      n.mbr = below[i].mbr;
+      for (std::size_t j = 1; j < n.num_children; ++j) {
+        n.mbr.grow(below[i + j].mbr);
+      }
+      up.push_back(n);
+    }
+    t.levels_.push_back(std::move(up));
+  }
+  return t;
+}
+
+std::vector<std::uint32_t> RTree::query(const Rect& q,
+                                        QueryStats* stats) const {
+  QueryStats local;
+  QueryStats& st = stats ? *stats : local;
+  st = {};
+  std::vector<std::uint32_t> out;
+  std::size_t internal = 0;
+  const auto leaves = leaves_for(q, &internal);
+  st.internal_visited = internal;
+  for (const auto leaf_index : leaves) {
+    ++st.leaves_visited;
+    st.results += scan_leaf(leaf_index, q, &out);
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> RTree::leaves_for(
+    const Rect& q, std::size_t* internal_visited) const {
+  std::vector<std::uint32_t> out;
+  std::size_t visited = 0;
+  if (!levels_.empty()) {
+    // Walk down from the root, keeping per-level frontiers of node
+    // indices whose MBR intersects the query.
+    std::vector<std::uint32_t> frontier = {0};
+    for (std::size_t lvl = levels_.size(); lvl-- > 1;) {
+      std::vector<std::uint32_t> next;
+      for (const auto idx : frontier) {
+        const Node& n = levels_[lvl][idx];
+        ++visited;
+        if (!n.mbr.intersects(q)) continue;
+        for (std::uint32_t j = 0; j < n.num_children; ++j) {
+          const std::uint32_t child = n.first_child + j;
+          if (levels_[lvl - 1][child].mbr.intersects(q)) {
+            next.push_back(child);
+          }
+        }
+      }
+      frontier = std::move(next);
+    }
+    // `frontier` now holds intersecting leaf indices (or the root when
+    // the tree has a single level).
+    if (levels_.size() == 1) {
+      if (levels_[0][0].mbr.intersects(q)) out = {0};
+    } else {
+      out = std::move(frontier);
+    }
+  }
+  if (internal_visited) *internal_visited = visited;
+  return out;
+}
+
+std::size_t RTree::scan_leaf(std::uint32_t leaf_index, const Rect& q,
+                             std::vector<std::uint32_t>* out) const {
+  const Node& leaf = levels_.at(0).at(leaf_index);
+  std::size_t hits = 0;
+  for (std::uint32_t j = 0; j < leaf.num_children; ++j) {
+    const Item& it = items_[leaf.first_child + j];
+    if (it.rect.intersects(q)) {
+      ++hits;
+      if (out) out->push_back(it.id);
+    }
+  }
+  return hits;
+}
+
+std::vector<RTree::Item> make_random_rects(std::size_t n, std::uint64_t seed,
+                                           float max_extent) {
+  sim::Rng rng(seed);
+  std::vector<RTree::Item> items(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float x = float(rng.uniform());
+    const float y = float(rng.uniform());
+    const float w = float(rng.uniform()) * max_extent;
+    const float h = float(rng.uniform()) * max_extent;
+    items[i].rect = {x, y, std::min(1.0f, x + w), std::min(1.0f, y + h)};
+    items[i].id = std::uint32_t(i);
+  }
+  return items;
+}
+
+}  // namespace lmas::gis

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace lmas::gis {
+
+struct Rect {
+  float x0 = 0, y0 = 0, x1 = 0, y1 = 0;
+
+  [[nodiscard]] bool intersects(const Rect& o) const noexcept {
+    return x0 <= o.x1 && o.x0 <= x1 && y0 <= o.y1 && o.y0 <= y1;
+  }
+  [[nodiscard]] bool contains(float x, float y) const noexcept {
+    return x0 <= x && x <= x1 && y0 <= y && y <= y1;
+  }
+  [[nodiscard]] float cx() const noexcept { return (x0 + x1) * 0.5f; }
+  [[nodiscard]] float cy() const noexcept { return (y0 + y1) * 0.5f; }
+
+  void grow(const Rect& o) noexcept {
+    if (o.x0 < x0) x0 = o.x0;
+    if (o.y0 < y0) y0 = o.y0;
+    if (o.x1 > x1) x1 = o.x1;
+    if (o.y1 > y1) y1 = o.y1;
+  }
+};
+
+struct RTreeParams {
+  std::size_t leaf_capacity = 64;
+  std::size_t node_fanout = 16;
+};
+
+/// Packed R-tree built with Sort-Tile-Recursive (STR) bulk loading:
+/// multi-dimensional index structure of Section 4.2. Nodes are stored
+/// level by level with contiguous children, which is also what makes the
+/// two distribution schemes of Figure 5 easy to express (leaves in STR
+/// order are spatially clustered).
+class RTree {
+ public:
+  struct Item {
+    Rect rect;
+    std::uint32_t id = 0;
+  };
+
+  struct Node {
+    Rect mbr;
+    std::uint32_t first_child = 0;  // index into the level below (or items)
+    std::uint32_t num_children = 0;
+  };
+
+  static RTree bulk_load(std::vector<Item> items, RTreeParams params = {});
+
+  struct QueryStats {
+    std::size_t internal_visited = 0;
+    std::size_t leaves_visited = 0;
+    std::size_t results = 0;
+  };
+
+  /// Ids of items intersecting `q`.
+  [[nodiscard]] std::vector<std::uint32_t> query(const Rect& q,
+                                                 QueryStats* stats = nullptr)
+      const;
+
+  /// Host-side top traversal only: which leaves does `q` reach, and how
+  /// many internal nodes were inspected to find out? This is the split
+  /// point for distributed execution: the upper levels stay on the host,
+  /// the leaf scans run on ASUs.
+  [[nodiscard]] std::vector<std::uint32_t> leaves_for(
+      const Rect& q, std::size_t* internal_visited = nullptr) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+  [[nodiscard]] std::size_t num_leaves() const noexcept {
+    return levels_.empty() ? 0 : levels_[0].size();
+  }
+  [[nodiscard]] std::size_t height() const noexcept { return levels_.size(); }
+  [[nodiscard]] const RTreeParams& params() const noexcept { return params_; }
+  [[nodiscard]] const Node& leaf(std::size_t i) const {
+    return levels_.at(0).at(i);
+  }
+  [[nodiscard]] const std::vector<Item>& items() const noexcept {
+    return items_;
+  }
+  [[nodiscard]] Rect bounds() const {
+    return levels_.empty() ? Rect{} : levels_.back().at(0).mbr;
+  }
+
+  /// Scan one leaf against a query (the ASU-side primitive).
+  [[nodiscard]] std::size_t scan_leaf(std::uint32_t leaf_index, const Rect& q,
+                                      std::vector<std::uint32_t>* out) const;
+
+ private:
+  RTreeParams params_;
+  std::vector<Item> items_;           // grouped by leaf, STR order
+  std::vector<std::vector<Node>> levels_;  // [0] = leaves ... back() = root
+};
+
+/// Uniformly scattered small rectangles in [0,1)^2 (synthetic spatial
+/// objects standing in for GIS feature data).
+std::vector<RTree::Item> make_random_rects(std::size_t n, std::uint64_t seed,
+                                           float max_extent = 0.002f);
+
+}  // namespace lmas::gis

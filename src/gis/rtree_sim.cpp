@@ -1,0 +1,259 @@
+#include "gis/rtree_sim.hpp"
+
+#include <map>
+#include <memory>
+
+#include "asu/asu.hpp"
+#include "sim/sim.hpp"
+
+namespace lmas::gis {
+
+namespace {
+
+namespace sim = lmas::sim;
+namespace asu_ns = lmas::asu;
+
+/// Sub-query shipped to one ASU: scan these leaves against rect `q`.
+struct LeafRequest {
+  std::uint32_t client = 0;
+  std::uint32_t query = 0;
+  Rect q;
+  std::vector<std::uint32_t> leaves;
+};
+
+struct LeafReply {
+  std::uint32_t query = 0;
+  std::size_t hits = 0;
+};
+
+constexpr std::size_t kRequestBytes = 64;
+constexpr std::size_t kItemBytes = 20;  // rect + id on the wire
+
+class RTreeQuerySim {
+ public:
+  RTreeQuerySim(const asu_ns::MachineParams& mp, const RTreeSimConfig& cfg)
+      : mp_(mp), cfg_(cfg), cluster_(eng_, mp) {}
+
+  RTreeSimReport run() {
+    auto items = make_random_rects(cfg_.num_rects, cfg_.seed);
+    tree_ = RTree::bulk_load(std::move(items));
+    placement_ = leaf_replicas(tree_.num_leaves(), mp_.num_asus,
+                               cfg_.layout, cfg_.replication);
+
+    for (unsigned a = 0; a < mp_.num_asus; ++a) {
+      req_.push_back(
+          std::make_unique<sim::Channel<LeafRequest>>(eng_, 0));
+    }
+    for (unsigned c = 0; c < cfg_.clients; ++c) {
+      reply_.push_back(std::make_unique<sim::Channel<LeafReply>>(eng_, 0));
+    }
+
+    for (unsigned a = 0; a < mp_.num_asus; ++a) {
+      eng_.spawn(asu_worker(a));
+    }
+    for (unsigned c = 0; c < cfg_.clients; ++c) {
+      eng_.spawn(client(c));
+    }
+    eng_.run();
+
+    RTreeSimReport rep;
+    rep.makespan = makespan_;
+    rep.total_queries =
+        std::size_t(cfg_.clients) * cfg_.queries_per_client;
+    rep.mean_latency = latency_.mean();
+    rep.max_latency = latency_.max();
+    rep.throughput_qps =
+        rep.makespan > 0 ? double(rep.total_queries) / rep.makespan : 0;
+    rep.total_results = total_results_;
+    rep.leaves_scanned = leaves_scanned_;
+    rep.mean_asus_per_query =
+        double(asu_fanout_total_) / double(rep.total_queries);
+    rep.results_match_oracle = oracle_ok_;
+    return rep;
+  }
+
+ private:
+  /// One concurrent query stream, pinned to host 0 (the paper's server
+  /// application with many concurrent searches).
+  sim::Task<> client(unsigned c) {
+    asu_ns::Node& host = cluster_.host(0);
+    sim::Rng rng(cfg_.seed * 7919 + c);
+    const auto& cost = mp_.cost;
+
+    for (unsigned qi = 0; qi < cfg_.queries_per_client; ++qi) {
+      const double t0 = eng_.now();
+      const Rect q = random_query(rng);
+
+      // Host-side: traverse the upper levels (CPU work per node visited).
+      std::size_t internal = 0;
+      const auto leaves = tree_.leaves_for(q, &internal);
+      co_await host.compute(
+          double(internal) *
+          (cost.host_handling +
+           double(asu_ns::ceil_log2(tree_.params().node_fanout)) *
+               cost.compare));
+
+      // Group leaves by owning ASU (least-loaded replica when a leaf has
+      // several owners) and fan out.
+      std::map<std::uint32_t, std::vector<std::uint32_t>> by_asu;
+      for (const auto leaf : leaves) {
+        by_asu[pick_owner(placement_[leaf])].push_back(leaf);
+      }
+      asu_fanout_total_ += by_asu.size();
+
+      // Fan the sub-queries out in parallel: the host should not pay
+      // propagation latency serially once per contacted ASU.
+      for (auto& [a, leaf_list] : by_asu) {
+        eng_.spawn(
+            send_request(a, LeafRequest{c, qi, q, std::move(leaf_list)}));
+      }
+
+      // Await one reply per contacted ASU; the slowest defines latency.
+      std::size_t hits = 0;
+      for (std::size_t i = 0; i < by_asu.size(); ++i) {
+        auto rep = co_await reply_[c]->recv();
+        if (rep) hits += rep->hits;
+      }
+      total_results_ += hits;
+
+      // Oracle check: the distributed execution saw exactly the records
+      // the centralized tree reports.
+      RTree::QueryStats st;
+      const auto oracle = tree_.query(q, &st);
+      if (oracle.size() != hits) oracle_ok_ = false;
+
+      latency_.add(eng_.now() - t0);
+      if (eng_.now() > makespan_) makespan_ = eng_.now();
+    }
+    if (++clients_done_ == cfg_.clients) {
+      for (auto& ch : req_) ch->close();
+    }
+  }
+
+  /// Least-loaded replica: queued CPU + disk work decides.
+  [[nodiscard]] std::uint32_t pick_owner(
+      const std::vector<std::uint32_t>& candidates) {
+    std::uint32_t best = candidates.front();
+    double best_load = 1e300;
+    for (const auto a : candidates) {
+      asu_ns::Node& n = cluster_.asu(a);
+      const double load = n.cpu().backlog() + n.disk().arm().backlog();
+      if (load < best_load) {
+        best_load = load;
+        best = a;
+      }
+    }
+    return best;
+  }
+
+  sim::Task<> send_request(std::uint32_t a, LeafRequest r) {
+    co_await cluster_.network().transfer(cluster_.host(0), cluster_.asu(a),
+                                         kRequestBytes);
+    co_await req_[a]->send(std::move(r));
+  }
+
+  sim::Task<> asu_worker(unsigned a) {
+    asu_ns::Node& node = cluster_.asu(a);
+    asu_ns::Node& host = cluster_.host(0);
+    const auto& cost = mp_.cost;
+    const std::size_t leaf_bytes = tree_.params().leaf_capacity * kItemBytes;
+
+    while (true) {
+      auto r = co_await req_[a]->recv();
+      if (!r) break;
+      std::size_t hits = 0;
+      for (const auto leaf : r->leaves) {
+        co_await node.disk().read(leaf_bytes);
+        co_await node.compute(
+            double(tree_.params().leaf_capacity) *
+            (cost.compare * 2.0));  // 4 float compares ~ 2 key compares
+        hits += tree_.scan_leaf(leaf, r->q, nullptr);
+        ++leaves_scanned_;
+      }
+      const std::size_t reply_bytes = 16 + hits * kItemBytes;
+      co_await cluster_.network().transfer(node, host, reply_bytes);
+      co_await reply_[r->client]->send(LeafReply{r->query, hits});
+    }
+  }
+
+  [[nodiscard]] Rect random_query(sim::Rng& rng) const {
+    const float e = cfg_.query_extent;
+    const float x = float(rng.uniform()) * (1.0f - e);
+    const float y = float(rng.uniform()) * (1.0f - e);
+    return Rect{x, y, x + e, y + e};
+  }
+
+  asu_ns::MachineParams mp_;
+  RTreeSimConfig cfg_;
+  sim::Engine eng_;
+  asu_ns::Cluster cluster_;
+  RTree tree_;
+  std::vector<std::vector<std::uint32_t>> placement_;
+  std::vector<std::unique_ptr<sim::Channel<LeafRequest>>> req_;
+  std::vector<std::unique_ptr<sim::Channel<LeafReply>>> reply_;
+  sim::Accumulator latency_;
+  double makespan_ = 0;
+  std::size_t total_results_ = 0;
+  std::size_t leaves_scanned_ = 0;
+  std::size_t asu_fanout_total_ = 0;
+  unsigned clients_done_ = 0;
+  bool oracle_ok_ = true;
+};
+
+}  // namespace
+
+std::vector<std::uint32_t> leaf_placement(std::size_t num_leaves,
+                                          unsigned num_asus,
+                                          RTreeLayout layout) {
+  std::vector<std::uint32_t> owner(num_leaves, 0);
+  if (num_asus == 0) return owner;
+  if (layout == RTreeLayout::Stripe) {
+    for (std::size_t i = 0; i < num_leaves; ++i) {
+      owner[i] = std::uint32_t(i % num_asus);
+    }
+  } else {
+    const std::size_t chunk =
+        (num_leaves + num_asus - 1) / std::max(1u, num_asus);
+    for (std::size_t i = 0; i < num_leaves; ++i) {
+      owner[i] = std::uint32_t(std::min<std::size_t>(i / chunk,
+                                                     num_asus - 1));
+    }
+  }
+  return owner;
+}
+
+std::vector<std::vector<std::uint32_t>> leaf_replicas(std::size_t num_leaves,
+                                                      unsigned num_asus,
+                                                      RTreeLayout layout,
+                                                      unsigned replication) {
+  std::vector<std::vector<std::uint32_t>> owners(num_leaves);
+  if (num_asus == 0) {
+    for (auto& o : owners) o = {0};
+    return owners;
+  }
+  if (layout == RTreeLayout::Hybrid) {
+    const unsigned r = std::max(1u, std::min(replication, num_asus));
+    const std::size_t chunk =
+        (num_leaves + num_asus - 1) / std::max(1u, num_asus);
+    for (std::size_t i = 0; i < num_leaves; ++i) {
+      const auto primary = std::uint32_t(
+          std::min<std::size_t>(i / std::max<std::size_t>(1, chunk),
+                                num_asus - 1));
+      for (unsigned k = 0; k < r; ++k) {
+        owners[i].push_back((primary + k) % num_asus);
+      }
+    }
+    return owners;
+  }
+  const auto single = leaf_placement(num_leaves, num_asus, layout);
+  for (std::size_t i = 0; i < num_leaves; ++i) owners[i] = {single[i]};
+  return owners;
+}
+
+RTreeSimReport run_rtree_sim(const asu::MachineParams& mp,
+                             const RTreeSimConfig& cfg) {
+  RTreeQuerySim sim(mp, cfg);
+  return sim.run();
+}
+
+}  // namespace lmas::gis

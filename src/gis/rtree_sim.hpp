@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "asu/params.hpp"
+#include "gis/rtree.hpp"
+
+namespace lmas::gis {
+
+/// The two distributed R-tree organizations of Figure 5:
+///   Partition — contiguous runs of STR-ordered leaves per ASU; a query's
+///     leaves cluster on few ASUs, so concurrent queries spread across
+///     the ASU population (good throughput for many concurrent searches).
+///   Stripe — leaf i lives on ASU i mod D; every query fans out over all
+///     ASUs, each doing a small share (bounds single-query latency).
+/// Hybrid (also Figure 5's discussion): partition-style contiguous
+/// chunks, each *replicated* on `replication` ASUs; queries send every
+/// leaf scan to the least-loaded replica, combining partition locality
+/// with dynamic load spreading.
+enum class RTreeLayout { Partition, Stripe, Hybrid };
+
+inline const char* rtree_layout_name(RTreeLayout l) {
+  switch (l) {
+    case RTreeLayout::Partition: return "partition";
+    case RTreeLayout::Stripe: return "stripe";
+    case RTreeLayout::Hybrid: return "hybrid";
+  }
+  return "?";
+}
+
+struct RTreeSimConfig {
+  RTreeLayout layout = RTreeLayout::Partition;
+  /// Replicas per leaf chunk (Hybrid layout only).
+  unsigned replication = 2;
+  std::size_t num_rects = 100000;
+  unsigned clients = 4;            // concurrent query streams on the host
+  unsigned queries_per_client = 64;
+  float query_extent = 0.02f;      // query square side in [0,1) space
+  std::uint64_t seed = 99;
+};
+
+struct RTreeSimReport {
+  double makespan = 0;
+  double mean_latency = 0;
+  double max_latency = 0;
+  double throughput_qps = 0;
+  std::size_t total_queries = 0;
+  std::size_t total_results = 0;
+  std::size_t leaves_scanned = 0;
+  double mean_asus_per_query = 0;
+  bool results_match_oracle = false;  // simulated result count == RTree::query
+};
+
+/// Execute concurrent range queries against a distributed R-tree on the
+/// emulated cluster: the host traverses the upper levels, ASUs scan their
+/// leaves (disk read + CPU at 1/c speed), replies return over the network.
+RTreeSimReport run_rtree_sim(const asu::MachineParams& mp,
+                             const RTreeSimConfig& cfg);
+
+/// Which ASU owns each leaf under a single-owner layout.
+std::vector<std::uint32_t> leaf_placement(std::size_t num_leaves,
+                                          unsigned num_asus,
+                                          RTreeLayout layout);
+
+/// Candidate owners per leaf (multi-owner layouts; single-owner layouts
+/// return one candidate each).
+std::vector<std::vector<std::uint32_t>> leaf_replicas(std::size_t num_leaves,
+                                                      unsigned num_asus,
+                                                      RTreeLayout layout,
+                                                      unsigned replication);
+
+}  // namespace lmas::gis

@@ -1,0 +1,181 @@
+#include "gis/terraflow.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/adaptive.hpp"
+#include "extmem/pqueue.hpp"
+#include "extmem/scan.hpp"
+
+namespace lmas::gis {
+
+namespace {
+
+/// A time-forward message: the color of a lower cell delivered to a
+/// higher neighbor at the moment that neighbor is processed.
+struct FlowMsg {
+  float to_elev = 0;
+  std::uint32_t to_id = 0;
+  float from_elev = 0;
+  std::uint32_t from_id = 0;
+  std::uint32_t color = 0;
+
+  friend bool operator<(const FlowMsg& a, const FlowMsg& b) noexcept {
+    if (a.to_elev != b.to_elev) return a.to_elev < b.to_elev;
+    if (a.to_id != b.to_id) return a.to_id < b.to_id;
+    if (a.from_elev != b.from_elev) return a.from_elev < b.from_elev;
+    return a.from_id < b.from_id;
+  }
+};
+static_assert(em::FixedSizeRecord<FlowMsg>);
+
+/// Is neighbor slot i of `c` lower than `c` in the (elev, id) order?
+bool neighbor_is_lower(const CellRecord& c, int slot,
+                       std::uint32_t neighbor_id) {
+  const float ne = c.nbr_elev[slot];
+  if (ne != c.elevation) return ne < c.elevation;
+  return neighbor_id < c.id;
+}
+
+}  // namespace
+
+void restructure_grid(const Grid& g, em::Stream<CellRecord>& out) {
+  for (std::uint32_t y = 0; y < g.height(); ++y) {
+    for (std::uint32_t x = 0; x < g.width(); ++x) {
+      CellRecord c;
+      c.elevation = g.at(x, y);
+      c.id = g.cell_id(x, y);
+      for (int s = 0; s < 8; ++s) {
+        const std::int64_t nx = std::int64_t(x) + CellRecord::kDx[s];
+        const std::int64_t ny = std::int64_t(y) + CellRecord::kDy[s];
+        if (nx < 0 || ny < 0 || nx >= std::int64_t(g.width()) ||
+            ny >= std::int64_t(g.height())) {
+          continue;
+        }
+        c.nbr_mask |= std::uint8_t(1u << s);
+        c.nbr_elev[s] = g.at(std::uint32_t(nx), std::uint32_t(ny));
+      }
+      out.push_back(c);
+    }
+  }
+  out.rewind();
+}
+
+std::vector<std::uint32_t> watershed_labels(const Grid& g,
+                                            TerraFlowStats* stats,
+                                            const TerraFlowOptions& opt) {
+  TerraFlowStats local;
+  TerraFlowStats& st = stats ? *stats : local;
+  st = {};
+  st.cells = g.cells();
+
+  // Step 1: restructure (stream -> set of self-contained records).
+  em::Stream<CellRecord> cells(opt.scratch());
+  restructure_grid(g, cells);
+
+  // Step 2: external sort by (elevation, id).
+  em::Stream<CellRecord> sorted(opt.scratch());
+  em::SortOptions sort_opt;
+  sort_opt.memory_bytes = opt.memory_bytes;
+  sort_opt.scratch = opt.scratch;
+  em::sort_stream(cells, sorted, sort_opt, CellBefore{}, &st.sort);
+
+  // Step 3: time-forward processing. Each cell receives the colors of all
+  // its lower neighbors; it adopts the color of the steepest one, or
+  // starts a new watershed if it is a local minimum.
+  const std::size_t pq_hot =
+      std::max<std::size_t>(64, opt.memory_bytes / sizeof(FlowMsg) / 4);
+  em::ExternalPq<FlowMsg> pq(pq_hot, opt.scratch);
+  std::vector<std::uint32_t> colors(g.cells(), 0);
+  std::uint32_t next_color = 0;
+
+  const std::uint32_t w = g.width();
+  sorted.rewind();
+  while (auto cell = sorted.read()) {
+    // Drain this cell's inbound messages.
+    bool have_color = false;
+    std::uint32_t color = 0;
+    while (auto m = pq.peek()) {
+      if (m->to_elev != cell->elevation || m->to_id != cell->id) break;
+      const FlowMsg msg = *pq.pop();
+      if (!have_color) {  // messages arrive steepest-first (PQ order)
+        color = msg.color;
+        have_color = true;
+      }
+    }
+    if (!have_color) {
+      color = next_color++;  // local minimum: new watershed
+    }
+    colors[cell->id] = color;
+
+    // Forward our color to every strictly higher neighbor.
+    for (int s = 0; s < 8; ++s) {
+      if (!(cell->nbr_mask & (1u << s))) continue;
+      const std::uint32_t nid =
+          cell->id + std::uint32_t(CellRecord::kDy[s]) * w +
+          std::uint32_t(CellRecord::kDx[s]);
+      if (neighbor_is_lower(*cell, s, nid)) continue;
+      pq.push(FlowMsg{cell->nbr_elev[s], nid, cell->elevation, cell->id,
+                      color});
+      ++st.messages_sent;
+    }
+  }
+  if (!pq.empty()) {
+    throw std::logic_error("terraflow: undelivered time-forward messages");
+  }
+  st.watersheds = next_color;
+  st.pq_spills = pq.spill_count();
+  return colors;
+}
+
+std::size_t count_local_minima(const Grid& g) {
+  std::size_t minima = 0;
+  for (std::uint32_t y = 0; y < g.height(); ++y) {
+    for (std::uint32_t x = 0; x < g.width(); ++x) {
+      const float e = g.at(x, y);
+      const std::uint32_t id = g.cell_id(x, y);
+      bool is_min = true;
+      g.for_each_neighbor(x, y, [&](std::uint32_t nx, std::uint32_t ny) {
+        const float ne = g.at(nx, ny);
+        if (ne < e || (ne == e && g.cell_id(nx, ny) < id)) is_min = false;
+      });
+      if (is_min) ++minima;
+    }
+  }
+  return minima;
+}
+
+TerraFlowPhaseModel terraflow_phase_model(const asu::MachineParams& mp,
+                                          std::size_t cells, unsigned alpha) {
+  TerraFlowPhaseModel m;
+  const double n = double(cells);
+  const double d = double(mp.num_asus);
+  const double h = double(mp.num_hosts);
+  const auto& c = mp.cost;
+
+  // Step 1: a pure scan that assembles 8 neighbor values per cell
+  // (modeled as 8 compares of work). Blocking makes it perfectly
+  // data-parallel (minimal data dependencies), so it runs at the ASUs'
+  // aggregate rate when active.
+  const double step1_work = c.compare * 8.0;
+  m.step1_passive = n * (c.host_handling + step1_work) / h;
+  m.step1_active = (n / d) * mp.c * (c.asu_handling + step1_work);
+
+  // Step 2: the pass-1 DSM-Sort split at the given alpha vs. the passive
+  // all-on-host baseline.
+  core::DsmSortConfig cfg;
+  cfg.total_records = cells;
+  cfg.alpha = alpha;
+  cfg.distribute_on_asus = true;
+  m.step2_active = core::predict_pass1(mp, cfg).seconds;
+  cfg.distribute_on_asus = false;
+  m.step2_passive = core::predict_pass1(mp, cfg).seconds;
+
+  // Step 3: time-forward processing is sequential (ordering-dependent):
+  // one host, roughly one PQ push+pop (log-cost) per cell-edge.
+  const double pq_op = c.host_handling + 24.0 * c.compare;
+  m.step3 = n * 4.0 * pq_op;  // ~4 higher neighbors on average
+  return m;
+}
+
+}  // namespace lmas::gis

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "asu/params.hpp"
+#include "extmem/record.hpp"
+#include "extmem/sort.hpp"
+#include "gis/grid.hpp"
+
+namespace lmas::gis {
+
+/// The restructured grid cell of TerraFlow's step 1 (Section 4.1): the
+/// cell plus its position and the elevations of its neighbors, so later
+/// steps can process cells independently — "effectively converting the
+/// grid from a stream into a set".
+struct CellRecord {
+  float elevation = 0;
+  std::uint32_t id = 0;        // y * width + x
+  float nbr_elev[8] = {};      // neighbor elevations (dx,dy) row-major
+  std::uint8_t nbr_mask = 0;   // bit i set = neighbor i exists
+  std::uint8_t pad_[3] = {};
+
+  /// Neighbor slot order: (dx, dy) for dy in {-1,0,1}, dx in {-1,0,1},
+  /// skipping (0,0): slots 0..7.
+  static constexpr int kDx[8] = {-1, 0, 1, -1, 1, -1, 0, 1};
+  static constexpr int kDy[8] = {-1, -1, -1, 0, 0, 1, 1, 1};
+};
+static_assert(sizeof(CellRecord) % 4 == 0);
+static_assert(em::FixedSizeRecord<CellRecord>);
+
+/// Total order on cells: lexicographic (elevation, id). This is the
+/// "time" of time-forward processing, and also breaks plateau ties
+/// deterministically (a plateau drains toward its smallest-id cell).
+struct CellBefore {
+  bool operator()(const CellRecord& a, const CellRecord& b) const noexcept {
+    if (a.elevation != b.elevation) return a.elevation < b.elevation;
+    return a.id < b.id;
+  }
+};
+
+struct TerraFlowStats {
+  std::size_t cells = 0;
+  std::size_t watersheds = 0;
+  std::size_t messages_sent = 0;
+  std::size_t pq_spills = 0;
+  em::SortStats sort;
+};
+
+struct TerraFlowOptions {
+  /// Memory for the external sort and the time-forward priority queue.
+  std::size_t memory_bytes = 16u << 20;
+  em::BteFactory scratch = em::memory_bte_factory();
+};
+
+/// Step 1: restructure the grid into self-contained cell records.
+void restructure_grid(const Grid& g, em::Stream<CellRecord>& out);
+
+/// Steps 1-3: label every cell with its watershed color. Colors are dense
+/// in [0, watersheds). Uses the external-memory toolkit throughout: scan,
+/// external sort by elevation, then time-forward processing over an
+/// external priority queue (step 3 is inherently sequential — the part
+/// the paper notes gains little from ASUs).
+std::vector<std::uint32_t> watershed_labels(const Grid& g,
+                                            TerraFlowStats* stats = nullptr,
+                                            const TerraFlowOptions& opt = {});
+
+/// Count local minima under the (elevation, id) order — every watershed
+/// has exactly one, so this is an independent oracle for tests.
+std::size_t count_local_minima(const Grid& g);
+
+/// Analytic phase-cost model for the active vs. passive placement of the
+/// TerraFlow steps (ablation for Section 4.1's claim: steps 1-2
+/// parallelize onto ASUs, step 3 does not).
+struct TerraFlowPhaseModel {
+  double step1_passive = 0, step1_active = 0;  // restructure scan
+  double step2_passive = 0, step2_active = 0;  // external sort pass 1
+  double step3 = 0;                            // time-forward labeling
+  [[nodiscard]] double total_passive() const {
+    return step1_passive + step2_passive + step3;
+  }
+  [[nodiscard]] double total_active() const {
+    return step1_active + step2_active + step3;
+  }
+};
+
+TerraFlowPhaseModel terraflow_phase_model(const asu::MachineParams& mp,
+                                          std::size_t cells, unsigned alpha);
+
+}  // namespace lmas::gis

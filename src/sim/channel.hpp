@@ -1,0 +1,148 @@
+#pragma once
+
+#include <coroutine>
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "sim/engine.hpp"
+
+namespace lmas::sim {
+
+/// Typed FIFO mailbox between simulated processes.
+///
+/// `recv` suspends until a message or close arrives; `send` suspends while
+/// the channel is at capacity (capacity 0 == unbounded). All wake-ups are
+/// routed through the engine's event queue at the current virtual time, so
+/// same-time interleavings stay deterministic.
+///
+/// This is the transport under the model's record/packet movement; network
+/// timing (latency, bandwidth, NIC serialization) is charged separately by
+/// asu::NetworkModel before the send.
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Engine& eng, std::size_t capacity = 0)
+      : eng_(&eng), capacity_(capacity) {}
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
+  [[nodiscard]] bool closed() const noexcept { return closed_; }
+
+  /// Close the channel: pending and future recvs observe nullopt once
+  /// the buffered items drain. Blocked senders are woken (their sends
+  /// still complete; late sends into a closed channel are dropped).
+  void close() {
+    closed_ = true;
+    wake_all_receivers();
+    wake_all_senders();
+  }
+
+  /// True when a send would be accepted right now.
+  [[nodiscard]] bool can_send() const noexcept {
+    return !closed_ && (capacity_ == 0 || items_.size() < capacity_);
+  }
+
+  /// Non-suspending send. Returns false (leaving `value` consumed) only
+  /// if at capacity or closed; check can_send() to avoid losing values.
+  bool try_send(T value) {
+    if (!can_send()) return false;
+    items_.push_back(std::move(value));
+    wake_one_receiver();
+    return true;
+  }
+
+  /// Awaitable send; suspends while full. Result: true if delivered.
+  /// A freed slot is transferred directly to the longest-waiting sender
+  /// (its value is enqueued before it even resumes), so concurrent new
+  /// senders can never steal the slot and no value is ever dropped while
+  /// the channel stays open.
+  [[nodiscard]] auto send(T value) {
+    struct Awaiter {
+      Channel* ch;
+      T value;
+      bool delivered = false;
+      bool await_ready() {
+        if (ch->can_send()) {
+          ch->items_.push_back(std::move(value));
+          ch->wake_one_receiver();
+          delivered = true;
+          return true;
+        }
+        return ch->closed_;  // closed: complete immediately, undelivered
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        ch->send_waiters_.push_back({h, &value, &delivered});
+      }
+      bool await_resume() const noexcept { return delivered; }
+    };
+    return Awaiter{this, std::move(value)};
+  }
+
+  /// Awaitable receive; yields nullopt when the channel is closed and empty.
+  [[nodiscard]] auto recv() {
+    struct Awaiter {
+      Channel* ch;
+      bool await_ready() const noexcept {
+        return !ch->items_.empty() || ch->closed_;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        ch->recv_waiters_.push_back(h);
+      }
+      std::optional<T> await_resume() {
+        if (ch->items_.empty()) return std::nullopt;  // closed and drained
+        T v = std::move(ch->items_.front());
+        ch->items_.pop_front();
+        ch->wake_one_sender();
+        return v;
+      }
+    };
+    return Awaiter{this};
+  }
+
+ private:
+  struct SendWaiter {
+    std::coroutine_handle<> h;
+    T* value;
+    bool* delivered;
+  };
+
+  void wake_one_receiver() {
+    if (!recv_waiters_.empty()) {
+      eng_->schedule(recv_waiters_.front(), 0);
+      recv_waiters_.pop_front();
+    }
+  }
+  void wake_all_receivers() {
+    for (auto h : recv_waiters_) eng_->schedule(h, 0);
+    recv_waiters_.clear();
+  }
+  /// A slot was just freed: enqueue the longest-waiting sender's value
+  /// immediately (slot ownership transfer) and schedule its resume.
+  void wake_one_sender() {
+    if (!send_waiters_.empty()) {
+      SendWaiter w = send_waiters_.front();
+      send_waiters_.pop_front();
+      items_.push_back(std::move(*w.value));
+      *w.delivered = true;
+      eng_->schedule(w.h, 0);
+    }
+  }
+  void wake_all_senders() {
+    for (const auto& w : send_waiters_) eng_->schedule(w.h, 0);
+    send_waiters_.clear();
+  }
+
+  Engine* eng_;
+  std::size_t capacity_;
+  bool closed_ = false;
+  std::deque<T> items_;
+  std::deque<std::coroutine_handle<>> recv_waiters_;
+  std::deque<SendWaiter> send_waiters_;
+};
+
+}  // namespace lmas::sim

@@ -1,0 +1,34 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+
+namespace lmas::sim {
+
+std::size_t Engine::run(SimTime until) {
+  std::size_t processed = 0;
+  while (!events_.empty()) {
+    Event ev = events_.top();
+    if (ev.t > until) break;
+    events_.pop();
+    now_ = ev.t;
+    ++processed;
+    if (ev.h && !ev.h.done()) {
+      ev.h.resume();
+    }
+  }
+  return processed;
+}
+
+std::size_t Engine::unfinished_tasks() const noexcept {
+  std::size_t n = 0;
+  for (const auto& t : roots_) {
+    if (t.valid() && !t.done()) ++n;
+  }
+  return n;
+}
+
+void Engine::reap_completed() {
+  std::erase_if(roots_, [](const Task<>& t) { return t.done(); });
+}
+
+}  // namespace lmas::sim

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace lmas::sim {
+
+/// Discrete-event engine. Coroutine processes suspend on awaitables that
+/// register wake-up events; the engine resumes them in (time, sequence)
+/// order, which yields a total causal order over all node activity —
+/// the same guarantee the paper's thread + event-queue emulator provides.
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedule a raw coroutine resume `delay` seconds from now.
+  void schedule(std::coroutine_handle<> h, SimTime delay) {
+    schedule_at(h, now_ + delay);
+  }
+
+  void schedule_at(std::coroutine_handle<> h, SimTime t) {
+    events_.push(Event{t < now_ ? now_ : t, next_seq_++, h});
+  }
+
+  /// Take ownership of a root task and schedule its first resume now.
+  void spawn(Task<> task) {
+    auto handle = task.handle();
+    roots_.push_back(std::move(task));
+    schedule_at(handle, now_);
+  }
+
+  /// Awaitable: suspend the current process for `dt` virtual seconds.
+  [[nodiscard]] auto sleep(SimTime dt) noexcept {
+    struct Awaiter {
+      Engine* eng;
+      SimTime dt;
+      bool await_ready() const noexcept { return dt <= 0; }
+      void await_suspend(std::coroutine_handle<> h) const {
+        eng->schedule(h, dt);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, dt};
+  }
+
+  /// Awaitable: reschedule through the event queue at the current time.
+  /// Yields to any already-queued same-time events (fair interleaving).
+  [[nodiscard]] auto yield() noexcept {
+    struct Awaiter {
+      Engine* eng;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) const {
+        eng->schedule(h, 0);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+  /// Run until the event queue drains or `until` is reached.
+  /// Returns the number of events processed.
+  std::size_t run(SimTime until = kTimeInfinity);
+
+  /// Number of spawned root tasks that have not completed. Non-zero after
+  /// run() drains the queue means blocked (deadlocked or starved) processes.
+  [[nodiscard]] std::size_t unfinished_tasks() const noexcept;
+
+  [[nodiscard]] std::size_t pending_events() const noexcept {
+    return events_.size();
+  }
+
+  /// Drop completed root task frames (optional; frees memory in long runs).
+  void reap_completed();
+
+ private:
+  struct Event {
+    SimTime t;
+    std::uint64_t seq;
+    std::coroutine_handle<> h;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, EventOrder> events_;
+  std::vector<Task<>> roots_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace lmas::sim

@@ -1,0 +1,132 @@
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <string>
+
+#include "sim/engine.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace lmas::sim {
+
+/// Non-preemptive FIFO server: CPUs, disk arms, and NIC links are all
+/// instances of this. `use(service)` charges the caller queueing delay plus
+/// `service` seconds of occupancy; requests are serviced in the causal
+/// order the event queue delivers them. Busy time feeds a
+/// UtilizationRecorder so per-node utilization traces fall out for free.
+class Resource {
+ public:
+  Resource(Engine& eng, std::string name, SimTime util_bin = 0.25)
+      : eng_(&eng), name_(std::move(name)), util_(util_bin) {}
+
+  Resource(const Resource&) = delete;
+  Resource& operator=(const Resource&) = delete;
+
+  /// Awaitable: occupy the server for `service` seconds, after any queued
+  /// work ahead of us completes. Resumes when our service finishes.
+  /// Zero-service requests still pass through the queue, so control
+  /// messages cannot overtake queued work (FIFO ordering is a guarantee).
+  [[nodiscard]] auto use(SimTime service) {
+    struct Awaiter {
+      Resource* res;
+      SimTime service;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        const SimTime now = res->eng_->now();
+        const SimTime start = now > res->free_at_ ? now : res->free_at_;
+        const SimTime end = start + service;
+        res->free_at_ = end;
+        res->util_.add_busy(start, end);
+        res->total_service_ += service;
+        ++res->total_requests_;
+        res->eng_->schedule_at(h, end);
+      }
+      void await_resume() const noexcept {}
+    };
+    assert(service >= 0);
+    return Awaiter{this, service};
+  }
+
+  /// Reserve occupancy without suspending the caller (e.g. the paper's
+  /// write-behind: a write occupies the disk but the writer proceeds).
+  /// Returns the completion time of the posted work.
+  SimTime post(SimTime service) {
+    const SimTime now = eng_->now();
+    const SimTime start = now > free_at_ ? now : free_at_;
+    const SimTime end = start + service;
+    free_at_ = end;
+    util_.add_busy(start, end);
+    total_service_ += service;
+    ++total_requests_;
+    return end;
+  }
+
+  /// Time at which currently queued work completes.
+  [[nodiscard]] SimTime free_at() const noexcept { return free_at_; }
+  [[nodiscard]] SimTime backlog() const noexcept {
+    const SimTime now = eng_->now();
+    return free_at_ > now ? free_at_ - now : 0;
+  }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const UtilizationRecorder& utilization() const noexcept {
+    return util_;
+  }
+  [[nodiscard]] SimTime total_service() const noexcept {
+    return total_service_;
+  }
+  [[nodiscard]] std::uint64_t total_requests() const noexcept {
+    return total_requests_;
+  }
+
+ private:
+  Engine* eng_;
+  std::string name_;
+  UtilizationRecorder util_;
+  SimTime free_at_ = 0;
+  SimTime total_service_ = 0;
+  std::uint64_t total_requests_ = 0;
+};
+
+/// Condition variable for simulated processes. The paper implements
+/// blocking waits by posting a wake-up event at t = infinity and re-timing
+/// it on signal; here waiters simply park until notify schedules them.
+class Condition {
+ public:
+  explicit Condition(Engine& eng) : eng_(&eng) {}
+  Condition(const Condition&) = delete;
+  Condition& operator=(const Condition&) = delete;
+
+  [[nodiscard]] auto wait() {
+    struct Awaiter {
+      Condition* cv;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        cv->waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+  void notify_all() {
+    for (auto h : waiters_) eng_->schedule(h, 0);
+    waiters_.clear();
+  }
+
+  void notify_one() {
+    if (!waiters_.empty()) {
+      eng_->schedule(waiters_.front(), 0);
+      waiters_.erase(waiters_.begin());
+    }
+  }
+
+  [[nodiscard]] std::size_t waiting() const noexcept { return waiters_.size(); }
+
+ private:
+  Engine* eng_;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace lmas::sim

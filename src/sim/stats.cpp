@@ -1,0 +1,44 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+
+namespace lmas::sim {
+
+void UtilizationRecorder::add_busy(SimTime start, SimTime end) {
+  if (end <= start) return;
+  total_busy_ += end - start;
+  const auto first = static_cast<std::size_t>(start / bin_width_);
+  const auto last = static_cast<std::size_t>(end / bin_width_);
+  if (bins_.size() <= last) bins_.resize(last + 1, 0.0);
+  for (std::size_t b = first; b <= last; ++b) {
+    const SimTime lo = std::max<SimTime>(start, double(b) * bin_width_);
+    const SimTime hi = std::min<SimTime>(end, double(b + 1) * bin_width_);
+    if (hi > lo) bins_[b] += hi - lo;
+  }
+}
+
+std::vector<double> UtilizationRecorder::series(SimTime horizon) const {
+  const auto nbins =
+      static_cast<std::size_t>(std::ceil(horizon / bin_width_));
+  std::vector<double> out(nbins, 0.0);
+  for (std::size_t b = 0; b < nbins && b < bins_.size(); ++b) {
+    out[b] = std::min(1.0, bins_[b] / bin_width_);
+  }
+  return out;
+}
+
+void Accumulator::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double d = x - mean_;
+  mean_ += d / double(n_);
+  m2_ += d * (x - mean_);
+}
+
+}  // namespace lmas::sim

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace lmas::sim {
+
+/// Records busy time of a server into fixed-width bins so utilization can
+/// be reported as a time series (Figure 10 plots exactly this).
+class UtilizationRecorder {
+ public:
+  explicit UtilizationRecorder(SimTime bin_width = 0.25)
+      : bin_width_(bin_width) {}
+
+  /// Charge the interval [start, end) as busy.
+  void add_busy(SimTime start, SimTime end);
+
+  [[nodiscard]] SimTime bin_width() const noexcept { return bin_width_; }
+  [[nodiscard]] SimTime total_busy() const noexcept { return total_busy_; }
+
+  /// Utilization of each bin in [0, horizon); bins the recorder never saw
+  /// are 0. The final (partial) bin is normalized by the full bin width.
+  [[nodiscard]] std::vector<double> series(SimTime horizon) const;
+
+  /// Mean utilization over [0, horizon).
+  [[nodiscard]] double mean_utilization(SimTime horizon) const {
+    return horizon > 0 ? total_busy_ / horizon : 0.0;
+  }
+
+ private:
+  SimTime bin_width_;
+  SimTime total_busy_ = 0;
+  std::vector<double> bins_;  // busy seconds per bin
+};
+
+/// Streaming mean/variance/min/max (Welford).
+class Accumulator {
+ public:
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / double(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0, m2_ = 0, sum_ = 0;
+  double min_ = 0, max_ = 0;
+};
+
+}  // namespace lmas::sim

@@ -1,0 +1,129 @@
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace lmas::sim {
+
+template <typename T = void>
+class Task;
+
+namespace detail {
+
+/// Shared state for all task promises: completion continuation and
+/// exception propagation. Tasks are lazily started (suspend at entry) so
+/// the Engine or an awaiting parent decides when they first run.
+struct PromiseBase {
+  std::coroutine_handle<> continuation;
+  std::exception_ptr exception;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+    template <typename P>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<P> h) noexcept {
+      auto cont = h.promise().continuation;
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() const noexcept {}
+  };
+  FinalAwaiter final_suspend() noexcept { return {}; }
+
+  void unhandled_exception() noexcept { exception = std::current_exception(); }
+};
+
+template <typename T>
+struct Promise : PromiseBase {
+  T value{};
+  Task<T> get_return_object() noexcept;
+  void return_value(T v) noexcept(std::is_nothrow_move_assignable_v<T>) {
+    value = std::move(v);
+  }
+};
+
+template <>
+struct Promise<void> : PromiseBase {
+  Task<void> get_return_object() noexcept;
+  void return_void() const noexcept {}
+};
+
+}  // namespace detail
+
+/// A lazily-started coroutine owned by its handle. Awaiting a Task starts
+/// it via symmetric transfer; when it finishes, control returns to the
+/// awaiter at the same virtual time. Root tasks are owned by the Engine.
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  using promise_type = detail::Promise<T>;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task() noexcept = default;
+  explicit Task(Handle h) noexcept : handle_(h) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  [[nodiscard]] bool valid() const noexcept { return bool(handle_); }
+  [[nodiscard]] bool done() const noexcept { return handle_ && handle_.done(); }
+
+  /// Release ownership of the underlying handle (Engine::spawn uses this).
+  Handle release() noexcept { return std::exchange(handle_, {}); }
+  Handle handle() const noexcept { return handle_; }
+
+  auto operator co_await() noexcept {
+    struct Awaiter {
+      Handle h;
+      bool await_ready() const noexcept { return !h || h.done(); }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> cont) noexcept {
+        h.promise().continuation = cont;
+        return h;  // start the child now, at the same virtual time
+      }
+      T await_resume() {
+        if (h.promise().exception) {
+          std::rethrow_exception(h.promise().exception);
+        }
+        if constexpr (!std::is_void_v<T>) {
+          return std::move(h.promise().value);
+        }
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  void destroy() noexcept {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+  Handle handle_{};
+};
+
+namespace detail {
+
+template <typename T>
+Task<T> Promise<T>::get_return_object() noexcept {
+  return Task<T>{std::coroutine_handle<Promise<T>>::from_promise(*this)};
+}
+
+inline Task<void> Promise<void>::get_return_object() noexcept {
+  return Task<void>{std::coroutine_handle<Promise<void>>::from_promise(*this)};
+}
+
+}  // namespace detail
+
+}  // namespace lmas::sim

@@ -1,0 +1,14 @@
+#pragma once
+
+#include <limits>
+
+namespace lmas::sim {
+
+/// Virtual time in seconds. Events at equal time are ordered by insertion
+/// sequence, so double precision is sufficient for deterministic replay.
+using SimTime = double;
+
+inline constexpr SimTime kTimeInfinity =
+    std::numeric_limits<SimTime>::infinity();
+
+}  // namespace lmas::sim

@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/core.hpp"
+
+namespace core = lmas::core;
+namespace asu = lmas::asu;
+
+namespace {
+
+asu::MachineParams machine(unsigned hosts, unsigned asus, double c = 8.0) {
+  asu::MachineParams mp;
+  mp.num_hosts = hosts;
+  mp.num_asus = asus;
+  mp.c = c;
+  return mp;
+}
+
+core::DsmSortConfig small_config(std::size_t n = 1 << 16) {
+  core::DsmSortConfig cfg;
+  cfg.total_records = n;
+  cfg.alpha = 16;
+  cfg.log2_alpha_beta = 14;  // beta = 1024: several runs even at small n
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(DsmSort, Pass1ProducesSortedRunsAndConservesRecords) {
+  auto rep = core::run_dsm_sort(machine(1, 4), small_config());
+  EXPECT_TRUE(rep.runs_sorted_ok);
+  EXPECT_TRUE(rep.subsets_ok);
+  EXPECT_TRUE(rep.checksum_ok);
+  EXPECT_TRUE(rep.ok());
+  EXPECT_EQ(rep.records_in, std::size_t(1) << 16);
+  EXPECT_EQ(rep.records_stored, rep.records_in);
+  EXPECT_GT(rep.runs_stored, 0u);
+  EXPECT_GT(rep.pass1_seconds, 0.0);
+}
+
+TEST(DsmSort, PassiveBaselineAlsoCorrect) {
+  auto cfg = small_config();
+  cfg.distribute_on_asus = false;
+  auto rep = core::run_dsm_sort(machine(1, 4), cfg);
+  EXPECT_TRUE(rep.ok());
+  EXPECT_EQ(rep.records_stored, cfg.total_records);
+  // Baseline forms full-K runs (except possibly the last); each run is
+  // striped across the ASUs, so stored stripe count <= runs * D.
+  EXPECT_LE(rep.runs_stored,
+            ((cfg.total_records >> cfg.log2_alpha_beta) + 1) * 4);
+}
+
+TEST(DsmSort, FullTwoPassSortIsGloballySorted) {
+  auto cfg = small_config();
+  cfg.run_merge_pass = true;
+  auto rep = core::run_dsm_sort(machine(2, 4), cfg);
+  EXPECT_TRUE(rep.ok());
+  EXPECT_TRUE(rep.final_sorted_ok);
+  EXPECT_EQ(rep.records_final, cfg.total_records);
+  EXPECT_GT(rep.pass2_seconds, 0.0);
+  EXPECT_NEAR(rep.makespan, rep.pass1_seconds + rep.pass2_seconds, 1e-9);
+}
+
+struct DsmCase {
+  unsigned hosts;
+  unsigned asus;
+  unsigned alpha;
+  core::KeyDist dist;
+  bool merge;
+};
+
+class DsmSweep : public ::testing::TestWithParam<DsmCase> {};
+
+TEST_P(DsmSweep, EndToEndInvariantsHold) {
+  const auto& pc = GetParam();
+  auto cfg = small_config(1 << 15);
+  cfg.alpha = pc.alpha;
+  cfg.key_dist = pc.dist;
+  cfg.run_merge_pass = pc.merge;
+  auto rep = core::run_dsm_sort(machine(pc.hosts, pc.asus), cfg);
+  EXPECT_TRUE(rep.ok()) << "alpha=" << pc.alpha;
+  EXPECT_EQ(rep.records_stored, cfg.total_records);
+  if (pc.merge) EXPECT_EQ(rep.records_final, cfg.total_records);
+  // All sort work happened on hosts.
+  const auto sorted_total =
+      std::accumulate(rep.records_sorted_per_host.begin(),
+                      rep.records_sorted_per_host.end(), std::size_t{0});
+  EXPECT_EQ(sorted_total, cfg.total_records);
+  // Utilizations are sane.
+  for (const auto& u : rep.hosts) {
+    EXPECT_GE(u.mean, 0.0);
+    EXPECT_LE(u.mean, 1.0 + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DsmSweep,
+    ::testing::Values(
+        DsmCase{1, 2, 1, core::KeyDist::Uniform, false},
+        DsmCase{1, 2, 256, core::KeyDist::Uniform, false},
+        DsmCase{1, 8, 16, core::KeyDist::Uniform, true},
+        DsmCase{2, 4, 4, core::KeyDist::Exponential, true},
+        DsmCase{2, 16, 64, core::KeyDist::HalfUniformHalfExp, false},
+        DsmCase{4, 8, 16, core::KeyDist::Uniform, true},
+        DsmCase{1, 3, 16, core::KeyDist::Sorted, true},
+        DsmCase{2, 5, 16, core::KeyDist::ReverseSorted, true}));
+
+TEST(DsmSort, OddRecordCountsAndTinyInputs) {
+  for (std::size_t n : {std::size_t(1), std::size_t(17), std::size_t(4097)}) {
+    auto cfg = small_config(n);
+    cfg.run_merge_pass = true;
+    auto rep = core::run_dsm_sort(machine(1, 3), cfg);
+    EXPECT_TRUE(rep.ok()) << "n=" << n;
+    EXPECT_EQ(rep.records_stored, n);
+    EXPECT_EQ(rep.records_final, n);
+  }
+}
+
+TEST(DsmSort, DeterministicAcrossRuns) {
+  auto cfg = small_config();
+  auto r1 = core::run_dsm_sort(machine(1, 4), cfg);
+  auto r2 = core::run_dsm_sort(machine(1, 4), cfg);
+  EXPECT_DOUBLE_EQ(r1.pass1_seconds, r2.pass1_seconds);
+  EXPECT_EQ(r1.runs_stored, r2.runs_stored);
+  EXPECT_EQ(r1.records_sorted_per_host, r2.records_sorted_per_host);
+}
+
+// ---------- the paper's qualitative performance claims ----------
+
+TEST(DsmSortShape, HighAlphaLosesWithFewAsus) {
+  // Figure 9, left edge: with 2 slow ASUs, alpha=256 shifts too much work
+  // onto the bottlenecked ASUs and runs slower than the passive baseline.
+  auto cfg = small_config(1 << 17);
+  cfg.log2_alpha_beta = 18;
+  cfg.alpha = 256;
+  auto active = core::run_dsm_sort(machine(1, 2), cfg);
+  cfg.distribute_on_asus = false;
+  auto passive = core::run_dsm_sort(machine(1, 2), cfg);
+  EXPECT_TRUE(active.ok());
+  EXPECT_TRUE(passive.ok());
+  EXPECT_GT(active.pass1_seconds, passive.pass1_seconds);
+}
+
+TEST(DsmSortShape, HighAlphaWinsWithManyAsus) {
+  // Figure 9, right edge: with 16 ASUs the host saturates; alpha=256
+  // offloads comparisons and beats the baseline. N must dwarf K and the
+  // ASU staging budget for the pipeline to reach steady state.
+  auto cfg = small_config(1 << 22);
+  cfg.log2_alpha_beta = 18;
+  cfg.alpha = 256;
+  auto active = core::run_dsm_sort(machine(1, 16), cfg);
+  cfg.distribute_on_asus = false;
+  auto passive = core::run_dsm_sort(machine(1, 16), cfg);
+  EXPECT_TRUE(active.ok());
+  EXPECT_TRUE(passive.ok());
+  EXPECT_LT(active.pass1_seconds, passive.pass1_seconds);
+  const double speedup = passive.pass1_seconds / active.pass1_seconds;
+  EXPECT_GT(speedup, 1.2);
+  EXPECT_LT(speedup, 2.0);
+}
+
+TEST(DsmSortShape, SrRoutingBalancesSkewAcrossHosts) {
+  // Figure 10: half-uniform/half-exponential input. Static subset
+  // partitioning leaves one host underused; SR keeps both busy and
+  // finishes sooner.
+  auto cfg = small_config(1 << 17);
+  cfg.alpha = 16;
+  cfg.key_dist = core::KeyDist::HalfUniformHalfExp;
+  cfg.sort_router = core::RouterKind::Static;
+  auto stat = core::run_dsm_sort(machine(2, 8), cfg);
+  cfg.sort_router = core::RouterKind::SimpleRandomization;
+  auto sr = core::run_dsm_sort(machine(2, 8), cfg);
+  ASSERT_TRUE(stat.ok());
+  ASSERT_TRUE(sr.ok());
+
+  auto imbalance = [](const core::DsmSortReport& r) {
+    const double a = double(r.records_sorted_per_host[0]);
+    const double b = double(r.records_sorted_per_host[1]);
+    return std::abs(a - b) / (a + b);
+  };
+  EXPECT_GT(imbalance(stat), 0.15);  // skew hits one host
+  EXPECT_LT(imbalance(sr), 0.05);    // SR splits every subset evenly
+  EXPECT_LT(sr.pass1_seconds, stat.pass1_seconds);
+}
+
+TEST(DsmSortShape, UtilizationSeriesShowsIdleHostUnderStaticSkew) {
+  auto cfg = small_config(1 << 17);
+  cfg.alpha = 16;
+  cfg.key_dist = core::KeyDist::HalfUniformHalfExp;
+  cfg.sort_router = core::RouterKind::Static;
+  auto rep = core::run_dsm_sort(machine(2, 8), cfg);
+  ASSERT_TRUE(rep.ok());
+  // Mean utilizations differ notably between the two hosts.
+  EXPECT_GT(std::abs(rep.hosts[0].mean - rep.hosts[1].mean), 0.1);
+}
+
+// ---------- predictor / adaptive configuration ----------
+
+TEST(Adaptive, PredictorTracksSimulatedPass1Time) {
+  // Needs N >> K and N/D >> the ASU staging budget so pipeline ramps are
+  // second-order, as in the paper's experiments.
+  auto cfg = small_config(1 << 21);
+  cfg.log2_alpha_beta = 18;
+  for (unsigned alpha : {1u, 16u, 256u}) {
+    cfg.alpha = alpha;
+    const auto mp = machine(1, 8);
+    const auto pred = core::predict_pass1(mp, cfg);
+    const auto rep = core::run_dsm_sort(mp, cfg);
+    EXPECT_TRUE(rep.ok());
+    EXPECT_NEAR(pred.seconds, rep.pass1_seconds, 0.35 * rep.pass1_seconds)
+        << "alpha=" << alpha << " bottleneck=" << pred.bottleneck;
+  }
+}
+
+TEST(Adaptive, ChoosesSmallAlphaForFewAsusLargeForMany) {
+  const unsigned candidates[] = {1, 4, 16, 64, 256};
+  auto cfg = small_config(1 << 20);
+  cfg.log2_alpha_beta = 18;
+  const unsigned few = core::choose_alpha(machine(1, 2), cfg, candidates);
+  const unsigned many = core::choose_alpha(machine(1, 64), cfg, candidates);
+  EXPECT_LE(few, 4u);
+  EXPECT_EQ(many, 256u);
+}
+
+TEST(Adaptive, AdaptiveNeverWorseThanFixedChoices) {
+  const unsigned candidates[] = {1, 4, 16, 64, 256};
+  auto cfg = small_config(1 << 20);
+  cfg.log2_alpha_beta = 18;
+  for (unsigned d : {2u, 8u, 32u}) {
+    const auto mp = machine(1, d);
+    const unsigned star = core::choose_alpha(mp, cfg, candidates);
+    auto best_cfg = cfg;
+    best_cfg.alpha = star;
+    const double t_star = core::predict_pass1(mp, best_cfg).seconds;
+    for (unsigned a : candidates) {
+      auto c = cfg;
+      c.alpha = a;
+      EXPECT_LE(t_star, core::predict_pass1(mp, c).seconds + 1e-12);
+    }
+  }
+}
+
+TEST(Adaptive, SpeedupPredictionMatchesHandAnalysis) {
+  // At D -> infinity the active pass-1 is host-bound at
+  // handling + log2(beta) compares vs. baseline handling + log2(K):
+  // the asymptotic speedup for alpha=256, K=2^18 is about 1.6-1.7.
+  auto cfg = small_config(1 << 20);
+  cfg.log2_alpha_beta = 18;
+  cfg.alpha = 256;
+  const double s = core::predict_speedup(machine(1, 512), cfg);
+  EXPECT_GT(s, 1.4);
+  EXPECT_LT(s, 1.9);
+}
+
+}  // namespace
+
+namespace {
+
+TEST(DsmSort, BitIdenticalReplayAcrossProcessRuns) {
+  // Full determinism: every timing, count and utilization bin must be
+  // byte-identical between two executions of the same seeded config —
+  // the property that makes the figure benches reproducible.
+  auto cfg = small_config(1 << 16);
+  cfg.run_merge_pass = true;
+  cfg.key_dist = core::KeyDist::HalfUniformHalfExp;
+  cfg.sort_router = core::RouterKind::SimpleRandomization;
+  const auto a = core::run_dsm_sort(machine(2, 6), cfg);
+  const auto b = core::run_dsm_sort(machine(2, 6), cfg);
+  EXPECT_EQ(a.pass1_seconds, b.pass1_seconds);
+  EXPECT_EQ(a.pass2_seconds, b.pass2_seconds);
+  EXPECT_EQ(a.runs_stored, b.runs_stored);
+  ASSERT_EQ(a.hosts.size(), b.hosts.size());
+  for (std::size_t h = 0; h < a.hosts.size(); ++h) {
+    EXPECT_EQ(a.hosts[h].series, b.hosts[h].series);
+  }
+}
+
+TEST(DsmSort, SeedChangesDataButNotCorrectness) {
+  auto cfg = small_config(1 << 15);
+  const auto a = core::run_dsm_sort(machine(1, 4), cfg);
+  cfg.seed = 12345;
+  const auto b = core::run_dsm_sort(machine(1, 4), cfg);
+  EXPECT_TRUE(a.ok());
+  EXPECT_TRUE(b.ok());
+  EXPECT_NE(a.pass1_seconds, b.pass1_seconds);  // different keys, new timing
+}
+
+}  // namespace

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "core/core.hpp"
+
+namespace core = lmas::core;
+namespace asu = lmas::asu;
+
+namespace {
+
+asu::MachineParams machine(unsigned hosts, unsigned asus) {
+  asu::MachineParams mp;
+  mp.num_hosts = hosts;
+  mp.num_asus = asus;
+  return mp;
+}
+
+TEST(Predictor, IdentifiesHostBottleneckInBaseRegime) {
+  core::DsmSortConfig cfg;
+  cfg.total_records = 1 << 22;
+  cfg.alpha = 1;
+  const auto p = core::predict_pass1(machine(1, 16), cfg);
+  EXPECT_EQ(p.bottleneck, "host-cpu");
+  EXPECT_GT(p.seconds, 0.0);
+}
+
+TEST(Predictor, IdentifiesAsuBottleneckWithFewUnits) {
+  core::DsmSortConfig cfg;
+  cfg.total_records = 1 << 22;
+  cfg.alpha = 256;
+  const auto p = core::predict_pass1(machine(1, 2), cfg);
+  EXPECT_EQ(p.bottleneck, "asu-cpu");
+}
+
+TEST(Predictor, IdentifiesDiskBottleneckWhenDisksAreSlow) {
+  auto mp = machine(1, 4);
+  mp.disk_rate = 10e6;  // 10 MB/s bricks: sequential I/O dominates
+  core::DsmSortConfig cfg;
+  cfg.total_records = 1 << 22;
+  cfg.alpha = 1;
+  const auto p = core::predict_pass1(mp, cfg);
+  EXPECT_EQ(p.bottleneck, "disk");
+}
+
+TEST(Predictor, IdentifiesNetworkBottleneckWhenLinksAreThin) {
+  auto mp = machine(1, 4);
+  mp.link_bandwidth = 5e6;  // 5 MB/s links
+  core::DsmSortConfig cfg;
+  cfg.total_records = 1 << 22;
+  cfg.alpha = 1;
+  const auto p = core::predict_pass1(mp, cfg);
+  EXPECT_EQ(p.bottleneck, "network");
+}
+
+TEST(Predictor, MoreHostsShrinkHostTime) {
+  core::DsmSortConfig cfg;
+  cfg.total_records = 1 << 22;
+  cfg.alpha = 16;
+  const auto one = core::predict_pass1(machine(1, 32), cfg);
+  const auto four = core::predict_pass1(machine(4, 32), cfg);
+  EXPECT_NEAR(four.host_cpu_seconds, one.host_cpu_seconds / 4, 1e-9);
+}
+
+TEST(Predictor, SpeedupMonotoneInAsusForHighAlpha) {
+  core::DsmSortConfig cfg;
+  cfg.total_records = 1 << 22;
+  cfg.alpha = 256;
+  double prev = 0;
+  for (unsigned d : {2u, 4u, 8u, 16u, 32u}) {
+    const double s = core::predict_speedup(machine(1, d), cfg);
+    EXPECT_GE(s, prev);
+    prev = s;
+  }
+  EXPECT_GT(prev, 1.3);  // plateau for alpha=256
+}
+
+TEST(Predictor, PassiveConfigHasNoAsuCpuTerm) {
+  core::DsmSortConfig cfg;
+  cfg.total_records = 1 << 22;
+  cfg.distribute_on_asus = false;
+  const auto p = core::predict_pass1(machine(1, 8), cfg);
+  // Only the NIC streaming share remains at the ASUs.
+  EXPECT_LT(p.asu_cpu_seconds, p.host_cpu_seconds / 4);
+}
+
+TEST(Predictor, ChooseAlphaEmptyCandidatesKeepsBase) {
+  core::DsmSortConfig cfg;
+  cfg.alpha = 64;
+  EXPECT_EQ(core::choose_alpha(machine(1, 8), cfg, {}), 64u);
+}
+
+}  // namespace

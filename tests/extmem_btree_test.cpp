@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "extmem/btree.hpp"
+#include "sim/random.hpp"
+
+namespace em = lmas::em;
+using lmas::sim::Rng;
+
+namespace {
+
+TEST(BTree, EmptyTree) {
+  em::BTree t;
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_FALSE(t.find(0).has_value());
+  EXPECT_TRUE(t.range(0, 0xffffffffu).empty());
+  EXPECT_TRUE(t.validate());
+}
+
+TEST(BTree, SingleInsertFind) {
+  em::BTree t;
+  t.insert(42, 1000);
+  EXPECT_EQ(t.find(42).value(), 1000u);
+  EXPECT_FALSE(t.find(41).has_value());
+  EXPECT_FALSE(t.find(43).has_value());
+  EXPECT_TRUE(t.validate());
+}
+
+TEST(BTree, OverwriteKeepsSizeAndUpdatesValue) {
+  em::BTree t;
+  t.insert(7, 1);
+  t.insert(7, 2);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.find(7).value(), 2u);
+}
+
+TEST(BTree, SequentialInsertsSplitAndStaySorted) {
+  em::BTree t(em::make_memory_bte(), 4);  // tiny fan-out: deep tree
+  for (std::uint32_t k = 0; k < 1000; ++k) t.insert(k, k * 10);
+  EXPECT_EQ(t.size(), 1000u);
+  EXPECT_GE(t.height(), 4u);
+  EXPECT_TRUE(t.validate());
+  for (std::uint32_t k = 0; k < 1000; ++k) {
+    ASSERT_EQ(t.find(k).value(), k * 10) << k;
+  }
+}
+
+TEST(BTree, ReverseAndShuffledInserts) {
+  for (const char* mode : {"reverse", "shuffled"}) {
+    em::BTree t(em::make_memory_bte(), 6);
+    std::vector<std::uint32_t> keys(2000);
+    for (std::uint32_t i = 0; i < keys.size(); ++i) {
+      keys[i] = std::uint32_t(keys.size()) - i;
+    }
+    if (mode[0] == 's') {
+      Rng rng(5);
+      for (std::size_t i = keys.size(); i > 1; --i) {
+        std::swap(keys[i - 1], keys[rng.below(i)]);
+      }
+    }
+    for (auto k : keys) t.insert(k, k + 1);
+    EXPECT_EQ(t.size(), 2000u);
+    EXPECT_TRUE(t.validate()) << mode;
+    for (auto k : keys) ASSERT_EQ(t.find(k).value(), k + 1);
+  }
+}
+
+TEST(BTree, MatchesStdMapOracle) {
+  em::BTree t(em::make_memory_bte(), 8);
+  std::map<std::uint32_t, std::uint32_t> oracle;
+  Rng rng(11);
+  for (int i = 0; i < 20000; ++i) {
+    const auto k = std::uint32_t(rng.below(5000));  // plenty of overwrites
+    const auto v = std::uint32_t(rng.next());
+    t.insert(k, v);
+    oracle[k] = v;
+  }
+  EXPECT_EQ(t.size(), oracle.size());
+  EXPECT_TRUE(t.validate());
+  for (const auto& [k, v] : oracle) ASSERT_EQ(t.find(k).value(), v);
+  // Probe absent keys too.
+  for (int i = 0; i < 1000; ++i) {
+    const auto k = std::uint32_t(5000 + rng.below(100000));
+    EXPECT_FALSE(t.find(k).has_value());
+  }
+}
+
+TEST(BTree, RangeQueriesMatchOracle) {
+  em::BTree t(em::make_memory_bte(), 8);
+  std::map<std::uint32_t, std::uint32_t> oracle;
+  Rng rng(13);
+  for (int i = 0; i < 5000; ++i) {
+    const auto k = std::uint32_t(rng.below(100000));
+    t.insert(k, k ^ 0xabcdu);
+    oracle[k] = k ^ 0xabcdu;
+  }
+  for (int q = 0; q < 100; ++q) {
+    auto lo = std::uint32_t(rng.below(100000));
+    auto hi = std::uint32_t(rng.below(100000));
+    if (lo > hi) std::swap(lo, hi);
+    const auto got = t.range(lo, hi);
+    auto it = oracle.lower_bound(lo);
+    std::size_t idx = 0;
+    for (; it != oracle.end() && it->first <= hi; ++it, ++idx) {
+      ASSERT_LT(idx, got.size());
+      EXPECT_EQ(got[idx].first, it->first);
+      EXPECT_EQ(got[idx].second, it->second);
+    }
+    EXPECT_EQ(idx, got.size());
+  }
+}
+
+TEST(BTree, RangeBoundaryCases) {
+  em::BTree t;
+  for (std::uint32_t k = 10; k <= 100; k += 10) t.insert(k, k);
+  EXPECT_TRUE(t.range(0, 9).empty());
+  EXPECT_TRUE(t.range(101, 0xffffffffu).empty());
+  EXPECT_EQ(t.range(10, 10).size(), 1u);     // exact endpoints inclusive
+  EXPECT_EQ(t.range(15, 45).size(), 3u);     // 20 30 40
+  EXPECT_EQ(t.range(0, 0xffffffffu).size(), 10u);
+}
+
+TEST(BTree, BulkLoadMatchesIncremental) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  for (std::uint32_t k = 0; k < 3000; ++k) pairs.emplace_back(k * 3, k);
+  auto bulk = em::BTree::bulk_load(pairs, em::make_memory_bte(), 8);
+  EXPECT_EQ(bulk.size(), pairs.size());
+  EXPECT_TRUE(bulk.validate());
+  for (const auto& [k, v] : pairs) ASSERT_EQ(bulk.find(k).value(), v);
+  EXPECT_FALSE(bulk.find(1).has_value());
+  const auto r = bulk.range(300, 600);
+  EXPECT_EQ(r.size(), 101u);
+
+  // Bulk-loaded trees keep accepting inserts.
+  auto t = em::BTree::bulk_load(pairs, em::make_memory_bte(), 8);
+  t.insert(1, 999);
+  EXPECT_EQ(t.find(1).value(), 999u);
+  EXPECT_EQ(t.size(), pairs.size() + 1);
+  EXPECT_TRUE(t.validate());
+}
+
+TEST(BTree, BulkLoadEmptyAndTiny) {
+  auto empty = em::BTree::bulk_load({});
+  EXPECT_EQ(empty.size(), 0u);
+  auto one = em::BTree::bulk_load({{5, 50}});
+  EXPECT_EQ(one.find(5).value(), 50u);
+  EXPECT_TRUE(one.validate());
+}
+
+TEST(BTree, FileBackedPersistsWithinSession) {
+  em::BTree t(em::make_temp_file_bte(), 16);
+  Rng rng(17);
+  std::map<std::uint32_t, std::uint32_t> oracle;
+  for (int i = 0; i < 3000; ++i) {
+    const auto k = std::uint32_t(rng.next());
+    t.insert(k, ~k);
+    oracle[k] = ~k;
+  }
+  EXPECT_TRUE(t.validate());
+  for (const auto& [k, v] : oracle) ASSERT_EQ(t.find(k).value(), v);
+  EXPECT_GT(t.io_stats().bytes_written, 0u);
+}
+
+TEST(BTree, IoScalesLogarithmically) {
+  em::BTree t(em::make_memory_bte(), 64);
+  for (std::uint32_t k = 0; k < 100000; ++k) t.insert(k, k);
+  const auto before = t.io_stats().read_ops;
+  (void)t.find(55555);
+  const auto probes = t.io_stats().read_ops - before;
+  // height ~ log_64(100k) = 3ish node reads per lookup.
+  EXPECT_LE(probes, t.height());
+}
+
+}  // namespace

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "gis/gis.hpp"
+
+namespace gis = lmas::gis;
+
+namespace {
+
+/// Independent in-memory oracle: process cells in descending (elev, id)
+/// order and push areas along steepest-descent edges computed directly
+/// from the grid.
+std::vector<std::uint64_t> oracle_accumulation(const gis::Grid& g) {
+  const auto n = g.cells();
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  auto elev = [&](std::uint32_t id) {
+    return g.at(id % g.width(), id / g.width());
+  };
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              if (elev(a) != elev(b)) return elev(a) > elev(b);
+              return a > b;
+            });
+  std::vector<std::uint64_t> area(n, 0);
+  for (const auto id : order) {
+    area[id] += 1;
+    const std::uint32_t x = id % g.width(), y = id / g.width();
+    // Steepest-descent neighbor under the (elev, id) total order.
+    bool found = false;
+    float be = 0;
+    std::uint32_t bid = 0;
+    g.for_each_neighbor(x, y, [&](std::uint32_t nx, std::uint32_t ny) {
+      const float ne = g.at(nx, ny);
+      const std::uint32_t nid = g.cell_id(nx, ny);
+      const bool lower =
+          ne < elev(id) || (ne == elev(id) && nid < id);
+      if (!lower) return;
+      if (!found || ne < be || (ne == be && nid < bid)) {
+        found = true;
+        be = ne;
+        bid = nid;
+      }
+    });
+    if (found) area[bid] += area[id];
+  }
+  return area;
+}
+
+TEST(FlowDirection, RampFlowsDiagonallyToOrigin) {
+  auto g = gis::make_ramp(8, 8);
+  auto dir = gis::flow_directions(g);
+  // Interior cells: steepest descent is the NW diagonal (slot 0).
+  EXPECT_EQ(dir[g.cell_id(4, 4)], 0);
+  // Top row (y=0): west neighbor (slot 3).
+  EXPECT_EQ(dir[g.cell_id(4, 0)], 3);
+  // Left column: north neighbor (slot 1).
+  EXPECT_EQ(dir[g.cell_id(0, 4)], 1);
+  // Origin is the unique pit.
+  EXPECT_EQ(dir[g.cell_id(0, 0)], -1);
+  EXPECT_EQ(std::count(dir.begin(), dir.end(), -1), 1);
+}
+
+TEST(FlowAccumulation, RampDrainsEverythingThroughOrigin) {
+  auto g = gis::make_ramp(12, 9);
+  gis::FlowStats st;
+  auto area = gis::flow_accumulation(g, &st);
+  EXPECT_EQ(st.pits, 1u);
+  EXPECT_EQ(area[g.cell_id(0, 0)], 12u * 9);  // everything reaches the pit
+  EXPECT_EQ(st.max_area, 12u * 9);
+  // Every cell contributes at least itself.
+  for (auto a : area) EXPECT_GE(a, 1u);
+}
+
+TEST(FlowAccumulation, AreaConservedAcrossPits) {
+  // Total area collected at the pits equals the number of cells.
+  for (std::uint64_t seed : {3ull, 9ull, 27ull}) {
+    auto g = gis::make_fractal(40, 40, seed);
+    auto dir = gis::flow_directions(g);
+    gis::FlowStats st;
+    auto area = gis::flow_accumulation(g, &st);
+    std::uint64_t at_pits = 0;
+    for (std::size_t id = 0; id < area.size(); ++id) {
+      if (dir[id] == -1) at_pits += area[id];
+    }
+    EXPECT_EQ(at_pits, g.cells()) << "seed " << seed;
+    EXPECT_EQ(st.pits, gis::count_local_minima(g));
+  }
+}
+
+TEST(FlowAccumulation, MatchesInMemoryOracle) {
+  for (std::uint64_t seed : {1ull, 5ull}) {
+    auto g = gis::make_fractal(32, 24, seed);
+    const auto got = gis::flow_accumulation(g);
+    const auto expect = oracle_accumulation(g);
+    ASSERT_EQ(got.size(), expect.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i], expect[i]) << "cell " << i << " seed " << seed;
+    }
+  }
+}
+
+TEST(FlowAccumulation, PitAreasMatchWatershedSizes) {
+  // Cross-validation of the two TerraFlow analyses: the upstream area of
+  // each pit equals the cell count of its watershed.
+  auto g = gis::make_basins(48, 32, {{10, 10}, {38, 20}, {24, 28}});
+  auto colors = gis::watershed_labels(g);
+  gis::FlowStats st;
+  auto area = gis::flow_accumulation(g, &st);
+  auto dir = gis::flow_directions(g);
+
+  std::vector<std::uint64_t> watershed_size(3, 0);
+  for (auto c : colors) ++watershed_size.at(c);
+
+  std::size_t checked = 0;
+  for (std::size_t id = 0; id < area.size(); ++id) {
+    if (dir[id] != -1) continue;
+    EXPECT_EQ(area[id], watershed_size.at(colors[id])) << "pit " << id;
+    ++checked;
+  }
+  EXPECT_EQ(checked, 3u);
+}
+
+TEST(FlowAccumulation, ExternalMemoryPathExercised) {
+  auto g = gis::make_fractal(64, 64, 13);
+  gis::TerraFlowOptions opt;
+  opt.memory_bytes = 16 * 1024;  // force sort runs and PQ spills
+  gis::FlowStats st;
+  auto tight = gis::flow_accumulation(g, &st, opt);
+  EXPECT_GT(st.sort.runs_formed, 1u);
+  auto roomy = gis::flow_accumulation(g);
+  EXPECT_EQ(tight, roomy);  // memory pressure must not change the answer
+}
+
+TEST(FlowAccumulation, FlatGridIsOneSink) {
+  gis::Grid g(6, 6);  // all zero elevation: plateau drains to cell 0
+  gis::FlowStats st;
+  auto area = gis::flow_accumulation(g, &st);
+  EXPECT_EQ(st.pits, 1u);
+  EXPECT_EQ(area[0], 36u);
+}
+
+}  // namespace

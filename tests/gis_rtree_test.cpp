@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "gis/gis.hpp"
+
+namespace gis = lmas::gis;
+
+namespace {
+
+gis::Rect query_rect(float x, float y, float e) {
+  return gis::Rect{x, y, x + e, y + e};
+}
+
+/// Brute-force oracle.
+std::set<std::uint32_t> brute_force(const std::vector<gis::RTree::Item>& items,
+                                    const gis::Rect& q) {
+  std::set<std::uint32_t> out;
+  for (const auto& it : items) {
+    if (it.rect.intersects(q)) out.insert(it.id);
+  }
+  return out;
+}
+
+TEST(Rect, IntersectsAndContains) {
+  gis::Rect a{0, 0, 1, 1};
+  EXPECT_TRUE(a.intersects({0.5f, 0.5f, 2, 2}));
+  EXPECT_TRUE(a.intersects({1, 1, 2, 2}));  // touching counts
+  EXPECT_FALSE(a.intersects({1.1f, 0, 2, 1}));
+  EXPECT_TRUE(a.contains(0.5f, 0.5f));
+  EXPECT_FALSE(a.contains(1.5f, 0.5f));
+  gis::Rect g{0, 0, 0.1f, 0.1f};
+  g.grow({0.5f, -0.5f, 1, 1});
+  EXPECT_FLOAT_EQ(g.y0, -0.5f);
+  EXPECT_FLOAT_EQ(g.x1, 1.0f);
+}
+
+TEST(RTree, EmptyTree) {
+  auto t = gis::RTree::bulk_load({});
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.num_leaves(), 0u);
+  EXPECT_TRUE(t.query(query_rect(0, 0, 1)).empty());
+}
+
+TEST(RTree, SingleItem) {
+  auto t = gis::RTree::bulk_load({{{0.4f, 0.4f, 0.5f, 0.5f}, 7}});
+  auto hit = t.query(query_rect(0.3f, 0.3f, 0.3f));
+  ASSERT_EQ(hit.size(), 1u);
+  EXPECT_EQ(hit[0], 7u);
+  EXPECT_TRUE(t.query(query_rect(0.8f, 0.8f, 0.1f)).empty());
+}
+
+TEST(RTree, MatchesBruteForceOracle) {
+  const auto items = gis::make_random_rects(20000, 3);
+  auto t = gis::RTree::bulk_load(items);
+  lmas::sim::Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const float e = float(rng.uniform()) * 0.1f;
+    const auto q = query_rect(float(rng.uniform()) * 0.9f,
+                              float(rng.uniform()) * 0.9f, e);
+    auto got = t.query(q);
+    std::set<std::uint32_t> got_set(got.begin(), got.end());
+    EXPECT_EQ(got_set.size(), got.size());  // no duplicates
+    EXPECT_EQ(got_set, brute_force(items, q));
+  }
+}
+
+TEST(RTree, StructureRespectsCapacities) {
+  gis::RTreeParams p;
+  p.leaf_capacity = 32;
+  p.node_fanout = 8;
+  auto t = gis::RTree::bulk_load(gis::make_random_rects(10000, 4), p);
+  EXPECT_EQ(t.size(), 10000u);
+  EXPECT_EQ(t.num_leaves(), (10000u + 31) / 32);
+  EXPECT_GE(t.height(), 3u);
+  // Root MBR covers everything.
+  const auto b = t.bounds();
+  for (const auto& it : t.items()) {
+    EXPECT_TRUE(b.intersects(it.rect));
+    EXPECT_LE(b.x0, it.rect.x0);
+    EXPECT_GE(b.x1, it.rect.x1);
+  }
+}
+
+TEST(RTree, QueryStatsCountWork) {
+  auto t = gis::RTree::bulk_load(gis::make_random_rects(50000, 6));
+  gis::RTree::QueryStats st;
+  auto res = t.query(query_rect(0.4f, 0.4f, 0.05f), &st);
+  EXPECT_EQ(st.results, res.size());
+  EXPECT_GT(st.internal_visited, 0u);
+  EXPECT_GT(st.leaves_visited, 0u);
+  // A small query touches a small fraction of the leaves (STR locality).
+  EXPECT_LT(st.leaves_visited, t.num_leaves() / 10);
+}
+
+TEST(RTree, LeavesForAgreesWithQuery) {
+  auto t = gis::RTree::bulk_load(gis::make_random_rects(30000, 8));
+  const auto q = query_rect(0.2f, 0.6f, 0.08f);
+  const auto leaves = t.leaves_for(q);
+  std::size_t hits = 0;
+  for (auto l : leaves) hits += t.scan_leaf(l, q, nullptr);
+  EXPECT_EQ(hits, t.query(q).size());
+}
+
+// ---------- distributed layouts ----------
+
+TEST(LeafPlacement, StripeRoundRobins) {
+  auto p = gis::leaf_placement(10, 4, gis::RTreeLayout::Stripe);
+  EXPECT_EQ(p, (std::vector<std::uint32_t>{0, 1, 2, 3, 0, 1, 2, 3, 0, 1}));
+}
+
+TEST(LeafPlacement, PartitionIsContiguous) {
+  auto p = gis::leaf_placement(10, 4, gis::RTreeLayout::Partition);
+  EXPECT_EQ(p, (std::vector<std::uint32_t>{0, 0, 0, 1, 1, 1, 2, 2, 2, 3}));
+}
+
+TEST(RTreeSim, DistributedResultsMatchCentralizedOracle) {
+  lmas::asu::MachineParams mp;
+  mp.num_hosts = 1;
+  mp.num_asus = 8;
+  gis::RTreeSimConfig cfg;
+  cfg.num_rects = 20000;
+  cfg.clients = 2;
+  cfg.queries_per_client = 16;
+  for (auto layout : {gis::RTreeLayout::Partition, gis::RTreeLayout::Stripe}) {
+    cfg.layout = layout;
+    auto rep = gis::run_rtree_sim(mp, cfg);
+    EXPECT_TRUE(rep.results_match_oracle)
+        << gis::rtree_layout_name(layout);
+    EXPECT_EQ(rep.total_queries, 32u);
+    EXPECT_GT(rep.total_results, 0u);
+    EXPECT_GT(rep.throughput_qps, 0.0);
+  }
+}
+
+TEST(RTreeSim, StripeFansOutPartitionFocuses) {
+  lmas::asu::MachineParams mp;
+  mp.num_hosts = 1;
+  mp.num_asus = 16;
+  gis::RTreeSimConfig cfg;
+  cfg.num_rects = 50000;
+  cfg.clients = 1;
+  cfg.queries_per_client = 32;
+  cfg.layout = gis::RTreeLayout::Stripe;
+  auto stripe = gis::run_rtree_sim(mp, cfg);
+  cfg.layout = gis::RTreeLayout::Partition;
+  auto part = gis::run_rtree_sim(mp, cfg);
+  // Striped leaves: most queries touch many ASUs; partitioned: few.
+  EXPECT_GT(stripe.mean_asus_per_query, part.mean_asus_per_query * 2);
+}
+
+TEST(RTreeSim, StripeBoundsSingleQueryLatency) {
+  // Figure 5's claim: striping executes every query in parallel on all
+  // ASUs, bounding search latency for an isolated query stream.
+  lmas::asu::MachineParams mp;
+  mp.num_hosts = 1;
+  mp.num_asus = 16;
+  gis::RTreeSimConfig cfg;
+  cfg.num_rects = 100000;
+  cfg.clients = 1;
+  cfg.queries_per_client = 32;
+  cfg.query_extent = 0.1f;  // big queries: lots of leaf work
+  cfg.layout = gis::RTreeLayout::Stripe;
+  auto stripe = gis::run_rtree_sim(mp, cfg);
+  cfg.layout = gis::RTreeLayout::Partition;
+  auto part = gis::run_rtree_sim(mp, cfg);
+  EXPECT_LT(stripe.mean_latency, part.mean_latency);
+}
+
+TEST(RTreeSim, PartitionWinsThroughputUnderConcurrency) {
+  // The flip side: with many concurrent small searches, partitioning
+  // spreads different queries across different ASUs, while striping pays
+  // the fan-out overhead on every query.
+  lmas::asu::MachineParams mp;
+  mp.num_hosts = 1;
+  mp.num_asus = 16;
+  gis::RTreeSimConfig cfg;
+  cfg.num_rects = 100000;
+  cfg.clients = 32;
+  cfg.queries_per_client = 8;
+  cfg.query_extent = 0.01f;  // small point-ish queries
+  cfg.layout = gis::RTreeLayout::Partition;
+  auto part = gis::run_rtree_sim(mp, cfg);
+  cfg.layout = gis::RTreeLayout::Stripe;
+  auto stripe = gis::run_rtree_sim(mp, cfg);
+  EXPECT_GT(part.throughput_qps, stripe.throughput_qps);
+}
+
+}  // namespace

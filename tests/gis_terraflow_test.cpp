@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gis/gis.hpp"
+
+namespace gis = lmas::gis;
+namespace em = lmas::em;
+
+namespace {
+
+TEST(Grid, BasicAccessAndNeighbors) {
+  gis::Grid g(4, 3);
+  g.set(2, 1, 7.5f);
+  EXPECT_FLOAT_EQ(g.at(2, 1), 7.5f);
+  EXPECT_EQ(g.cells(), 12u);
+  EXPECT_EQ(g.cell_id(2, 1), 6u);
+
+  int corner = 0, center = 0;
+  g.for_each_neighbor(0, 0, [&](std::uint32_t, std::uint32_t) { ++corner; });
+  g.for_each_neighbor(1, 1, [&](std::uint32_t, std::uint32_t) { ++center; });
+  EXPECT_EQ(corner, 3);
+  EXPECT_EQ(center, 8);
+}
+
+TEST(Grid, RampIsMonotone) {
+  auto g = gis::make_ramp(10, 10);
+  EXPECT_FLOAT_EQ(g.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(g.at(9, 9), 18.0f);
+  EXPECT_EQ(gis::count_local_minima(g), 1u);
+}
+
+TEST(Grid, BasinsHaveOneMinimumPerCenter) {
+  auto g = gis::make_basins(40, 40, {{10, 10}, {30, 30}, {10, 30}});
+  EXPECT_EQ(gis::count_local_minima(g), 3u);
+}
+
+TEST(Grid, FractalIsDeterministic) {
+  auto a = gis::make_fractal(33, 33, 5);
+  auto b = gis::make_fractal(33, 33, 5);
+  auto c = gis::make_fractal(33, 33, 6);
+  bool same_ab = true, same_ac = true;
+  for (std::uint32_t y = 0; y < 33; ++y) {
+    for (std::uint32_t x = 0; x < 33; ++x) {
+      same_ab &= a.at(x, y) == b.at(x, y);
+      same_ac &= a.at(x, y) == c.at(x, y);
+    }
+  }
+  EXPECT_TRUE(same_ab);
+  EXPECT_FALSE(same_ac);
+}
+
+TEST(Restructure, CarriesNeighborElevations) {
+  auto g = gis::make_ramp(3, 3);
+  em::Stream<gis::CellRecord> cells;
+  gis::restructure_grid(g, cells);
+  EXPECT_EQ(cells.size(), 9u);
+  // Center cell (1,1): all 8 neighbors present.
+  cells.seek(4);
+  auto c = cells.read();
+  ASSERT_TRUE(c);
+  EXPECT_EQ(c->id, 4u);
+  EXPECT_EQ(c->nbr_mask, 0xffu);
+  // Slot 0 is (-1,-1): elevation 0.
+  EXPECT_FLOAT_EQ(c->nbr_elev[0], 0.0f);
+  // Corner cell (0,0): only E, S, SE neighbors (slots 4, 6, 7).
+  cells.seek(0);
+  c = cells.read();
+  ASSERT_TRUE(c);
+  EXPECT_EQ(c->nbr_mask, (1u << 4) | (1u << 6) | (1u << 7));
+}
+
+TEST(Watershed, RampIsOneWatershed) {
+  auto g = gis::make_ramp(16, 16);
+  gis::TerraFlowStats st;
+  auto colors = gis::watershed_labels(g, &st);
+  EXPECT_EQ(st.watersheds, 1u);
+  for (auto c : colors) EXPECT_EQ(c, 0u);
+  EXPECT_EQ(st.cells, 256u);
+}
+
+TEST(Watershed, TwoBasinsSplitAlongRidge) {
+  auto g = gis::make_basins(32, 16, {{8, 8}, {24, 8}});
+  gis::TerraFlowStats st;
+  auto colors = gis::watershed_labels(g, &st);
+  EXPECT_EQ(st.watersheds, 2u);
+  // The two pit centers carry different colors; cells near each center
+  // share its color.
+  const auto c0 = colors[8u * 32 + 8];
+  const auto c1 = colors[8u * 32 + 24];
+  EXPECT_NE(c0, c1);
+  EXPECT_EQ(colors[8u * 32 + 9], c0);
+  EXPECT_EQ(colors[8u * 32 + 23], c1);
+}
+
+TEST(Watershed, ColorCountMatchesLocalMinimaOracle) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull, 4ull}) {
+    auto g = gis::make_fractal(48, 48, seed);
+    gis::TerraFlowStats st;
+    auto colors = gis::watershed_labels(g, &st);
+    EXPECT_EQ(st.watersheds, gis::count_local_minima(g)) << "seed " << seed;
+    // Colors are dense 0..watersheds-1.
+    std::set<std::uint32_t> distinct(colors.begin(), colors.end());
+    EXPECT_EQ(distinct.size(), st.watersheds);
+    EXPECT_EQ(*distinct.rbegin(), st.watersheds - 1);
+  }
+}
+
+TEST(Watershed, PlateauDrainsDeterministically) {
+  // A flat grid is one plateau: the smallest-id cell (0) is the unique
+  // minimum under the (elevation, id) order.
+  gis::Grid g(8, 8);
+  gis::TerraFlowStats st;
+  auto colors = gis::watershed_labels(g, &st);
+  EXPECT_EQ(st.watersheds, 1u);
+  for (auto c : colors) EXPECT_EQ(c, 0u);
+}
+
+TEST(Watershed, SpillsToExternalPqOnTightMemory) {
+  auto g = gis::make_fractal(64, 64, 11);
+  gis::TerraFlowOptions opt;
+  opt.memory_bytes = 16 * 1024;  // force the PQ and sort to go external
+  gis::TerraFlowStats st;
+  auto colors = gis::watershed_labels(g, &st, opt);
+  EXPECT_GT(st.pq_spills, 0u);
+  EXPECT_GT(st.sort.runs_formed, 1u);
+  EXPECT_EQ(st.watersheds, gis::count_local_minima(g));
+  EXPECT_EQ(colors.size(), g.cells());
+}
+
+TEST(Watershed, DeterministicAcrossRuns) {
+  auto g = gis::make_fractal(40, 40, 17);
+  auto a = gis::watershed_labels(g);
+  auto b = gis::watershed_labels(g);
+  EXPECT_EQ(a, b);
+}
+
+TEST(PhaseModel, Steps12ParallelizeStep3DoesNot) {
+  lmas::asu::MachineParams mp;
+  mp.num_hosts = 1;
+  mp.num_asus = 16;
+  const auto m = gis::terraflow_phase_model(mp, 1 << 22, 64);
+  // Active placement helps steps 1 and 2...
+  EXPECT_LT(m.step1_active, m.step1_passive);
+  EXPECT_LT(m.step2_active, m.step2_passive);
+  // ...but step 3 is a fixed sequential cost, so total speedup is
+  // Amdahl-bounded.
+  const double speedup = m.total_passive() / m.total_active();
+  EXPECT_GT(speedup, 1.0);
+  EXPECT_LT(speedup,
+            m.total_passive() / m.step3);  // can't beat the serial floor
+}
+
+}  // namespace

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/sim.hpp"
+
+namespace sim = lmas::sim;
+
+namespace {
+
+TEST(Engine, StartsAtTimeZero) {
+  sim::Engine eng;
+  EXPECT_EQ(eng.now(), 0.0);
+  EXPECT_EQ(eng.pending_events(), 0u);
+}
+
+sim::Task<> record_times(sim::Engine& eng, std::vector<double>& out) {
+  out.push_back(eng.now());
+  co_await eng.sleep(1.5);
+  out.push_back(eng.now());
+  co_await eng.sleep(2.5);
+  out.push_back(eng.now());
+}
+
+TEST(Engine, SleepAdvancesVirtualTime) {
+  sim::Engine eng;
+  std::vector<double> times;
+  eng.spawn(record_times(eng, times));
+  eng.run();
+  ASSERT_EQ(times.size(), 3u);
+  EXPECT_DOUBLE_EQ(times[0], 0.0);
+  EXPECT_DOUBLE_EQ(times[1], 1.5);
+  EXPECT_DOUBLE_EQ(times[2], 4.0);
+  EXPECT_EQ(eng.unfinished_tasks(), 0u);
+}
+
+sim::Task<> appender(sim::Engine& eng, std::string& log, char id,
+                     double delay) {
+  co_await eng.sleep(delay);
+  log.push_back(id);
+}
+
+TEST(Engine, EventsFireInTimeOrder) {
+  sim::Engine eng;
+  std::string log;
+  eng.spawn(appender(eng, log, 'c', 3.0));
+  eng.spawn(appender(eng, log, 'a', 1.0));
+  eng.spawn(appender(eng, log, 'b', 2.0));
+  eng.run();
+  EXPECT_EQ(log, "abc");
+}
+
+TEST(Engine, SameTimeEventsFireInSpawnOrder) {
+  sim::Engine eng;
+  std::string log;
+  for (char id : {'x', 'y', 'z'}) eng.spawn(appender(eng, log, id, 1.0));
+  eng.run();
+  EXPECT_EQ(log, "xyz");
+}
+
+sim::Task<int> forty_two(sim::Engine& eng) {
+  co_await eng.sleep(1.0);
+  co_return 42;
+}
+
+sim::Task<> awaits_child(sim::Engine& eng, int& result) {
+  result = co_await forty_two(eng);
+}
+
+TEST(Engine, NestedTaskReturnsValue) {
+  sim::Engine eng;
+  int result = 0;
+  eng.spawn(awaits_child(eng, result));
+  eng.run();
+  EXPECT_EQ(result, 42);
+}
+
+sim::Task<int> add_after(sim::Engine& eng, int a, int b, double d) {
+  co_await eng.sleep(d);
+  co_return a + b;
+}
+
+sim::Task<> deep_chain(sim::Engine& eng, int& out) {
+  const int x = co_await add_after(eng, 1, 2, 0.5);
+  const int y = co_await add_after(eng, x, 10, 0.5);
+  out = co_await add_after(eng, y, 100, 0.5);
+}
+
+TEST(Engine, DeepNestingAccumulatesTimeAndValues) {
+  sim::Engine eng;
+  int out = 0;
+  eng.spawn(deep_chain(eng, out));
+  eng.run();
+  EXPECT_EQ(out, 113);
+}
+
+TEST(Engine, RunUntilStopsEarly) {
+  sim::Engine eng;
+  std::string log;
+  eng.spawn(appender(eng, log, 'a', 1.0));
+  eng.spawn(appender(eng, log, 'b', 10.0));
+  eng.run(5.0);
+  EXPECT_EQ(log, "a");
+  EXPECT_EQ(eng.unfinished_tasks(), 1u);
+  eng.run();
+  EXPECT_EQ(log, "ab");
+  EXPECT_EQ(eng.unfinished_tasks(), 0u);
+}
+
+struct Boom : std::runtime_error {
+  Boom() : std::runtime_error("boom") {}
+};
+
+sim::Task<int> throws_after(sim::Engine& eng) {
+  co_await eng.sleep(1.0);
+  throw Boom{};
+}
+
+sim::Task<> catches_child(sim::Engine& eng, bool& caught) {
+  try {
+    (void)co_await throws_after(eng);
+  } catch (const Boom&) {
+    caught = true;
+  }
+}
+
+TEST(Engine, ChildExceptionPropagatesToAwaiter) {
+  sim::Engine eng;
+  bool caught = false;
+  eng.spawn(catches_child(eng, caught));
+  eng.run();
+  EXPECT_TRUE(caught);
+}
+
+sim::Task<> never_wakes(sim::Condition& cv) {
+  co_await cv.wait();
+}
+
+TEST(Engine, BlockedTaskReportedAsUnfinished) {
+  sim::Engine eng;
+  sim::Condition cv(eng);
+  eng.spawn(never_wakes(cv));
+  eng.run();
+  EXPECT_EQ(eng.unfinished_tasks(), 1u);
+}
+
+TEST(Engine, ConditionNotifyWakesWaiters) {
+  sim::Engine eng;
+  sim::Condition cv(eng);
+  std::string log;
+  auto waiter = [](sim::Engine&, sim::Condition& c, std::string& l,
+                   char id) -> sim::Task<> {
+    co_await c.wait();
+    l.push_back(id);
+  };
+  auto notifier = [](sim::Engine& e, sim::Condition& c) -> sim::Task<> {
+    co_await e.sleep(2.0);
+    c.notify_all();
+  };
+  eng.spawn(waiter(eng, cv, log, 'a'));
+  eng.spawn(waiter(eng, cv, log, 'b'));
+  eng.spawn(notifier(eng, cv));
+  eng.run();
+  EXPECT_EQ(log, "ab");
+  EXPECT_EQ(eng.unfinished_tasks(), 0u);
+}
+
+}  // namespace
