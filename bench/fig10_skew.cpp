@@ -5,13 +5,32 @@
 /// host mid-run; the load-managed run (SR routing of every subset across
 /// both hosts) keeps utilizations nearly identical and terminates
 /// earlier.
+///
+/// Alongside the text table, writes BENCH_fig10_skew.json
+/// (schema lmas-bench-v1): one result entry per run carrying the full
+/// dsm_report_to_json payload (per-pass timings, per-node utilization
+/// series, per-host record shares, metrics snapshot). Set LMAS_TRACE=1
+/// to also export Chrome trace files for both runs.
 
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "core/core.hpp"
+#include "obs/report.hpp"
 
 namespace core = lmas::core;
 namespace asu = lmas::asu;
+namespace obs = lmas::obs;
+
+namespace {
+
+bool trace_requested() {
+  const char* v = std::getenv("LMAS_TRACE");
+  return v != nullptr && v[0] == '1';
+}
+
+}  // namespace
 
 int main() {
   asu::MachineParams mp;
@@ -26,6 +45,16 @@ int main() {
   cfg.key_dist = core::KeyDist::HalfUniformHalfExp;
   cfg.seed = 42;
 
+  obs::BenchReport report("fig10_skew");
+  report.params()["records"] = double(cfg.total_records);
+  report.params()["hosts"] = 2;
+  report.params()["asus"] = 16;
+  report.params()["c"] = 8.0;
+  report.params()["alpha"] = double(cfg.alpha);
+  report.params()["util_bin_seconds"] = mp.util_bin;
+  report.params()["key_dist"] = "half_uniform_half_exp";
+  report.results() = obs::Json::array();
+
   std::printf("# Figure 10: host CPU utilization under skew, 2 hosts + 16 "
               "ASUs, n=%zu\n", cfg.total_records);
   std::printf("# input: first half uniform, second half exponential\n");
@@ -35,11 +64,18 @@ int main() {
   const core::RouterKind kinds[2] = {core::RouterKind::Static,
                                      core::RouterKind::SimpleRandomization};
   const char* labels[2] = {"no load control", "load-controlled"};
+  const char* keys[2] = {"static", "managed"};
 
   for (int run = 0; run < 2; ++run) {
     cfg.sort_router = kinds[run];
+    if (trace_requested()) {
+      cfg.trace_file = std::string("trace_fig10_") + keys[run] + ".json";
+    }
     reports[run] = core::run_dsm_sort(mp, cfg);
     all_ok &= reports[run].ok();
+    obs::Json entry = core::dsm_report_to_json(reports[run]);
+    entry["router"] = keys[run];
+    report.results().push_back(std::move(entry));
   }
 
   // One row per time bin, paper-style four series.
@@ -73,5 +109,12 @@ int main() {
               100.0 * (1.0 - reports[1].pass1_seconds /
                                  reports[0].pass1_seconds));
   std::printf("# validation: %s\n", all_ok ? "all runs ok" : "FAILURES");
+  report.root()["ok"] = all_ok;
+  if (report.write()) {
+    std::printf("# bench artifact: %s\n", report.path().c_str());
+  } else {
+    std::printf("# FAILED to write %s\n", report.path().c_str());
+    all_ok = false;
+  }
   return all_ok ? 0 : 1;
 }

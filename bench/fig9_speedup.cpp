@@ -8,19 +8,48 @@
 /// Expected shape: high alpha far below 1.0 at D=2; all curves rise with
 /// D; the host saturates around 16 ASUs, after which high alpha wins and
 /// adaptive tracks the upper envelope.
+///
+/// Alongside the text table, writes BENCH_fig9_speedup.json
+/// (schema lmas-bench-v1) with per-run pass timings and, for the largest
+/// machine's adaptive run, per-node utilization plus the full metrics
+/// snapshot. Set LMAS_TRACE=1 to also export a Chrome trace of that run.
 
 #include <array>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "core/core.hpp"
+#include "obs/report.hpp"
 
 namespace core = lmas::core;
 namespace asu = lmas::asu;
+namespace obs = lmas::obs;
+
+namespace {
+
+bool trace_requested() {
+  const char* v = std::getenv("LMAS_TRACE");
+  return v != nullptr && v[0] == '1';
+}
+
+}  // namespace
 
 int main() {
   constexpr std::size_t kRecords = 1 << 22;
   constexpr std::array<unsigned, 5> kAlphas{1, 4, 16, 64, 256};
   constexpr std::array<unsigned, 6> kAsus{2, 4, 8, 16, 32, 64};
+
+  obs::BenchReport report("fig9_speedup");
+  report.params()["records"] = double(kRecords);
+  report.params()["hosts"] = 1;
+  report.params()["c"] = 8.0;
+  report.params()["log2_alpha_beta"] = 18;
+  report.params()["alphas"] = obs::Json::array_of(
+      std::vector<double>(kAlphas.begin(), kAlphas.end()));
+  report.params()["asus"] = obs::Json::array_of(
+      std::vector<double>(kAsus.begin(), kAsus.end()));
+  report.results() = obs::Json::array();
 
   std::printf("# Figure 9: DSM-Sort pass-1 speedup vs number of ASUs\n");
   std::printf("# n=%zu records (128B, 4B key), H=1, c=8, alpha*beta=2^18\n",
@@ -41,26 +70,64 @@ int main() {
     cfg.log2_alpha_beta = 18;
     cfg.seed = 42;
 
+    obs::Json row = obs::Json::object();
+    row["asus"] = double(d);
+
     cfg.distribute_on_asus = false;
     const auto base = core::run_dsm_sort(mp, cfg);
     all_ok &= base.ok();
+    row["baseline_pass1_seconds"] = base.pass1_seconds;
     std::printf("%-8u %9.3fs", d, base.pass1_seconds);
 
     cfg.distribute_on_asus = true;
+    obs::Json& by_alpha = row["by_alpha"];
+    by_alpha = obs::Json::object();
     for (const auto a : kAlphas) {
       cfg.alpha = a;
       const auto rep = core::run_dsm_sort(mp, cfg);
       all_ok &= rep.ok();
+      obs::Json cell = obs::Json::object();
+      cell["pass1_seconds"] = rep.pass1_seconds;
+      cell["speedup"] = base.pass1_seconds / rep.pass1_seconds;
+      by_alpha[std::to_string(a)] = std::move(cell);
       std::printf(" %7.2f", base.pass1_seconds / rep.pass1_seconds);
     }
 
     const unsigned star = core::choose_alpha(mp, cfg, kAlphas);
     cfg.alpha = star;
+    // Trace / detailed instrumentation for the biggest machine's
+    // adaptive run only: one representative run keeps the artifact small.
+    const bool detailed = d == kAsus.back();
+    if (detailed && trace_requested()) {
+      cfg.trace_file = "trace_fig9_adaptive.json";
+    }
     const auto ad = core::run_dsm_sort(mp, cfg);
+    cfg.trace_file.clear();
     all_ok &= ad.ok();
+    row["adaptive_alpha"] = double(star);
+    row["adaptive_pass1_seconds"] = ad.pass1_seconds;
+    row["adaptive_speedup"] = base.pass1_seconds / ad.pass1_seconds;
+    if (detailed) {
+      for (const auto& h : ad.hosts) {
+        report.add_utilization(h.node, h.mean, ad.util_bin_seconds, h.series);
+      }
+      for (const auto& a : ad.asus) {
+        report.add_utilization(a.node, a.mean, ad.util_bin_seconds, a.series);
+      }
+      report.root()["metrics"] = ad.metrics;
+      row["sim_events"] = double(ad.sim_events);
+    }
+    report.results().push_back(std::move(row));
     std::printf(" %8.2f  (a=%u)\n", base.pass1_seconds / ad.pass1_seconds,
                 star);
   }
   std::printf("# validation: %s\n", all_ok ? "all runs ok" : "FAILURES");
+  report.root()["ok"] = all_ok;
+  if (report.write()) {
+    std::printf("# bench artifact: %s\n", report.path().c_str());
+  } else {
+    std::printf("# FAILED to write %s\n", report.path().c_str());
+    all_ok = false;
+  }
   return all_ok ? 0 : 1;
 }

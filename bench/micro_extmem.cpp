@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <algorithm>
 
 #include "extmem/extmem.hpp"
@@ -133,4 +135,6 @@ BENCHMARK(BM_ExternalSortFileBacked)->Arg(1 << 16);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return lmas::benchio::run_with_artifact(argc, argv, "micro_extmem");
+}

@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include "sim/sim.hpp"
 
 namespace sim = lmas::sim;
@@ -84,4 +86,6 @@ BENCHMARK(BM_RngThroughput);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return lmas::benchio::run_with_artifact(argc, argv, "micro_sim");
+}

@@ -20,7 +20,10 @@ class Disk {
        double util_bin = 0.05)
       : eng_(&eng),
         arm_(eng, std::move(name), util_bin),
-        rate_(rate_bytes_per_sec) {}
+        rate_(rate_bytes_per_sec) {
+    read_bytes_ = &eng.metrics().counter(arm_.name() + ".read_bytes");
+    write_bytes_ = &eng.metrics().counter(arm_.name() + ".write_bytes");
+  }
 
   Disk(const Disk&) = delete;
   Disk& operator=(const Disk&) = delete;
@@ -31,12 +34,14 @@ class Disk {
 
   /// Synchronous (random / first) read: waits for queued work + transfer.
   [[nodiscard]] sim::Task<> read(std::size_t bytes) {
+    read_bytes_->inc(bytes);
     co_await arm_.use(seconds(bytes));
   }
 
   /// Write-behind: occupy the disk, but block the caller only if the
   /// previously posted write has not completed yet.
   [[nodiscard]] sim::Task<> write(std::size_t bytes) {
+    write_bytes_->inc(bytes);
     const sim::SimTime prev = last_write_end_;
     if (prev > eng_->now()) {
       co_await eng_->sleep(prev - eng_->now());
@@ -51,6 +56,7 @@ class Disk {
    public:
     ReadStream(Disk& disk, std::size_t block_bytes)
         : disk_(&disk), block_bytes_(block_bytes) {
+      disk_->read_bytes_->inc(block_bytes_);
       next_ready_at_ = disk_->arm_.post(disk_->seconds(block_bytes_));
     }
 
@@ -59,6 +65,7 @@ class Disk {
     [[nodiscard]] sim::Task<> next_block(bool last = false) {
       const sim::SimTime ready = next_ready_at_;
       if (!last) {
+        disk_->read_bytes_->inc(block_bytes_);
         next_ready_at_ = disk_->arm_.post(disk_->seconds(block_bytes_));
       }
       if (ready > disk_->eng_->now()) {
@@ -82,6 +89,8 @@ class Disk {
   sim::Resource arm_;
   double rate_;
   sim::SimTime last_write_end_ = 0;
+  lmas::obs::Counter* read_bytes_ = nullptr;
+  lmas::obs::Counter* write_bytes_ = nullptr;
 };
 
 }  // namespace lmas::asu

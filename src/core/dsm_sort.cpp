@@ -38,6 +38,15 @@ struct StoredRun {
   std::vector<em::KeyRecord> records;
 };
 
+std::string join_names(const std::vector<std::string>& names) {
+  std::string out;
+  for (const auto& n : names) {
+    if (!out.empty()) out += ", ";
+    out += n;
+  }
+  return out.empty() ? "<none>" : out;
+}
+
 /// Whole-program state for one emulated DSM-Sort execution. Instance
 /// bodies are member coroutines; the object outlives the engine run.
 class DsmSortSim {
@@ -57,15 +66,27 @@ class DsmSortSim {
         count_in_(d_, 0) {}
 
   DsmSortReport run() {
+    if (!cfg_.trace_file.empty()) eng_.tracer().enable();
+    dsm_track_ = eng_.tracer().track("dsm-sort");
     run_pass1();
     DsmSortReport rep;
     rep.pass1_seconds = pass1_end_;
+    eng_.tracer().complete(dsm_track_, "pass1", 0.0, pass1_end_);
+    eng_.metrics().gauge("dsm.pass1_seconds").set(pass1_end_);
     validate_pass1(rep);
     if (cfg_.run_merge_pass) {
       run_pass2(rep);
+      eng_.tracer().complete(dsm_track_, "pass2", pass1_end_,
+                             pass1_end_ + rep.pass2_seconds);
+      eng_.metrics().gauge("dsm.pass2_seconds").set(rep.pass2_seconds);
     }
     rep.makespan = eng_.now();
     collect_utilization(rep);
+    rep.metrics = eng_.metrics().snapshot();
+    rep.sim_events = eng_.events_processed();
+    if (!cfg_.trace_file.empty()) {
+      eng_.tracer().write_chrome_trace(cfg_.trace_file);
+    }
     return rep;
   }
 
@@ -95,25 +116,34 @@ class DsmSortSim {
     to_sort_ = std::make_unique<StageOutput>(
         eng_, cluster_.network(), mp_.record_bytes,
         sort_in_->endpoints(host_nodes),
-        make_router(sort_kind, sim::Rng(cfg_.seed ^ 0x5eed), alpha_), d_);
+        make_router(sort_kind, sim::Rng(cfg_.seed ^ 0x5eed), alpha_, &eng_,
+                    "sort"),
+        d_, 32, "to_sort");
     // Runs are striped across ASUs at packet granularity (Section 4.3:
     // merged/sorted runs are stored striped across the ASUs).
     to_store_ = std::make_unique<StageOutput>(
         eng_, cluster_.network(), mp_.record_bytes,
         store_in_->endpoints(asu_nodes), std::make_unique<RoundRobinRouter>(),
-        h_);
+        h_, 32, "to_store");
 
     stored_.assign(d_, {});
     records_sorted_per_host_.assign(h_, 0);
     store_end_.assign(d_, 0.0);
 
-    for (unsigned a = 0; a < d_; ++a) eng_.spawn(distribute_instance(a));
-    for (unsigned hh = 0; hh < h_; ++hh) eng_.spawn(sort_instance(hh));
-    for (unsigned a = 0; a < d_; ++a) eng_.spawn(store_instance(a));
+    for (unsigned a = 0; a < d_; ++a) {
+      eng_.spawn(distribute_instance(a), "distribute" + std::to_string(a));
+    }
+    for (unsigned hh = 0; hh < h_; ++hh) {
+      eng_.spawn(sort_instance(hh), "sort" + std::to_string(hh));
+    }
+    for (unsigned a = 0; a < d_; ++a) {
+      eng_.spawn(store_instance(a), "store" + std::to_string(a));
+    }
 
     eng_.run();
     if (eng_.unfinished_tasks() != 0) {
-      throw std::logic_error("DSM-Sort pass 1 deadlocked");
+      throw std::logic_error("DSM-Sort pass 1 deadlocked; unfinished: " +
+                             join_names(eng_.unfinished_task_names()));
     }
     pass1_end_ = *std::max_element(store_end_.begin(), store_end_.end());
   }
@@ -126,6 +156,9 @@ class DsmSortSim {
 
   sim::Task<> distribute_instance(unsigned a) {
     asu_ns::Node& node = cluster_.asu(a);
+    obs::Counter& records_done =
+        eng_.metrics().counter("functor.distribute" + std::to_string(a) +
+                               ".records");
     const std::size_t n_local = local_share(a);
     if (n_local == 0) {
       to_sort_->producer_done();
@@ -190,6 +223,7 @@ class DsmSortSim {
         }
       }
       const double wall = wall_seconds() - w0;
+      records_done.inc(blk);
 
       if (cfg_.distribute_on_asus) {
         // Measured mode times the real classification kernel; the
@@ -272,6 +306,9 @@ class DsmSortSim {
                                            /*on_asu=*/false);
     co_await node.compute(charge);
     records_sorted_per_host_[hh] += block.size();
+    eng_.metrics()
+        .counter("functor.sort" + std::to_string(hh) + ".records")
+        .inc(block.size());
 
     std::size_t off = 0;
     std::uint32_t seq = 0;
@@ -291,11 +328,15 @@ class DsmSortSim {
 
   sim::Task<> store_instance(unsigned a) {
     asu_ns::Node& node = cluster_.asu(a);
+    obs::Counter& records_done =
+        eng_.metrics().counter("functor.store" + std::to_string(a) +
+                               ".records");
     auto& in = store_in_->inbox(a);
     std::map<std::uint32_t, StoredRun> open;  // run_id -> accumulating run
     while (true) {
       auto p = co_await in.recv();
       if (!p) break;
+      records_done.inc(p->records.size());
       co_await node.disk().write(p->wire_bytes(mp_.record_bytes));
       StoredRun& run = open[p->run_id];
       run.subset = p->subset;
@@ -352,23 +393,30 @@ class DsmSortSim {
     to_host_merge_ = std::make_unique<StageOutput>(
         eng_, cluster_.network(), mp_.record_bytes,
         merge_in_->endpoints(host_nodes),
-        std::make_unique<StaticPartitionRouter>(), d_);
+        std::make_unique<StaticPartitionRouter>(), d_, 32, "to_host_merge");
     to_final_store_ = std::make_unique<StageOutput>(
         eng_, cluster_.network(), mp_.record_bytes,
         final_in_->endpoints(asu_nodes), std::make_unique<RoundRobinRouter>(),
-        h_);
+        h_, 32, "to_final_store");
 
     final_end_.assign(d_, pass1_end_);
     subset_bounds_.assign(alpha_, {});
     final_sorted_ok_ = true;
 
-    for (unsigned a = 0; a < d_; ++a) eng_.spawn(asu_merge_instance(a));
-    for (unsigned hh = 0; hh < h_; ++hh) eng_.spawn(host_merge_instance(hh));
-    for (unsigned a = 0; a < d_; ++a) eng_.spawn(final_store_instance(a));
+    for (unsigned a = 0; a < d_; ++a) {
+      eng_.spawn(asu_merge_instance(a), "asu_merge" + std::to_string(a));
+    }
+    for (unsigned hh = 0; hh < h_; ++hh) {
+      eng_.spawn(host_merge_instance(hh), "host_merge" + std::to_string(hh));
+    }
+    for (unsigned a = 0; a < d_; ++a) {
+      eng_.spawn(final_store_instance(a), "final_store" + std::to_string(a));
+    }
 
     eng_.run();
     if (eng_.unfinished_tasks() != 0) {
-      throw std::logic_error("DSM-Sort pass 2 deadlocked");
+      throw std::logic_error("DSM-Sort pass 2 deadlocked; unfinished: " +
+                             join_names(eng_.unfinished_task_names()));
     }
 
     rep.pass2_seconds =
@@ -689,6 +737,7 @@ class DsmSortSim {
   std::vector<SubsetBounds> subset_bounds_;
   std::size_t records_final_ = 0;
   bool final_sorted_ok_ = true;
+  std::uint32_t dsm_track_ = 0;
 };
 
 }  // namespace
@@ -697,6 +746,36 @@ DsmSortReport run_dsm_sort(const asu::MachineParams& machine,
                            const DsmSortConfig& config) {
   DsmSortSim sim(machine, config);
   return sim.run();
+}
+
+obs::Json dsm_report_to_json(const DsmSortReport& rep) {
+  obs::Json j = obs::Json::object();
+  j["pass1_seconds"] = rep.pass1_seconds;
+  j["pass2_seconds"] = rep.pass2_seconds;
+  j["makespan"] = rep.makespan;
+  j["records_in"] = rep.records_in;
+  j["records_stored"] = rep.records_stored;
+  j["records_final"] = rep.records_final;
+  j["runs_stored"] = rep.runs_stored;
+  j["ok"] = rep.ok();
+  j["sim_events"] = rep.sim_events;
+  j["records_sorted_per_host"] =
+      obs::Json::array_of(rep.records_sorted_per_host);
+  obs::Json util = obs::Json::object();
+  const auto add_nodes = [&](const std::vector<NodeUtilization>& nodes) {
+    for (const auto& n : nodes) {
+      obs::Json e = obs::Json::object();
+      e["mean"] = n.mean;
+      e["bin_seconds"] = rep.util_bin_seconds;
+      e["series"] = obs::Json::array_of(n.series);
+      util[n.node] = std::move(e);
+    }
+  };
+  add_nodes(rep.hosts);
+  add_nodes(rep.asus);
+  j["utilization"] = std::move(util);
+  j["metrics"] = rep.metrics;
+  return j;
 }
 
 }  // namespace lmas::core

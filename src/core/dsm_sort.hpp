@@ -8,6 +8,7 @@
 #include "asu/params.hpp"
 #include "core/routing.hpp"
 #include "core/workload.hpp"
+#include "obs/json.hpp"
 
 namespace lmas::core {
 
@@ -65,6 +66,11 @@ struct DsmSortConfig {
 
   std::uint64_t seed = 42;
 
+  /// When non-empty, enable sim-time tracing for this run and export the
+  /// Chrome trace-event file here (loadable in chrome://tracing or
+  /// Perfetto). Benches wire this to the LMAS_TRACE environment variable.
+  std::string trace_file;
+
   [[nodiscard]] std::size_t beta() const {
     const std::size_t k = std::size_t(1) << log2_alpha_beta;
     const std::size_t b = k / std::max(1u, alpha);
@@ -107,11 +113,24 @@ struct DsmSortReport {
 
   double util_bin_seconds = 0;
 
+  /// Full registry snapshot of the run's engine (per-resource busy
+  /// seconds / requests, per-channel bytes, per-functor record counts,
+  /// routing choices, pass gauges) — everything a bench artifact needs.
+  obs::Json metrics;
+
+  /// Events the engine processed for this run (simulator work metric).
+  std::uint64_t sim_events = 0;
+
   [[nodiscard]] bool ok() const {
     return runs_sorted_ok && subsets_ok && checksum_ok &&
            (pass2_seconds == 0 || final_sorted_ok);
   }
 };
+
+/// Serialize a report for a BENCH_*.json artifact: validation flags,
+/// per-pass timings, per-node utilization series, and the metrics
+/// snapshot.
+[[nodiscard]] obs::Json dsm_report_to_json(const DsmSortReport& rep);
 
 /// Execute DSM-Sort on an emulated cluster built from `machine`, timing it
 /// with the discrete-event simulator. Records are really distributed,

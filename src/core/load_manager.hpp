@@ -49,7 +49,7 @@ class LoadMonitor {
   /// simulation alive by itself... which a periodic task would; instead
   /// it stops after `max_samples`).
   void start(std::size_t max_samples = 10000) {
-    cluster_->engine().spawn(run(max_samples));
+    cluster_->engine().spawn(run(max_samples), "load-monitor");
   }
 
   [[nodiscard]] const std::vector<LoadSample>& samples() const noexcept {
@@ -65,15 +65,44 @@ class LoadMonitor {
 
  private:
   sim::Task<> run(std::size_t max_samples) {
+    // Publish every sample into the engine's registry (and, when tracing,
+    // as Chrome counter events) so routing decisions and bench artifacts
+    // see the same backlog signal the manager acts on. The private
+    // samples() vector stays as the compatibility accessor.
+    sim::Engine& eng = cluster_->engine();
+    std::vector<lmas::obs::Gauge*> host_gauges, asu_gauges;
+    for (unsigned h = 0; h < cluster_->num_hosts(); ++h) {
+      host_gauges.push_back(
+          &eng.metrics().gauge("host.backlog." + std::to_string(h)));
+    }
+    for (unsigned a = 0; a < cluster_->num_asus(); ++a) {
+      asu_gauges.push_back(
+          &eng.metrics().gauge("asu.backlog." + std::to_string(a)));
+    }
+    lmas::obs::Gauge& imbalance_gauge =
+        eng.metrics().gauge("load.host_imbalance");
+    const std::uint32_t track = eng.tracer().track("load-monitor");
+
     for (std::size_t i = 0; i < max_samples; ++i) {
-      co_await cluster_->engine().sleep(period_);
+      co_await eng.sleep(period_);
       LoadSample s;
-      s.time = cluster_->engine().now();
+      s.time = eng.now();
       for (unsigned h = 0; h < cluster_->num_hosts(); ++h) {
-        s.host_backlog.push_back(cluster_->host(h).cpu().backlog());
+        const double b = cluster_->host(h).cpu().backlog();
+        s.host_backlog.push_back(b);
+        host_gauges[h]->set(b);
       }
       for (unsigned a = 0; a < cluster_->num_asus(); ++a) {
-        s.asu_backlog.push_back(cluster_->asu(a).cpu().backlog());
+        const double b = cluster_->asu(a).cpu().backlog();
+        s.asu_backlog.push_back(b);
+        asu_gauges[a]->set(b);
+      }
+      imbalance_gauge.set(s.host_imbalance());
+      if (eng.tracer().enabled()) {
+        for (unsigned h = 0; h < cluster_->num_hosts(); ++h) {
+          eng.tracer().counter(track, "host.backlog." + std::to_string(h),
+                               s.time, s.host_backlog[h]);
+        }
       }
       const bool all_idle =
           std::all_of(s.host_backlog.begin(), s.host_backlog.end(),

@@ -52,7 +52,8 @@ class StageOutput {
   StageOutput(sim::Engine& eng, asu::Network& net, std::size_t record_bytes,
               std::vector<Endpoint> endpoints,
               std::unique_ptr<RoutingPolicy> router, unsigned producers,
-              std::size_t window_per_producer = 32)
+              std::size_t window_per_producer = 32,
+              std::string name = "stage")
       : eng_(&eng),
         net_(&net),
         record_bytes_(record_bytes),
@@ -61,9 +62,24 @@ class StageOutput {
         producers_left_(producers),
         window_(std::max<std::size_t>(1, window_per_producer) * producers),
         slot_free_(eng),
-        drained_(eng) {
+        drained_(eng),
+        name_(std::move(name)) {
     targets_.reserve(endpoints_.size());
     for (const auto& ep : endpoints_) targets_.push_back({ep.node});
+    // Per-channel instruments: total traffic, batch-size shape, and one
+    // counter per downstream instance (= packets routed per choice).
+    auto& reg = eng.metrics();
+    packets_counter_ = &reg.counter(name_ + ".packets");
+    records_counter_ = &reg.counter(name_ + ".records");
+    bytes_counter_ = &reg.counter(name_ + ".bytes");
+    batch_hist_ = &reg.histogram(name_ + ".packet_records",
+                                 {16, 64, 256, 1024, 4096});
+    routed_.reserve(endpoints_.size());
+    for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+      routed_.push_back(
+          &reg.counter(name_ + ".routed." + std::to_string(i)));
+    }
+    track_ = eng.tracer().track(name_);
   }
 
   StageOutput(const StageOutput&) = delete;
@@ -106,6 +122,17 @@ class StageOutput {
     ++packets_sent_;
     records_sent_ += p.records.size();
     const std::size_t bytes = p.wire_bytes(record_bytes_);
+    packets_counter_->inc();
+    records_counter_->inc(p.records.size());
+    bytes_counter_->inc(bytes);
+    batch_hist_->observe(double(p.records.size()));
+    routed_[idx]->inc();
+    if (eng_->tracer().enabled()) {
+      eng_->tracer().instant(track_,
+                             "pkt s" + std::to_string(p.subset) + "->" +
+                                 std::to_string(idx),
+                             eng_->now());
+    }
     // Sender occupancy: its own NIC only.
     co_await from.nic_transfer(bytes);
     eng_->spawn(deliver(idx, &from, std::move(p), bytes));
@@ -163,6 +190,13 @@ class StageOutput {
   sim::Condition drained_;
   std::uint64_t packets_sent_ = 0;
   std::uint64_t records_sent_ = 0;
+  std::string name_;
+  obs::Counter* packets_counter_ = nullptr;
+  obs::Counter* records_counter_ = nullptr;
+  obs::Counter* bytes_counter_ = nullptr;
+  obs::Histogram* batch_hist_ = nullptr;
+  std::vector<obs::Counter*> routed_;
+  std::uint32_t track_ = 0;
 };
 
 /// Inboxes for one stage: one bounded channel per instance. Bounded

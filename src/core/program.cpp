@@ -176,22 +176,28 @@ ProgramStats Program::run() {
         *im.eng, im.cluster->network(), im.record_bytes(),
         st.inboxes->endpoints(st.spec.placement),
         make_router(st.spec.router, sim::Rng(0x9ab + i),
-                    st.spec.router_subsets),
-        producers));
+                    st.spec.router_subsets, im.eng, st.spec.name),
+        producers, 32, "to_" + st.spec.name));
   }
 
   const double t0 = im.eng->now();
   for (unsigned i = 0; i < im.src_nodes.size(); ++i) {
-    im.eng->spawn(im.drive_source(i));
+    im.eng->spawn(im.drive_source(i), im.src_name + std::to_string(i));
   }
   for (std::size_t s = 0; s < im.stages.size(); ++s) {
     for (unsigned i = 0; i < im.stages[s]->spec.placement.size(); ++i) {
-      im.eng->spawn(im.drive_stage(s, i));
+      im.eng->spawn(im.drive_stage(s, i),
+                    im.stages[s]->spec.name + std::to_string(i));
     }
   }
   im.eng->run();
   if (im.eng->unfinished_tasks() != 0) {
-    throw std::logic_error("program deadlocked");
+    std::string who;
+    for (const auto& n : im.eng->unfinished_task_names()) {
+      if (!who.empty()) who += ", ";
+      who += n;
+    }
+    throw std::logic_error("program deadlocked; unfinished: " + who);
   }
 
   ProgramStats out;

@@ -134,22 +134,79 @@ class LeastLoadedRouter final : public RoutingPolicy {
   [[nodiscard]] std::string name() const override { return "least-loaded"; }
 };
 
+/// Decorator that publishes every routing decision of the wrapped policy:
+/// a `route.<label>.target.<i>` counter per chosen instance in the
+/// engine's registry, and — when tracing — an instant event on the
+/// router's track, so a Chrome trace shows exactly when the load manager
+/// steered packets away from a node (the mechanism behind Figure 10).
+class InstrumentedRouter final : public RoutingPolicy {
+ public:
+  InstrumentedRouter(std::unique_ptr<RoutingPolicy> inner, sim::Engine& eng,
+                     std::string label)
+      : inner_(std::move(inner)),
+        eng_(&eng),
+        label_(std::move(label)),
+        track_(eng.tracer().track("router." + label_)) {}
+
+  std::size_t pick(const Packet& p,
+                   std::span<const RouteTarget> targets) override {
+    const std::size_t idx = inner_->pick(p, targets);
+    if (counters_.size() < targets.size()) {
+      const std::string base = "route." + label_ + ".target.";
+      for (std::size_t i = counters_.size(); i < targets.size(); ++i) {
+        counters_.push_back(
+            &eng_->metrics().counter(base + std::to_string(i)));
+      }
+    }
+    if (idx < counters_.size()) counters_[idx]->inc();
+    if (eng_->tracer().enabled()) {
+      eng_->tracer().instant(track_,
+                             "s" + std::to_string(p.subset) + "->" +
+                                 std::to_string(idx),
+                             eng_->now());
+    }
+    return idx;
+  }
+  [[nodiscard]] std::string name() const override { return inner_->name(); }
+
+ private:
+  std::unique_ptr<RoutingPolicy> inner_;
+  sim::Engine* eng_;
+  std::string label_;
+  std::uint32_t track_;
+  std::vector<lmas::obs::Counter*> counters_;
+};
+
 enum class RouterKind { Static, RoundRobin, SimpleRandomization, LeastLoaded };
 
+/// Build a policy; when `instrument` is non-null the policy is wrapped in
+/// an InstrumentedRouter publishing into that engine's registry/tracer
+/// under `label` (defaults to the policy's own name).
 inline std::unique_ptr<RoutingPolicy> make_router(
     RouterKind kind, sim::Rng rng = sim::Rng(1),
-    std::uint32_t total_subsets = 0) {
+    std::uint32_t total_subsets = 0, sim::Engine* instrument = nullptr,
+    std::string label = "") {
+  std::unique_ptr<RoutingPolicy> p;
   switch (kind) {
     case RouterKind::Static:
-      return std::make_unique<StaticPartitionRouter>(total_subsets);
+      p = std::make_unique<StaticPartitionRouter>(total_subsets);
+      break;
     case RouterKind::RoundRobin:
-      return std::make_unique<RoundRobinRouter>();
+      p = std::make_unique<RoundRobinRouter>();
+      break;
     case RouterKind::SimpleRandomization:
-      return std::make_unique<SimpleRandomizationRouter>(rng);
+      p = std::make_unique<SimpleRandomizationRouter>(rng);
+      break;
     case RouterKind::LeastLoaded:
-      return std::make_unique<LeastLoadedRouter>();
+      p = std::make_unique<LeastLoadedRouter>();
+      break;
   }
-  return nullptr;
+  if (p && instrument) {
+    if (label.empty()) label = p->name();
+    p = std::make_unique<InstrumentedRouter>(std::move(p), *instrument,
+                                             std::move(label));
+  }
+  return p;
 }
 
 inline const char* router_kind_name(RouterKind k) {

@@ -1,0 +1,106 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+namespace lmas::obs {
+
+namespace {
+
+template <typename T, typename... Args>
+T& find_or_create(
+    std::unordered_map<std::string, std::unique_ptr<T>>& map,
+    std::string_view name, Args&&... args) {
+  if (auto it = map.find(std::string(name)); it != map.end()) {
+    return *it->second;
+  }
+  auto [it, inserted] = map.emplace(
+      std::string(name), std::make_unique<T>(std::forward<Args>(args)...));
+  return *it->second;
+}
+
+template <typename T>
+const T* find_in(
+    const std::unordered_map<std::string, std::unique_ptr<T>>& map,
+    std::string_view name) {
+  auto it = map.find(std::string(name));
+  return it == map.end() ? nullptr : it->second.get();
+}
+
+template <typename T>
+std::vector<const std::pair<const std::string, std::unique_ptr<T>>*>
+sorted_entries(
+    const std::unordered_map<std::string, std::unique_ptr<T>>& map) {
+  std::vector<const std::pair<const std::string, std::unique_ptr<T>>*> out;
+  out.reserve(map.size());
+  for (const auto& e : map) out.push_back(&e);
+  std::sort(out.begin(), out.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  return out;
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  return find_or_create(counters_, name);
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  return find_or_create(gauges_, name);
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> upper_bounds) {
+  return find_or_create(histograms_, name, std::move(upper_bounds));
+}
+
+const Counter* MetricsRegistry::find_counter(std::string_view name) const {
+  return find_in(counters_, name);
+}
+
+const Gauge* MetricsRegistry::find_gauge(std::string_view name) const {
+  return find_in(gauges_, name);
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    std::string_view name) const {
+  return find_in(histograms_, name);
+}
+
+std::size_t MetricsRegistry::add_collector(std::function<void()> fn) {
+  const std::size_t id = next_collector_id_++;
+  collectors_.emplace_back(id, std::move(fn));
+  return id;
+}
+
+void MetricsRegistry::remove_collector(std::size_t id) {
+  std::erase_if(collectors_,
+                [id](const auto& e) { return e.first == id; });
+}
+
+Json MetricsRegistry::snapshot() const {
+  // Collectors publish owner-side state (and may create instruments), so
+  // they must run before the maps are walked.
+  for (const auto& [id, fn] : collectors_) fn();
+  Json out = Json::object();
+  Json& counters = out["counters"] = Json::object();
+  for (const auto* e : sorted_entries(counters_)) {
+    counters[e->first] = Json(e->second->value());
+  }
+  Json& gauges = out["gauges"] = Json::object();
+  for (const auto* e : sorted_entries(gauges_)) {
+    gauges[e->first] = Json(e->second->value());
+  }
+  Json& hists = out["histograms"] = Json::object();
+  for (const auto* e : sorted_entries(histograms_)) {
+    const Histogram& h = *e->second;
+    Json j = Json::object();
+    j["count"] = Json(h.count());
+    j["sum"] = Json(h.sum());
+    j["bounds"] = Json::array_of(h.bounds());
+    j["buckets"] = Json::array_of(h.bucket_counts());
+    hists[e->first] = std::move(j);
+  }
+  return out;
+}
+
+}  // namespace lmas::obs

@@ -1,0 +1,129 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace lmas::obs {
+
+/// Monotone event count (requests served, packets routed, bytes moved).
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) noexcept { value_ += delta; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-written scalar (backlog seconds, busy seconds, pass duration).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_ = v; }
+  void add(double delta) noexcept { value_ += delta; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+/// Fixed-bucket histogram: N upper bounds define N+1 buckets, the last one
+/// catching everything above the largest bound (Prometheus-style
+/// cumulative export is derivable; we store per-bucket counts).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds)
+      : bounds_(std::move(upper_bounds)), buckets_(bounds_.size() + 1, 0) {}
+
+  void observe(double x) noexcept {
+    ++count_;
+    sum_ += x;
+    std::size_t b = 0;
+    while (b < bounds_.size() && x > bounds_[b]) ++b;
+    ++buckets_[b];
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ ? sum_ / double(count_) : 0.0;
+  }
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+  /// bucket_counts()[i] counts observations in (bounds[i-1], bounds[i]];
+  /// the final entry counts observations above the last bound.
+  [[nodiscard]] const std::vector<std::uint64_t>& bucket_counts()
+      const noexcept {
+    return buckets_;
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+};
+
+/// Named instruments with stable addresses: callers resolve an instrument
+/// once (typically at construction) and bump it on the hot path without
+/// further lookups. One registry per sim::Engine, so every instrument in a
+/// run shares the engine's virtual clock and a single snapshot captures
+/// the whole emulated machine.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create. References remain valid for the registry's lifetime.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// Find-or-create; `upper_bounds` is used only on first creation and
+  /// must be sorted ascending.
+  Histogram& histogram(std::string_view name,
+                       std::vector<double> upper_bounds);
+
+  [[nodiscard]] const Counter* find_counter(std::string_view name) const;
+  [[nodiscard]] const Gauge* find_gauge(std::string_view name) const;
+  [[nodiscard]] const Histogram* find_histogram(std::string_view name) const;
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// Pull-model instruments: a collector runs just before every
+  /// snapshot() and publishes state the owner keeps in plain members.
+  /// This keeps hot paths free of registry traffic — a Resource, for
+  /// example, only bumps its own fields per request and lets its
+  /// collector materialize gauges when somebody actually looks.
+  /// Returns an id for remove_collector; owners whose lifetime is
+  /// shorter than the registry's MUST deregister in their destructor.
+  std::size_t add_collector(std::function<void()> fn);
+  void remove_collector(std::size_t id);
+
+  /// Point-in-time JSON snapshot, keys sorted for determinism:
+  /// {"counters": {name: n}, "gauges": {name: v},
+  ///  "histograms": {name: {count, sum, bounds, buckets}}}
+  [[nodiscard]] Json snapshot() const;
+
+ private:
+  template <typename T>
+  using Map = std::unordered_map<std::string, std::unique_ptr<T>>;
+  Map<Counter> counters_;
+  Map<Gauge> gauges_;
+  Map<Histogram> histograms_;
+  // Collectors may create instruments, so snapshot() (const) runs them
+  // against mutable state; ids are never reused.
+  mutable std::vector<std::pair<std::size_t, std::function<void()>>>
+      collectors_;
+  std::size_t next_collector_id_ = 0;
+};
+
+}  // namespace lmas::obs

@@ -1,0 +1,9 @@
+#pragma once
+
+/// Umbrella header for the observability layer: metrics instruments +
+/// registry, sim-time tracing with Chrome trace-event export, JSON, and
+/// the bench artifact writer.
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"

@@ -1,0 +1,47 @@
+#include "obs/report.hpp"
+
+#include <cstdlib>
+#include <fstream>
+
+namespace lmas::obs {
+
+BenchReport::BenchReport(std::string name) : name_(std::move(name)) {
+  root_ = Json::object();
+  root_["schema"] = "lmas-bench-v1";
+  root_["bench"] = name_;
+}
+
+void BenchReport::add_utilization(const std::string& node, double mean,
+                                  double bin_seconds,
+                                  const std::vector<double>& series) {
+  Json entry = Json::object();
+  entry["mean"] = mean;
+  entry["bin_seconds"] = bin_seconds;
+  entry["series"] = Json::array_of(series);
+  root_["utilization"][node] = std::move(entry);
+}
+
+void BenchReport::add_metrics(const MetricsRegistry& registry) {
+  root_["metrics"] = registry.snapshot();
+}
+
+std::string BenchReport::path(const std::string& dir) const {
+  std::string d = dir;
+  if (d.empty()) {
+    if (const char* env = std::getenv("LMAS_BENCH_DIR")) d = env;
+  }
+  const std::string file = "BENCH_" + name_ + ".json";
+  if (d.empty()) return file;
+  if (d.back() != '/') d += '/';
+  return d + file;
+}
+
+bool BenchReport::write(const std::string& dir) const {
+  std::ofstream f(path(dir), std::ios::binary | std::ios::trunc);
+  if (!f) return false;
+  f << root_.dump(2);
+  f << '\n';
+  return bool(f);
+}
+
+}  // namespace lmas::obs

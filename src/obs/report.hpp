@@ -1,0 +1,58 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace lmas::obs {
+
+/// Builder for the machine-readable artifact every bench writes alongside
+/// its text output: `BENCH_<name>.json`. Schema (lmas-bench-v1):
+///
+///   {
+///     "schema": "lmas-bench-v1",
+///     "bench": "<name>",
+///     "params": {...},          // bench-specific configuration
+///     "results": [...],         // bench-specific series / rows
+///     "utilization": {          // optional, per instrumented run
+///        "<node>": {"mean": f, "bin_seconds": f, "series": [f,...]}},
+///     "metrics": {...}          // optional MetricsRegistry::snapshot()
+///   }
+///
+/// A perf trajectory is only as good as its artifacts: text tables drift,
+/// JSON diffs. Everything here is deterministic (sorted metric keys, no
+/// wall-clock stamps) so two identical runs produce identical bytes.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// The whole document; benches fill "params" / "results" directly.
+  [[nodiscard]] Json& root() noexcept { return root_; }
+  Json& params() { return root_["params"]; }
+  Json& results() { return root_["results"]; }
+
+  /// Record one node's utilization series under "utilization".
+  void add_utilization(const std::string& node, double mean,
+                       double bin_seconds, const std::vector<double>& series);
+
+  /// Embed a registry snapshot under "metrics".
+  void add_metrics(const MetricsRegistry& registry);
+
+  /// Output path: `<dir>/BENCH_<name>.json`. `dir` defaults to the
+  /// LMAS_BENCH_DIR environment variable, falling back to the working
+  /// directory.
+  [[nodiscard]] std::string path(const std::string& dir = "") const;
+
+  /// Serialize and write the artifact; returns false on I/O failure.
+  bool write(const std::string& dir = "") const;
+
+ private:
+  std::string name_;
+  Json root_;
+};
+
+}  // namespace lmas::obs

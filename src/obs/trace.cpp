@@ -1,0 +1,49 @@
+#include "obs/trace.hpp"
+
+#include <fstream>
+
+namespace lmas::obs {
+
+Json Tracer::to_json() const {
+  Json out = Json::array();
+  // Thread-name metadata first, so viewers label the swimlanes.
+  for (std::size_t t = 0; t < tracks_.size(); ++t) {
+    Json m = Json::object();
+    m["name"] = "thread_name";
+    m["ph"] = "M";
+    m["ts"] = 0;
+    m["pid"] = 0;
+    m["tid"] = std::uint64_t(t);
+    Json args = Json::object();
+    args["name"] = tracks_[t];
+    m["args"] = std::move(args);
+    out.push_back(std::move(m));
+  }
+  for (const TraceEvent& ev : events_) {
+    Json e = Json::object();
+    e["name"] = ev.name;
+    e["ph"] = std::string(1, ev.ph);
+    e["ts"] = ev.ts;
+    e["pid"] = 0;
+    e["tid"] = std::uint64_t(ev.tid);
+    if (ev.ph == 'X') e["dur"] = ev.dur;
+    if (ev.ph == 'i') e["s"] = "t";  // instant scope: thread
+    if (ev.ph == 'C') {
+      Json args = Json::object();
+      args["value"] = ev.value;
+      e["args"] = std::move(args);
+    }
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+bool Tracer::write_chrome_trace(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return false;
+  f << to_json().dump();
+  f << '\n';
+  return bool(f);
+}
+
+}  // namespace lmas::obs

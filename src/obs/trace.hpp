@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+
+// Compiled-in by default; configure with -DLMAS_TRACE=OFF to stub every
+// recording call out entirely (the hot loop then pays literally nothing).
+#ifndef LMAS_TRACE_ENABLED
+#define LMAS_TRACE_ENABLED 1
+#endif
+
+namespace lmas::obs {
+
+inline constexpr bool kTraceCompiled = LMAS_TRACE_ENABLED != 0;
+
+/// One Chrome trace-event. Timestamps are in microseconds (the trace-event
+/// format's unit); sim time is seconds, so recorders multiply by 1e6.
+struct TraceEvent {
+  std::string name;
+  char ph = 'i';        // 'B' begin, 'E' end, 'X' complete, 'i' instant,
+                        // 'C' counter
+  double ts = 0;        // microseconds
+  double dur = 0;       // microseconds, 'X' only
+  std::uint32_t tid = 0;
+  double value = 0;     // 'C' only
+};
+
+/// Records spans / instants / counter samples in *virtual* time and
+/// exports them as Chrome trace-event JSON (load the file in
+/// chrome://tracing or https://ui.perfetto.dev). Tracks (exported as
+/// "threads") are registered once per resource / task / subsystem; the
+/// emulated machine then renders as one swimlane per server, which is the
+/// picture the paper's Figure 10 squints at through utilization bins.
+///
+/// Recording is a no-op unless both compiled in (LMAS_TRACE) and enabled
+/// at runtime (enable() or the LMAS_TRACE=1 environment variable, which
+/// sim::Engine checks at construction).
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void enable(bool on = true) noexcept { enabled_ = on; }
+  [[nodiscard]] bool enabled() const noexcept {
+    return kTraceCompiled && enabled_;
+  }
+
+  /// Register a named track (exported as a thread). Cheap; call once and
+  /// cache the id. Safe to call when disabled — ids stay valid if tracing
+  /// is enabled later.
+  std::uint32_t track(std::string name) {
+    if constexpr (!kTraceCompiled) return 0;
+    tracks_.push_back(std::move(name));
+    return std::uint32_t(tracks_.size() - 1);
+  }
+
+  void begin(std::uint32_t tid, std::string_view name, double t_seconds) {
+    if (!enabled()) return;
+    events_.push_back({std::string(name), 'B', t_seconds * 1e6, 0, tid, 0});
+  }
+  void end(std::uint32_t tid, std::string_view name, double t_seconds) {
+    if (!enabled()) return;
+    events_.push_back({std::string(name), 'E', t_seconds * 1e6, 0, tid, 0});
+  }
+  /// A closed span [t0, t1] in one event (resource occupancy, disk I/O).
+  void complete(std::uint32_t tid, std::string_view name, double t0_seconds,
+                double t1_seconds) {
+    if (!enabled()) return;
+    events_.push_back({std::string(name), 'X', t0_seconds * 1e6,
+                       (t1_seconds - t0_seconds) * 1e6, tid, 0});
+  }
+  void instant(std::uint32_t tid, std::string_view name, double t_seconds) {
+    if (!enabled()) return;
+    events_.push_back({std::string(name), 'i', t_seconds * 1e6, 0, tid, 0});
+  }
+  /// Sampled value series ('C' events graph as counters in the viewer).
+  void counter(std::uint32_t tid, std::string_view name, double t_seconds,
+               double value) {
+    if (!enabled()) return;
+    events_.push_back(
+        {std::string(name), 'C', t_seconds * 1e6, 0, tid, value});
+  }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] const std::vector<std::string>& tracks() const noexcept {
+    return tracks_;
+  }
+  [[nodiscard]] std::size_t event_count() const noexcept {
+    return events_.size();
+  }
+  void clear() noexcept { events_.clear(); }
+
+  /// The trace-event array form: thread_name metadata for each track,
+  /// then every recorded event as {name, ph, ts, pid, tid, ...}.
+  [[nodiscard]] Json to_json() const;
+
+  /// Write to_json() to `path`. Returns false on I/O failure.
+  bool write_chrome_trace(const std::string& path) const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<std::string> tracks_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace lmas::obs

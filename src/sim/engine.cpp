@@ -1,10 +1,51 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace lmas::sim {
 
+Engine::Engine() {
+  // Publish the event count and every registered MetricsSource only when
+  // a snapshot asks; the run loop touches nothing but events_processed_.
+  metrics_.add_collector([this] {
+    auto& c = metrics_.counter("engine.events");
+    c.inc(events_processed_ - c.value());
+    for (MetricsSource* s = sources_; s != nullptr; s = s->next_) {
+      s->publish_metrics(metrics_);
+    }
+  });
+  engine_track_ = tracer_.track("engine");
+  if constexpr (obs::kTraceCompiled) {
+    if (const char* e = std::getenv("LMAS_TRACE")) {
+      if (e[0] == '1') tracer_.enable();
+    }
+  }
+}
+
+void Engine::spawn(Task<> task, std::string name) {
+  auto handle = task.handle();
+  if (!name.empty() && tracer_.enabled()) {
+    // Only traces consult the handle->name map, and enablement precedes
+    // spawning in every traced flow (env at construction, config before
+    // the run), so the map stays empty — and unmaintained — otherwise.
+    named_roots_[handle.address()] = name;
+    tracer_.instant(engine_track_, "spawn " + name, now_);
+  }
+  roots_.push_back({std::move(task), std::move(name)});
+  schedule_at(handle, now_);
+}
+
 std::size_t Engine::run(SimTime until) {
+  // The traced loop is kept out of line so the common path stays as tight
+  // as the uninstrumented kernel (the tier-1 microbenches gate this).
+  const std::size_t processed =
+      tracer_.enabled() ? run_traced(until) : run_fast(until);
+  events_processed_ += processed;
+  return processed;
+}
+
+std::size_t Engine::run_fast(SimTime until) {
   std::size_t processed = 0;
   while (!events_.empty()) {
     Event ev = events_.top();
@@ -19,16 +60,53 @@ std::size_t Engine::run(SimTime until) {
   return processed;
 }
 
+std::size_t Engine::run_traced(SimTime until) {
+  std::size_t processed = 0;
+  while (!events_.empty()) {
+    Event ev = events_.top();
+    if (ev.t > until) break;
+    events_.pop();
+    now_ = ev.t;
+    ++processed;
+    if (ev.h && !ev.h.done()) {
+      // Bracket the resume of a *named* root so traces show which
+      // process the nested resource spans belong to. (Anonymous events
+      // would only add noise: one instant per queue pop.)
+      const auto it = named_roots_.find(ev.h.address());
+      const std::string* name =
+          it == named_roots_.end() ? nullptr : &it->second;
+      if (name) tracer_.begin(engine_track_, *name, now_);
+      ev.h.resume();
+      if (name) tracer_.end(engine_track_, *name, now_);
+    }
+  }
+  return processed;
+}
+
 std::size_t Engine::unfinished_tasks() const noexcept {
   std::size_t n = 0;
-  for (const auto& t : roots_) {
-    if (t.valid() && !t.done()) ++n;
+  for (const auto& r : roots_) {
+    if (r.task.valid() && !r.task.done()) ++n;
   }
   return n;
 }
 
+std::vector<std::string> Engine::unfinished_task_names() const {
+  std::vector<std::string> out;
+  for (const auto& r : roots_) {
+    if (r.task.valid() && !r.task.done()) {
+      out.push_back(r.name.empty() ? "<anonymous>" : r.name);
+    }
+  }
+  return out;
+}
+
 void Engine::reap_completed() {
-  std::erase_if(roots_, [](const Task<>& t) { return t.done(); });
+  std::erase_if(roots_, [this](const Root& r) {
+    if (!r.task.done()) return false;
+    named_roots_.erase(r.task.handle().address());
+    return true;
+  });
 }
 
 }  // namespace lmas::sim

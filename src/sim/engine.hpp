@@ -3,24 +3,60 @@
 #include <coroutine>
 #include <cstdint>
 #include <queue>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
 
 namespace lmas::sim {
 
+/// Intrusive hook for simulation objects that publish pull-model metrics:
+/// the engine's snapshot collector walks registered sources, so hot paths
+/// (and constructors — the microbenches build resources per iteration)
+/// never touch the registry. Registration is two pointer writes.
+/// Objects whose lifetime is shorter than the engine's must deregister;
+/// metrics therefore reflect only sources alive at snapshot time.
+class MetricsSource {
+ public:
+  virtual void publish_metrics(obs::MetricsRegistry& registry) = 0;
+
+ protected:
+  ~MetricsSource() = default;
+
+ private:
+  friend class Engine;
+  MetricsSource* prev_ = nullptr;
+  MetricsSource* next_ = nullptr;
+};
+
 /// Discrete-event engine. Coroutine processes suspend on awaitables that
 /// register wake-up events; the engine resumes them in (time, sequence)
 /// order, which yields a total causal order over all node activity —
 /// the same guarantee the paper's thread + event-queue emulator provides.
+///
+/// The engine also owns the run's observability state: a MetricsRegistry
+/// (so every instrument shares the virtual clock and one snapshot covers
+/// the whole emulated machine) and a Tracer that records sim-time spans
+/// for Chrome trace-event export. Construction honors the LMAS_TRACE=1
+/// environment variable for runtime trace enablement.
 class Engine {
  public:
-  Engine() = default;
+  Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
   [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const noexcept {
+    return metrics_;
+  }
+  [[nodiscard]] obs::Tracer& tracer() noexcept { return tracer_; }
+  [[nodiscard]] const obs::Tracer& tracer() const noexcept { return tracer_; }
 
   /// Schedule a raw coroutine resume `delay` seconds from now.
   void schedule(std::coroutine_handle<> h, SimTime delay) {
@@ -32,11 +68,11 @@ class Engine {
   }
 
   /// Take ownership of a root task and schedule its first resume now.
-  void spawn(Task<> task) {
-    auto handle = task.handle();
-    roots_.push_back(std::move(task));
-    schedule_at(handle, now_);
-  }
+  void spawn(Task<> task) { spawn(std::move(task), std::string()); }
+
+  /// Named spawn: the name shows up in deadlock diagnostics
+  /// (unfinished_task_names) and labels the task's resumes in traces.
+  void spawn(Task<> task, std::string name);
 
   /// Awaitable: suspend the current process for `dt` virtual seconds.
   [[nodiscard]] auto sleep(SimTime dt) noexcept {
@@ -67,12 +103,21 @@ class Engine {
   }
 
   /// Run until the event queue drains or `until` is reached.
-  /// Returns the number of events processed.
+  /// Returns the number of events processed by this call.
   std::size_t run(SimTime until = kTimeInfinity);
+
+  /// Events processed across all run() calls on this engine.
+  [[nodiscard]] std::uint64_t events_processed() const noexcept {
+    return events_processed_;
+  }
 
   /// Number of spawned root tasks that have not completed. Non-zero after
   /// run() drains the queue means blocked (deadlocked or starved) processes.
   [[nodiscard]] std::size_t unfinished_tasks() const noexcept;
+
+  /// Names of blocked root tasks, so diagnostics can name the offender
+  /// instead of printing a count. Unnamed tasks report as "<anonymous>".
+  [[nodiscard]] std::vector<std::string> unfinished_task_names() const;
 
   [[nodiscard]] std::size_t pending_events() const noexcept {
     return events_.size();
@@ -80,6 +125,21 @@ class Engine {
 
   /// Drop completed root task frames (optional; frees memory in long runs).
   void reap_completed();
+
+  /// Link / unlink a pull-model metrics publisher (see MetricsSource).
+  /// Allocation-free; sources run in reverse registration order.
+  void add_metrics_source(MetricsSource& src) noexcept {
+    src.prev_ = nullptr;
+    src.next_ = sources_;
+    if (sources_) sources_->prev_ = &src;
+    sources_ = &src;
+  }
+  void remove_metrics_source(MetricsSource& src) noexcept {
+    if (src.prev_) src.prev_->next_ = src.next_;
+    if (src.next_) src.next_->prev_ = src.prev_;
+    if (sources_ == &src) sources_ = src.next_;
+    src.prev_ = src.next_ = nullptr;
+  }
 
  private:
   struct Event {
@@ -93,11 +153,26 @@ class Engine {
       return a.seq > b.seq;
     }
   };
+  struct Root {
+    Task<> task;
+    std::string name;
+  };
 
+  std::size_t run_fast(SimTime until);
+  std::size_t run_traced(SimTime until);
+
+  MetricsSource* sources_ = nullptr;
   std::priority_queue<Event, std::vector<Event>, EventOrder> events_;
-  std::vector<Task<>> roots_;
+  std::vector<Root> roots_;
+  // Handle address -> name, for labeling resumes while tracing.
+  std::unordered_map<const void*, std::string> named_roots_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+
+  obs::MetricsRegistry metrics_;
+  obs::Tracer tracer_;
+  std::uint32_t engine_track_ = 0;
 };
 
 }  // namespace lmas::sim

@@ -15,13 +15,31 @@ namespace lmas::sim {
 /// `service` seconds of occupancy; requests are serviced in the causal
 /// order the event queue delivers them. Busy time feeds a
 /// UtilizationRecorder so per-node utilization traces fall out for free.
-class Resource {
+class Resource : public MetricsSource {
  public:
   Resource(Engine& eng, std::string name, SimTime util_bin = 0.25)
-      : eng_(&eng), name_(std::move(name)), util_(util_bin) {}
+      : eng_(&eng), name_(std::move(name)), util_(util_bin) {
+    // Pull-model metrics: the hot path only updates plain members;
+    // publish_metrics materializes `<name>.busy_seconds` /
+    // `.backlog_seconds` / `.requests` when a snapshot is taken. The
+    // intrusive registration keeps construction allocation-free — the
+    // microbenches build a Resource per iteration, so even heap-layout
+    // perturbation from an instrument lookup here is measurable.
+    eng.add_metrics_source(*this);
+    track_ = eng.tracer().track(name_);
+  }
+
+  ~Resource() { eng_->remove_metrics_source(*this); }
 
   Resource(const Resource&) = delete;
   Resource& operator=(const Resource&) = delete;
+
+  void publish_metrics(obs::MetricsRegistry& reg) override {
+    reg.gauge(name_ + ".busy_seconds").set(total_service_);
+    reg.gauge(name_ + ".backlog_seconds").set(backlog());
+    auto& c = reg.counter(name_ + ".requests");
+    c.inc(total_requests_ - c.value());
+  }
 
   /// Awaitable: occupy the server for `service` seconds, after any queued
   /// work ahead of us completes. Resumes when our service finishes.
@@ -33,14 +51,8 @@ class Resource {
       SimTime service;
       bool await_ready() const noexcept { return false; }
       void await_suspend(std::coroutine_handle<> h) {
-        const SimTime now = res->eng_->now();
-        const SimTime start = now > res->free_at_ ? now : res->free_at_;
-        const SimTime end = start + service;
-        res->free_at_ = end;
-        res->util_.add_busy(start, end);
-        res->total_service_ += service;
-        ++res->total_requests_;
-        res->eng_->schedule_at(h, end);
+        res->occupy(service, /*traced_as=*/"use");
+        res->eng_->schedule_at(h, res->free_at_);
       }
       void await_resume() const noexcept {}
     };
@@ -52,14 +64,8 @@ class Resource {
   /// write-behind: a write occupies the disk but the writer proceeds).
   /// Returns the completion time of the posted work.
   SimTime post(SimTime service) {
-    const SimTime now = eng_->now();
-    const SimTime start = now > free_at_ ? now : free_at_;
-    const SimTime end = start + service;
-    free_at_ = end;
-    util_.add_busy(start, end);
-    total_service_ += service;
-    ++total_requests_;
-    return end;
+    occupy(service, /*traced_as=*/"post");
+    return free_at_;
   }
 
   /// Time at which currently queued work completes.
@@ -81,12 +87,29 @@ class Resource {
   }
 
  private:
+  /// Shared accounting for use()/post(): extend the busy horizon, update
+  /// the recorder, and (when tracing) emit the occupancy span on this
+  /// resource's track. Registry publication is deferred to the collector.
+  void occupy(SimTime service, const char* traced_as) {
+    const SimTime now = eng_->now();
+    const SimTime start = now > free_at_ ? now : free_at_;
+    const SimTime end = start + service;
+    free_at_ = end;
+    util_.add_busy(start, end);
+    total_service_ += service;
+    ++total_requests_;
+    if (eng_->tracer().enabled() && service > 0) {
+      eng_->tracer().complete(track_, traced_as, start, end);
+    }
+  }
+
   Engine* eng_;
   std::string name_;
   UtilizationRecorder util_;
   SimTime free_at_ = 0;
   SimTime total_service_ = 0;
   std::uint64_t total_requests_ = 0;
+  std::uint32_t track_ = 0;
 };
 
 /// Condition variable for simulated processes. The paper implements

@@ -8,7 +8,10 @@ void UtilizationRecorder::add_busy(SimTime start, SimTime end) {
   if (end <= start) return;
   total_busy_ += end - start;
   const auto first = static_cast<std::size_t>(start / bin_width_);
-  const auto last = static_cast<std::size_t>(end / bin_width_);
+  // `end` is exclusive: an interval ending exactly on a bin boundary must
+  // not touch (or allocate) the following bin.
+  auto last = static_cast<std::size_t>(end / bin_width_);
+  if (last > first && double(last) * bin_width_ >= end) --last;
   if (bins_.size() <= last) bins_.resize(last + 1, 0.0);
   for (std::size_t b = first; b <= last; ++b) {
     const SimTime lo = std::max<SimTime>(start, double(b) * bin_width_);
@@ -22,7 +25,12 @@ std::vector<double> UtilizationRecorder::series(SimTime horizon) const {
       static_cast<std::size_t>(std::ceil(horizon / bin_width_));
   std::vector<double> out(nbins, 0.0);
   for (std::size_t b = 0; b < nbins && b < bins_.size(); ++b) {
-    out[b] = std::min(1.0, bins_[b] / bin_width_);
+    // The final bin may cover only [b*w, horizon): normalize by the width
+    // actually inside the horizon, and clamp so busy time recorded past
+    // `horizon` cannot report a utilization above 1.
+    const SimTime width =
+        std::min<SimTime>(bin_width_, horizon - double(b) * bin_width_);
+    out[b] = width > 0 ? std::min(1.0, bins_[b] / width) : 0.0;
   }
   return out;
 }

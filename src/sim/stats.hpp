@@ -22,7 +22,9 @@ class UtilizationRecorder {
   [[nodiscard]] SimTime total_busy() const noexcept { return total_busy_; }
 
   /// Utilization of each bin in [0, horizon); bins the recorder never saw
-  /// are 0. The final (partial) bin is normalized by the full bin width.
+  /// are 0. The final (partial) bin is normalized by the portion of the
+  /// bin inside the horizon; values are clamped to [0, 1] so busy time
+  /// recorded past the horizon cannot over-report.
   [[nodiscard]] std::vector<double> series(SimTime horizon) const;
 
   /// Mean utilization over [0, horizon).

@@ -309,6 +309,28 @@ TEST(LoadMonitor, ObservesWorkAndStopsWhenDrained) {
   EXPECT_GT(mon.peak_host_imbalance(), 0.9);  // all load on one host
 }
 
+TEST(LoadMonitor, PublishesBacklogGaugesToRegistry) {
+  sim::Engine eng;
+  auto mp = machine(2, 2);
+  asu::Cluster cluster(eng, mp);
+  core::LoadMonitor mon(cluster, 0.01);
+  mon.start();
+  auto worker = [](asu::Node& n) -> sim::Task<> { co_await n.compute(0.1); };
+  eng.spawn(worker(cluster.host(0)));
+  eng.run();
+  // Every sampled node has a backlog gauge; the imbalance gauge carries
+  // the last sample (0 once drained). Old accessor still works alongside.
+  const auto& reg = eng.metrics();
+  ASSERT_NE(reg.find_gauge("host.backlog.0"), nullptr);
+  ASSERT_NE(reg.find_gauge("host.backlog.1"), nullptr);
+  ASSERT_NE(reg.find_gauge("asu.backlog.0"), nullptr);
+  ASSERT_NE(reg.find_gauge("asu.backlog.1"), nullptr);
+  ASSERT_NE(reg.find_gauge("load.host_imbalance"), nullptr);
+  EXPECT_DOUBLE_EQ(reg.find_gauge("host.backlog.0")->value(),
+                   mon.samples().back().host_backlog[0]);
+  EXPECT_FALSE(mon.samples().empty());
+}
+
 TEST(LoadMonitor, BalancedWorkShowsLowImbalance) {
   sim::Engine eng;
   auto mp = machine(2, 2);

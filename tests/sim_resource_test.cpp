@@ -97,6 +97,43 @@ TEST(UtilizationRecorder, ClampsToOne) {
   EXPECT_DOUBLE_EQ(s[0], 1.0);
 }
 
+TEST(UtilizationRecorder, BoundaryExactIntervalStaysInItsBin) {
+  // An interval ending exactly on a bin boundary must not touch (or
+  // allocate) the following bin: [0, 1) with width 1 is one full bin.
+  sim::UtilizationRecorder rec(1.0);
+  rec.add_busy(0.0, 1.0);
+  auto s = rec.series(1.0);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_DOUBLE_EQ(s[0], 1.0);
+  // Horizon 2 sees an idle second bin, not a phantom sliver.
+  auto s2 = rec.series(2.0);
+  ASSERT_EQ(s2.size(), 2u);
+  EXPECT_DOUBLE_EQ(s2[0], 1.0);
+  EXPECT_DOUBLE_EQ(s2[1], 0.0);
+}
+
+TEST(UtilizationRecorder, PartialFinalBinNormalizedByInHorizonWidth) {
+  // A horizon mid-bin: the final bin covers only half a bin width, and a
+  // fully-busy half must read 1.0, not 0.5.
+  sim::UtilizationRecorder rec(1.0);
+  rec.add_busy(0.0, 1.5);
+  auto s = rec.series(1.5);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s[0], 1.0);
+  EXPECT_DOUBLE_EQ(s[1], 1.0);
+}
+
+TEST(UtilizationRecorder, BusyPastHorizonCannotOverReport) {
+  // Busy time recorded past the horizon lands in the horizon-straddling
+  // bin; the clamp keeps the reported utilization at 1.
+  sim::UtilizationRecorder rec(1.0);
+  rec.add_busy(0.0, 2.5);
+  auto s = rec.series(1.5);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s[0], 1.0);
+  EXPECT_DOUBLE_EQ(s[1], 1.0);
+}
+
 TEST(Accumulator, MeanVarianceMinMax) {
   sim::Accumulator acc;
   for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
