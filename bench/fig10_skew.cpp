@@ -77,6 +77,9 @@ int main() {
     entry["router"] = keys[run];
     report.results().push_back(std::move(entry));
   }
+  // Top-level digest: the load-managed run (each result entry also
+  // carries its own digest for per-run comparison across artifacts).
+  report.add_digest(reports[1].digest);
 
   // One row per time bin, paper-style four series.
   std::printf("\n%-8s %16s %16s %18s %18s\n", "time(s)", "static.host1",

@@ -107,7 +107,9 @@ int main() {
     row["adaptive_alpha"] = double(star);
     row["adaptive_pass1_seconds"] = ad.pass1_seconds;
     row["adaptive_speedup"] = base.pass1_seconds / ad.pass1_seconds;
+    row["adaptive_digest"] = obs::digest_to_string(ad.digest);
     if (detailed) {
+      report.add_digest(ad.digest);
       for (const auto& h : ad.hosts) {
         report.add_utilization(h.node, h.mean, ad.util_bin_seconds, h.series);
       }

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "asu/params.hpp"
+#include "core/dsm_sort.hpp"
+#include "obs/json.hpp"
+
+namespace lmas::check {
+
+/// Golden-run regression: a handful of small, fully pinned DSM-Sort
+/// configurations (miniature Figure 9 / Figure 10 shapes) whose execution
+/// digests and metric-snapshot fingerprints are committed under
+/// tests/golden/. Any behavioral drift in the engine, the pipeline, the
+/// routers or the workload generators shows up as a digest mismatch here
+/// before it silently shifts a figure.
+///
+/// Goldens pin behavior, not correctness — an intentional change to
+/// scheduling, costs or seeding legitimately moves them. Regenerate with
+/// `make regolden` (or `lmas_check regolden`) and commit the new file
+/// together with the change that explains it.
+struct GoldenCase {
+  std::string name;
+  asu::MachineParams machine;
+  core::DsmSortConfig config;
+};
+
+/// The pinned configurations. Small on purpose (n = 2^14..2^15): the
+/// digest covers every committed event, so size adds cost, not power.
+[[nodiscard]] const std::vector<GoldenCase>& golden_cases();
+
+struct GoldenResult {
+  std::string name;
+  std::uint64_t digest = 0;
+  std::uint64_t metrics_fingerprint = 0;  // FNV-1a over the snapshot dump
+  double pass1_seconds = 0;
+  std::uint64_t records_in = 0;
+  std::uint64_t sim_events = 0;
+  bool ok = false;
+
+  friend bool operator==(const GoldenResult&, const GoldenResult&) = default;
+};
+
+[[nodiscard]] GoldenResult run_golden_case(const GoldenCase& c);
+
+/// Resolution order for the pinned file: $LMAS_GOLDEN_FILE, then the
+/// build-time default (the committed tests/golden/golden_runs.json).
+[[nodiscard]] std::string default_golden_path();
+
+[[nodiscard]] obs::Json goldens_to_json(
+    const std::vector<GoldenResult>& results);
+
+/// nullopt when the file is missing, unparsable, or has the wrong schema.
+[[nodiscard]] std::optional<std::vector<GoldenResult>> load_goldens(
+    const std::string& path);
+
+[[nodiscard]] bool write_goldens(const std::string& path,
+                                 const std::vector<GoldenResult>& results);
+
+struct GoldenMismatch {
+  std::string name;
+  std::string detail;
+};
+
+/// Field-by-field comparison of a fresh run against the pinned file;
+/// empty means conformant. Cases present on one side only are mismatches.
+[[nodiscard]] std::vector<GoldenMismatch> compare_goldens(
+    const std::vector<GoldenResult>& pinned,
+    const std::vector<GoldenResult>& fresh);
+
+}  // namespace lmas::check

@@ -1,0 +1,92 @@
+#include "check/property.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lmas::check {
+
+namespace {
+
+std::uint64_t case_seed(std::uint64_t base, std::string_view suite,
+                        std::size_t i) {
+  std::uint64_t s = base ^ sim::fnv1a64(suite) ^ sim::splitmix64_once(i + 1);
+  return sim::splitmix64(s);
+}
+
+std::optional<std::string> run_case(const Property& prop, std::uint64_t seed,
+                                    unsigned size) {
+  sim::Rng rng = sim::Rng(seed).stream(sim::stream_id("property-case"));
+  return prop(rng, size);
+}
+
+/// Smallest size (same seed) that still falsifies the property. Linear
+/// from the bottom: properties here are cheap at small sizes, and the
+/// minimum is what a human wants to debug.
+Failure shrink(const Options& opt, const Property& prop, std::uint64_t seed,
+               unsigned failing_size, std::string message) {
+  Failure f{opt.suite, seed, failing_size, std::move(message)};
+  for (unsigned size = opt.min_size; size < failing_size; ++size) {
+    if (auto msg = run_case(prop, seed, size)) {
+      f.size = size;
+      f.message = std::move(*msg);
+      break;
+    }
+  }
+  return f;
+}
+
+}  // namespace
+
+std::string Failure::repro() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "LMAS_CHECK_SEED=0x%016llx LMAS_CHECK_SIZE=%u "
+                "lmas_check property --suite %s",
+                static_cast<unsigned long long>(seed), size, suite.c_str());
+  return buf;
+}
+
+std::string Failure::describe() const {
+  char head[96];
+  std::snprintf(head, sizeof head, "property '%s' falsified (seed=0x%016llx"
+                ", size=%u)\n  ",
+                suite.c_str(), static_cast<unsigned long long>(seed), size);
+  return head + message + "\n  repro: " + repro();
+}
+
+std::optional<Failure> forall(Options opt, const Property& prop) {
+  if (const char* e = std::getenv("LMAS_CHECK_CASES")) {
+    opt.cases = std::strtoull(e, nullptr, 0);
+  }
+  if (opt.max_size < opt.min_size) opt.max_size = opt.min_size;
+
+  // Pinned single-case mode: reproduce a reported failure exactly.
+  if (const char* seed_env = std::getenv("LMAS_CHECK_SEED")) {
+    const std::uint64_t seed = std::strtoull(seed_env, nullptr, 0);
+    unsigned size = opt.max_size;
+    if (const char* size_env = std::getenv("LMAS_CHECK_SIZE")) {
+      size = unsigned(std::strtoul(size_env, nullptr, 0));
+    }
+    if (auto msg = run_case(prop, seed, size)) {
+      return Failure{opt.suite, seed, size, std::move(*msg)};
+    }
+    return std::nullopt;
+  }
+
+  for (std::size_t i = 0; i < opt.cases; ++i) {
+    // Ramp sizes so the earliest cases are the smallest: a generator or
+    // property bug usually trips immediately at near-minimal input.
+    const unsigned span = opt.max_size - opt.min_size;
+    const unsigned size =
+        opt.cases <= 1
+            ? opt.max_size
+            : opt.min_size + unsigned(span * i / (opt.cases - 1));
+    const std::uint64_t seed = case_seed(opt.seed, opt.suite, i);
+    if (auto msg = run_case(prop, seed, size)) {
+      return shrink(opt, prop, seed, size, std::move(*msg));
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace lmas::check

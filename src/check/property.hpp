@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "sim/random.hpp"
+
+namespace lmas::check {
+
+/// Seeded property/metamorphic test harness (no external dependencies).
+///
+/// A property is a function of a per-case RNG and a `size` scale that
+/// returns nullopt on success or a counterexample description on failure.
+/// The harness runs `cases` seeded cases, ramping size from min to max so
+/// early cases are tiny; on the first failure it SHRINKS the case — same
+/// seed, smallest size that still fails — and reports a repro command.
+///
+/// Reproduction contract: every entry point (the gtest `property`-label
+/// suites and the `lmas_check` driver) honors three environment
+/// variables, so a failure printed by CI is one copy-paste away from a
+/// local single-case rerun:
+///
+///   LMAS_CHECK_SEED=0x<hex>  run exactly one case with this seed
+///   LMAS_CHECK_SIZE=<n>      ... at this size (default: suite max)
+///   LMAS_CHECK_CASES=<n>     override the number of cases per suite
+
+/// A falsified property after shrinking: the (seed, size) pair that
+/// reproduces it plus the property's counterexample message.
+struct Failure {
+  std::string suite;
+  std::uint64_t seed = 0;
+  unsigned size = 0;
+  std::string message;
+
+  /// Copy-pasteable single-case repro command.
+  [[nodiscard]] std::string repro() const;
+
+  /// Multi-line report: suite, seed/size, message, repro.
+  [[nodiscard]] std::string describe() const;
+};
+
+struct Options {
+  std::string suite;        ///< name used in reports and repro commands
+  std::size_t cases = 100;  ///< seeded cases per run
+  std::uint64_t seed = 0;   ///< base seed; per-case seeds derive from it
+  unsigned min_size = 1;    ///< smallest structure scale
+  unsigned max_size = 16;   ///< largest scale (ramped across cases)
+};
+
+using Property =
+    std::function<std::optional<std::string>(sim::Rng&, unsigned size)>;
+
+/// Run the property over seeded cases; nullopt means it held everywhere.
+/// Deterministic: same Options always replay the same case sequence.
+[[nodiscard]] std::optional<Failure> forall(Options opt,
+                                            const Property& prop);
+
+}  // namespace lmas::check

@@ -1,0 +1,425 @@
+#include "check/suites.hpp"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "asu/network.hpp"
+#include "check/generators.hpp"
+#include "core/adaptive.hpp"
+#include "core/dsm_sort.hpp"
+#include "core/pipeline.hpp"
+#include "extmem/sort.hpp"
+#include "extmem/stream.hpp"
+#include "sim/sim.hpp"
+
+namespace lmas::check {
+
+namespace {
+
+std::string fmt(const char* f, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, f);
+  std::vsnprintf(buf, sizeof buf, f, ap);
+  va_end(ap);
+  return buf;
+}
+
+std::string cfg_str(const asu::MachineParams& mp,
+                    const core::DsmSortConfig& cfg) {
+  return fmt("H=%u D=%u c=%.0f n=%zu alpha=%u K=2^%u dist=%s router=%s "
+             "splitters=%s asus=%d merge=%d seed=0x%llx",
+             mp.num_hosts, mp.num_asus, mp.c, cfg.total_records, cfg.alpha,
+             cfg.log2_alpha_beta, core::key_dist_name(cfg.key_dist),
+             core::router_kind_name(cfg.sort_router),
+             cfg.splitters == core::DsmSortConfig::Splitters::Range
+                 ? "range"
+                 : "sampled",
+             int(cfg.distribute_on_asus), int(cfg.run_merge_pass),
+             static_cast<unsigned long long>(cfg.seed));
+}
+
+std::uint64_t metrics_fingerprint(const core::DsmSortReport& rep) {
+  return sim::fnv1a64(rep.metrics.dump());
+}
+
+// ---- permutation ---------------------------------------------------
+
+std::optional<std::string> prop_permutation(sim::Rng& rng, unsigned size) {
+  const std::size_t n = 1 + rng.below(std::size_t(256) * size);
+  const auto keys = gen_keys(rng, n);
+
+  em::Stream<em::KeyRecord> in(em::make_memory_bte());
+  for (std::size_t i = 0; i < n; ++i) {
+    in.push_back({keys[i], std::uint32_t(i)});
+  }
+  em::SortOptions opt;
+  // Tiny run-formation memory so even small inputs exercise multi-run
+  // merging; fan-in 2..5 forces multiple merge passes.
+  opt.memory_bytes = std::max<std::size_t>(1, 8 * (1 + rng.below(8)));
+  opt.max_fan_in = 2 + rng.below(4);
+  em::Stream<em::KeyRecord> out(em::make_memory_bte());
+  em::sort_stream(in, out, opt);
+
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> got;
+  got.reserve(n);
+  out.rewind();
+  std::uint32_t prev = 0;
+  while (auto r = out.read()) {
+    if (!got.empty() && r->key < prev) {
+      return fmt("output not sorted at position %zu: %u after %u",
+                 got.size(), r->key, prev);
+    }
+    prev = r->key;
+    got.emplace_back(r->key, r->id);
+  }
+  if (got.size() != n) {
+    return fmt("record count changed: %zu in, %zu out", n, got.size());
+  }
+  // ids are unique, so multiset equality reduces to set equality of
+  // (key, id) pairs.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> want;
+  want.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    want.emplace_back(keys[i], std::uint32_t(i));
+  }
+  std::sort(want.begin(), want.end());
+  std::sort(got.begin(), got.end());
+  if (want != got) {
+    return fmt("output is not a permutation of the input (n=%zu)", n);
+  }
+  return std::nullopt;
+}
+
+// ---- packet order --------------------------------------------------
+
+sim::Task<> plan_producer(core::StageOutput& out, asu::Node& from,
+                          std::vector<core::Packet> pkts) {
+  for (auto& p : pkts) {
+    co_await out.emit(from, std::move(p));
+  }
+  out.producer_done();
+}
+
+sim::Task<> plan_consumer(sim::Channel<core::Packet>& in,
+                          std::vector<core::Packet>& got) {
+  while (auto p = co_await in.recv()) {
+    got.push_back(std::move(*p));
+  }
+}
+
+std::optional<std::string> prop_packet_order(sim::Rng& rng, unsigned size) {
+  PacketPlan plan = gen_packet_plan(rng, size);
+  constexpr core::RouterKind kRouters[] = {
+      core::RouterKind::Static, core::RouterKind::RoundRobin,
+      core::RouterKind::SimpleRandomization, core::RouterKind::LeastLoaded};
+  const core::RouterKind kind = kRouters[rng.below(std::size(kRouters))];
+
+  asu::MachineParams mp;
+  mp.num_hosts = plan.targets;   // consumers
+  mp.num_asus = plan.producers;  // producers
+  sim::Engine eng;
+  asu::Cluster cluster(eng, mp);
+
+  core::StageInboxes inboxes(eng, plan.targets, /*capacity_packets=*/4);
+  std::vector<asu::Node*> nodes;
+  for (unsigned t = 0; t < plan.targets; ++t) {
+    nodes.push_back(&cluster.host(t));
+  }
+  core::StageOutput out(eng, cluster.network(), mp.record_bytes,
+                        inboxes.endpoints(nodes),
+                        core::make_router(kind, rng.split(), plan.subsets),
+                        plan.producers, /*window_per_producer=*/4,
+                        "prop.stage");
+
+  std::size_t packets_sent = 0;
+  for (unsigned p = 0; p < plan.producers; ++p) {
+    packets_sent += plan.per_producer[p].size();
+    eng.spawn(plan_producer(out, cluster.asu(p),
+                            std::move(plan.per_producer[p])));
+  }
+  std::vector<std::vector<core::Packet>> got(plan.targets);
+  for (unsigned t = 0; t < plan.targets; ++t) {
+    eng.spawn(plan_consumer(inboxes.inbox(t), got[t]));
+  }
+  eng.run();
+
+  std::size_t packets_got = 0, records_got = 0;
+  for (unsigned t = 0; t < plan.targets; ++t) {
+    // Per (producer, subset), the seqs seen at one instance must be a
+    // strictly increasing subsequence of the producer's emission order.
+    std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint32_t> last;
+    for (const auto& p : got[t]) {
+      ++packets_got;
+      records_got += p.records.size();
+      const auto key = std::make_pair(p.run_id, p.subset);
+      auto [it, fresh] = last.try_emplace(key, p.seq);
+      if (!fresh) {
+        if (p.seq <= it->second) {
+          return fmt("instance %u saw producer %u subset %u seq %u after "
+                     "seq %u (router=%s)",
+                     t, p.run_id, p.subset, p.seq, it->second,
+                     core::router_kind_name(kind));
+        }
+        it->second = p.seq;
+      }
+      // Records stay together and in order within the packet.
+      for (std::size_t r = 0; r < p.records.size(); ++r) {
+        if (p.records[r].id != std::uint32_t(r)) {
+          return fmt("packet records reordered at instance %u", t);
+        }
+      }
+    }
+  }
+  if (packets_got != packets_sent || records_got != plan.total_records) {
+    return fmt("lost traffic: %zu/%zu packets, %zu/%zu records "
+               "(router=%s)",
+               packets_got, packets_sent, records_got, plan.total_records,
+               core::router_kind_name(kind));
+  }
+  if (eng.unfinished_tasks() != 0) {
+    return fmt("%zu tasks still blocked after run", eng.unfinished_tasks());
+  }
+  return std::nullopt;
+}
+
+// ---- conservation --------------------------------------------------
+
+std::optional<std::string> prop_conservation(sim::Rng& rng, unsigned size) {
+  const asu::MachineParams mp = gen_machine(rng, size);
+  const core::DsmSortConfig cfg = gen_dsm_config(rng, size);
+  const core::DsmSortReport rep = run_dsm_sort(mp, cfg);
+
+  if (rep.records_in != cfg.total_records) {
+    return fmt("records_in %zu != n %zu [%s]", rep.records_in,
+               cfg.total_records, cfg_str(mp, cfg).c_str());
+  }
+  if (rep.records_stored != rep.records_in) {
+    return fmt("pass 1 stored %zu of %zu records [%s]", rep.records_stored,
+               rep.records_in, cfg_str(mp, cfg).c_str());
+  }
+  if (!rep.checksum_ok) {
+    return fmt("key checksum not conserved [%s]", cfg_str(mp, cfg).c_str());
+  }
+  if (!rep.subsets_ok) {
+    return fmt("records crossed subset boundaries [%s]",
+               cfg_str(mp, cfg).c_str());
+  }
+  if (!rep.runs_sorted_ok) {
+    return fmt("stored runs not sorted [%s]", cfg_str(mp, cfg).c_str());
+  }
+  if (cfg.run_merge_pass) {
+    if (rep.records_final != rep.records_in) {
+      return fmt("pass 2 emitted %zu of %zu records [%s]",
+                 rep.records_final, rep.records_in,
+                 cfg_str(mp, cfg).c_str());
+    }
+    if (!rep.final_sorted_ok) {
+      return fmt("pass 2 output not globally sorted [%s]",
+                 cfg_str(mp, cfg).c_str());
+    }
+  }
+  return std::nullopt;
+}
+
+// ---- SR balance ----------------------------------------------------
+
+std::optional<std::string> prop_sr_balance(sim::Rng& rng, unsigned size) {
+  const std::size_t k = 1 + rng.below(std::max(2u, size));
+  const unsigned subsets = 1 + unsigned(rng.below(8));
+  core::SimpleRandomizationRouter router(rng.split());
+  const std::vector<core::RouteTarget> targets(k);
+
+  for (unsigned s = 0; s < subsets; ++s) {
+    const std::size_t n_s = 1 + rng.below(16 * std::size_t(size));
+    std::vector<std::size_t> count(k, 0);
+    core::Packet p;
+    p.subset = s;
+    for (std::size_t i = 0; i < n_s; ++i) {
+      const std::size_t idx = router.pick(p, targets);
+      if (idx >= k) return fmt("pick returned %zu for k=%zu", idx, k);
+      ++count[idx];
+    }
+    // Randomized cycling: every full cycle touches each target once, so
+    // after n_s picks each target holds floor or ceil of n_s / k.
+    const std::size_t lo = n_s / k;
+    const std::size_t hi = lo + (n_s % k == 0 ? 0 : 1);
+    for (std::size_t t = 0; t < k; ++t) {
+      if (count[t] < lo || count[t] > hi) {
+        return fmt("subset %u target %zu got %zu packets; bound [%zu, %zu] "
+                   "with n_s=%zu k=%zu",
+                   s, t, count[t], lo, hi, n_s, k);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+// ---- predictor -----------------------------------------------------
+
+/// Declared tolerance: the analytic model prices aggregate station work
+/// and takes the pipeline max; it ignores startup ramp, packet
+/// quantization and interleaving, so at property-test scale (n = 2^13,
+/// where fixed overheads are proportionally large) the emulated time can
+/// sit up to ~2.5x above the bound. 3.0 leaves margin without letting a
+/// mispriced cost term through.
+constexpr double kPredictorTolerance = 3.0;
+
+std::optional<std::string> prop_predictor(sim::Rng& rng, unsigned size) {
+  asu::MachineParams mp;
+  mp.num_hosts = 1 + unsigned(rng.below(2));
+  mp.num_asus = 2 + unsigned(rng.below(std::max(2u, size)));
+  mp.c = 2.0 * double(1 + rng.below(8));
+
+  core::DsmSortConfig cfg;
+  // Large enough that the modeled per-record terms dominate the fixed
+  // startup/latency overheads the model leaves unpriced.
+  cfg.total_records = std::size_t(1) << 15;
+  cfg.log2_alpha_beta = 12;
+  // The model's regime: enough subsets that static partitioning spreads
+  // them evenly over the hosts (alpha >= 2H, divisible by H) — with
+  // fewer, one host carries everything while the model divides by H —
+  // and beta >= 64, because shorter runs (alpha -> K) are dominated by
+  // per-packet overheads the model deliberately leaves unpriced. The
+  // paper's configurations never operate outside either bound.
+  cfg.alpha = 1u << (2 + rng.below(5));
+  cfg.distribute_on_asus = true;
+  cfg.key_dist = core::KeyDist::Uniform;
+  cfg.splitters = core::DsmSortConfig::Splitters::Range;
+  cfg.sort_router = core::RouterKind::Static;
+  cfg.seed = rng.next();
+
+  const double predicted = core::predict_pass1(mp, cfg).seconds;
+  const core::DsmSortReport rep = run_dsm_sort(mp, cfg);
+  if (!rep.ok()) {
+    return fmt("run failed validation [%s]", cfg_str(mp, cfg).c_str());
+  }
+  const double actual = rep.pass1_seconds;
+  if (predicted <= 0 || actual <= 0) {
+    return fmt("non-positive time: predicted=%g actual=%g [%s]", predicted,
+               actual, cfg_str(mp, cfg).c_str());
+  }
+  const double ratio = actual / predicted;
+  if (ratio > kPredictorTolerance || ratio < 1.0 / kPredictorTolerance) {
+    return fmt("predict_pass1=%.4fs vs emulated=%.4fs (ratio %.2f outside "
+               "[%.2f, %.2f]) [%s]",
+               predicted, actual, ratio, 1.0 / kPredictorTolerance,
+               kPredictorTolerance, cfg_str(mp, cfg).c_str());
+  }
+  return std::nullopt;
+}
+
+// ---- digest --------------------------------------------------------
+
+std::optional<std::string> prop_digest(sim::Rng& rng, unsigned size) {
+  const asu::MachineParams mp = gen_machine(rng, size);
+  core::DsmSortConfig cfg = gen_dsm_config(rng, size);
+  cfg.total_records = std::size_t(1) << 10;  // digest cares about replay,
+  cfg.log2_alpha_beta = 8;                   // not scale — keep runs tiny
+  cfg.alpha = std::min(cfg.alpha, 1u << 8);
+
+  const core::DsmSortReport a = run_dsm_sort(mp, cfg);
+  const core::DsmSortReport b = run_dsm_sort(mp, cfg);
+  if (a.digest != b.digest) {
+    return fmt("same config, different digests: 0x%016llx vs 0x%016llx "
+               "[%s]",
+               static_cast<unsigned long long>(a.digest),
+               static_cast<unsigned long long>(b.digest),
+               cfg_str(mp, cfg).c_str());
+  }
+  if (metrics_fingerprint(a) != metrics_fingerprint(b)) {
+    return fmt("same config, different metric snapshots [%s]",
+               cfg_str(mp, cfg).c_str());
+  }
+  if (a.sim_events != b.sim_events || a.makespan != b.makespan) {
+    return fmt("same config, different event counts or makespans [%s]",
+               cfg_str(mp, cfg).c_str());
+  }
+  // A different seed must move the digest — but only in a regime where
+  // the seed feeds the timing. Deterministic keys (sorted/reverse) or
+  // quantile splitters make bucket sizes seed-independent, and the
+  // simulator prices work by record counts, so such configs genuinely
+  // replay the same execution under any seed (the harness caught both).
+  // Pin the sensitivity check to ASU-side distribute with uniform keys,
+  // range splitters and alpha >= 8: there bucket counts are multinomial
+  // in the seed, so packet boundaries — and the digest — must move.
+  // (The passive baseline ships fixed-size raw packets, so it too is
+  // seed-insensitive by construction.)
+  core::DsmSortConfig sens = cfg;
+  sens.key_dist = core::KeyDist::Uniform;
+  sens.splitters = core::DsmSortConfig::Splitters::Range;
+  sens.distribute_on_asus = true;
+  sens.alpha = std::max(sens.alpha, 8u);
+  core::DsmSortConfig other = sens;
+  other.seed = sens.seed + 1;
+  const core::DsmSortReport s1 = run_dsm_sort(mp, sens);
+  const core::DsmSortReport s2 = run_dsm_sort(mp, other);
+  if (s1.digest == s2.digest) {
+    return fmt("different seeds, same digest 0x%016llx [%s]",
+               static_cast<unsigned long long>(s1.digest),
+               cfg_str(mp, sens).c_str());
+  }
+  return std::nullopt;
+}
+
+std::optional<Failure> run_suite(const char* name, std::size_t cases,
+                                 std::uint64_t seed, unsigned min_size,
+                                 unsigned max_size, const Property& prop) {
+  Options opt;
+  opt.suite = name;
+  opt.cases = cases;
+  opt.seed = seed;
+  opt.min_size = min_size;
+  opt.max_size = max_size;
+  return forall(opt, prop);
+}
+
+}  // namespace
+
+std::optional<Failure> suite_permutation(std::size_t cases,
+                                         std::uint64_t seed) {
+  return run_suite("permutation", cases, seed, 1, 16, prop_permutation);
+}
+
+std::optional<Failure> suite_packet_order(std::size_t cases,
+                                          std::uint64_t seed) {
+  return run_suite("packet-order", cases, seed, 1, 8, prop_packet_order);
+}
+
+std::optional<Failure> suite_conservation(std::size_t cases,
+                                          std::uint64_t seed) {
+  return run_suite("conservation", cases, seed, 1, 12, prop_conservation);
+}
+
+std::optional<Failure> suite_sr_balance(std::size_t cases,
+                                        std::uint64_t seed) {
+  return run_suite("sr-balance", cases, seed, 1, 16, prop_sr_balance);
+}
+
+std::optional<Failure> suite_predictor(std::size_t cases,
+                                       std::uint64_t seed) {
+  return run_suite("predictor", cases, seed, 1, 8, prop_predictor);
+}
+
+std::optional<Failure> suite_digest(std::size_t cases, std::uint64_t seed) {
+  return run_suite("digest", cases, seed, 1, 6, prop_digest);
+}
+
+const std::vector<SuiteInfo>& all_suites() {
+  static const std::vector<SuiteInfo> kSuites = {
+      {"permutation", &suite_permutation, 100},
+      {"packet-order", &suite_packet_order, 100},
+      {"conservation", &suite_conservation, 100},
+      {"sr-balance", &suite_sr_balance, 100},
+      {"predictor", &suite_predictor, 100},
+      {"digest", &suite_digest, 100},
+  };
+  return kSuites;
+}
+
+}  // namespace lmas::check

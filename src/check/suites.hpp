@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "check/property.hpp"
+
+namespace lmas::check {
+
+/// The conformance property suites. Each runs `cases` seeded cases through
+/// the forall() harness and returns the shrunk counterexample on failure.
+///
+/// The suites encode the model's load-management contracts (Sections 3
+/// and 4 of the paper) as machine-checkable invariants:
+///
+///  - permutation:  sorted output is an exact multiset permutation of the
+///                  input (external mergesort layer).
+///  - packet_order: the set contract — routing is free to scatter packets
+///                  across replicated instances, but records within a
+///                  packet stay together and per-(producer, subset)
+///                  sequence numbers arrive in order at every instance,
+///                  under every RoutingPolicy.
+///  - conservation: DSM-Sort neither loses nor invents records: counts and
+///                  key checksums are conserved through distribute, sort
+///                  and merge, for every machine shape / αβγ split /
+///                  workload / router sampled.
+///  - sr_balance:   SR routing's imbalance bound — randomized cycling
+///                  sends each subset's packets to every instance either
+///                  floor(n_s/k) or ceil(n_s/k) times.
+///  - predictor:    the declared-cost model's predict_pass1 stays within a
+///                  declared multiplicative tolerance of the emulated
+///                  pass-1 time in the uniform-key regime it models.
+///  - digest:       same seed + same config reproduce bit-identical
+///                  execution digests and metric fingerprints; a different
+///                  seed produces a different digest.
+std::optional<Failure> suite_permutation(std::size_t cases,
+                                         std::uint64_t seed);
+std::optional<Failure> suite_packet_order(std::size_t cases,
+                                          std::uint64_t seed);
+std::optional<Failure> suite_conservation(std::size_t cases,
+                                          std::uint64_t seed);
+std::optional<Failure> suite_sr_balance(std::size_t cases,
+                                        std::uint64_t seed);
+std::optional<Failure> suite_predictor(std::size_t cases,
+                                       std::uint64_t seed);
+std::optional<Failure> suite_digest(std::size_t cases, std::uint64_t seed);
+
+struct SuiteInfo {
+  std::string_view name;
+  std::optional<Failure> (*fn)(std::size_t cases, std::uint64_t seed);
+  std::size_t default_cases;
+};
+
+/// Registry for the lmas_check driver and the gtest property binaries.
+[[nodiscard]] const std::vector<SuiteInfo>& all_suites();
+
+}  // namespace lmas::check

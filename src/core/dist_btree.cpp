@@ -76,7 +76,7 @@ class DistBTreeSim {
   }
 
   void build_initial() {
-    sim::Rng rng(cfg_.seed);
+    sim::Rng rng = sim::Rng(cfg_.seed).stream(sim::stream_id("initial-keys"));
     for (std::size_t i = 0; i < cfg_.initial_keys; ++i) {
       const auto k = std::uint32_t(rng.next());
       oracle_[k] = std::uint32_t(rng.next());  // duplicates: last wins
@@ -93,7 +93,7 @@ class DistBTreeSim {
 
   sim::Task<> client(unsigned c) {
     asu_ns::Node& host = cluster_.host(0);
-    sim::Rng rng(cfg_.seed * 31 + c + 1);
+    sim::Rng rng = sim::Rng(cfg_.seed).stream(sim::stream_id("client", c));
     const std::size_t ops = cfg_.operations / cfg_.clients;
 
     for (std::size_t i = 0; i < ops; ++i) {

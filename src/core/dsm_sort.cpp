@@ -9,6 +9,7 @@
 
 #include "asu/asu.hpp"
 #include "core/pipeline.hpp"
+#include "obs/report.hpp"
 #include "core/splitters.hpp"
 #include "extmem/distribute.hpp"
 #include "extmem/merge.hpp"
@@ -84,6 +85,7 @@ class DsmSortSim {
     collect_utilization(rep);
     rep.metrics = eng_.metrics().snapshot();
     rep.sim_events = eng_.events_processed();
+    rep.digest = eng_.digest();
     if (!cfg_.trace_file.empty()) {
       eng_.tracer().write_chrome_trace(cfg_.trace_file);
     }
@@ -116,8 +118,9 @@ class DsmSortSim {
     to_sort_ = std::make_unique<StageOutput>(
         eng_, cluster_.network(), mp_.record_bytes,
         sort_in_->endpoints(host_nodes),
-        make_router(sort_kind, sim::Rng(cfg_.seed ^ 0x5eed), alpha_, &eng_,
-                    "sort"),
+        make_router(sort_kind,
+                    sim::Rng(cfg_.seed).stream(sim::stream_id("routing.sort")),
+                    alpha_, &eng_, "sort"),
         d_, 32, "to_sort");
     // Runs are striped across ASUs at packet granularity (Section 4.3:
     // merged/sorted runs are stored striped across the ASUs).
@@ -148,6 +151,14 @@ class DsmSortSim {
     pass1_end_ = *std::max_element(store_end_.begin(), store_end_.end());
   }
 
+  /// Per-ASU workload stream: the splitter pre-pass must regenerate the
+  /// exact key sequence each distribute instance will see, so both draw
+  /// from the same named stream. Independent of the routing stream by
+  /// construction (distinct stream ids), not by seed arithmetic.
+  [[nodiscard]] sim::Rng workload_stream(unsigned a) const {
+    return sim::Rng(cfg_.seed).stream(sim::stream_id("workload", a));
+  }
+
   [[nodiscard]] std::size_t local_share(unsigned a) const {
     const std::size_t base = cfg_.total_records / d_;
     const std::size_t extra = a < cfg_.total_records % d_ ? 1 : 0;
@@ -164,8 +175,7 @@ class DsmSortSim {
       to_sort_->producer_done();
       co_return;
     }
-    KeyGenerator gen(cfg_.key_dist, n_local,
-                     sim::Rng(cfg_.seed * 1000003ULL + a));
+    KeyGenerator gen(cfg_.key_dist, n_local, workload_stream(a));
     asu_ns::Disk::ReadStream rs(node.disk(),
                                 block_records_ * mp_.record_bytes);
 
@@ -676,8 +686,7 @@ class DsmSortSim {
       for (unsigned a = 0; a < d_; ++a) {
         const std::size_t n_local = local_share(a);
         if (n_local == 0) continue;
-        KeyGenerator gen(cfg_.key_dist, n_local,
-                         sim::Rng(cfg_.seed * 1000003ULL + a));
+        KeyGenerator gen(cfg_.key_dist, n_local, workload_stream(a));
         const std::size_t stride = std::max<std::size_t>(1, n_local / 4096);
         for (std::size_t i = 0; i < n_local; ++i) {
           const auto k = gen.next();
@@ -759,6 +768,7 @@ obs::Json dsm_report_to_json(const DsmSortReport& rep) {
   j["runs_stored"] = rep.runs_stored;
   j["ok"] = rep.ok();
   j["sim_events"] = rep.sim_events;
+  j["digest"] = obs::digest_to_string(rep.digest);
   j["records_sorted_per_host"] =
       obs::Json::array_of(rep.records_sorted_per_host);
   obs::Json util = obs::Json::object();

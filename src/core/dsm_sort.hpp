@@ -121,6 +121,10 @@ struct DsmSortReport {
   /// Events the engine processed for this run (simulator work metric).
   std::uint64_t sim_events = 0;
 
+  /// Execution digest of the run's engine (see sim::Engine::digest):
+  /// identical configuration + seed must reproduce this value exactly.
+  std::uint64_t digest = 0;
+
   [[nodiscard]] bool ok() const {
     return runs_sorted_ok && subsets_ok && checksum_ok &&
            (pass2_seconds == 0 || final_sorted_ok);

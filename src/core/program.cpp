@@ -175,7 +175,8 @@ ProgramStats Program::run() {
     im.outputs.push_back(std::make_unique<StageOutput>(
         *im.eng, im.cluster->network(), im.record_bytes(),
         st.inboxes->endpoints(st.spec.placement),
-        make_router(st.spec.router, sim::Rng(0x9ab + i),
+        make_router(st.spec.router,
+                    sim::Rng(0x9ab).stream(sim::stream_id("routing", i)),
                     st.spec.router_subsets, im.eng, st.spec.name),
         producers, 32, "to_" + st.spec.name));
   }

@@ -30,6 +30,11 @@ class RoutingPolicy {
   virtual ~RoutingPolicy() = default;
 
   /// Return the target index in [0, targets.size()) for this packet.
+  /// The target set may shrink or grow between calls (replica failure,
+  /// removal, re-replication); policies must tolerate any size, including
+  /// the degenerate cases: a single target always yields index 0, and an
+  /// empty set yields 0 as a sentinel — the caller must check
+  /// targets.empty() before dereferencing (there is nowhere to route).
   virtual std::size_t pick(const Packet& p,
                            std::span<const RouteTarget> targets) = 0;
 
@@ -49,6 +54,7 @@ class StaticPartitionRouter final : public RoutingPolicy {
   std::size_t pick(const Packet& p,
                    std::span<const RouteTarget> targets) override {
     const std::size_t k = targets.size();
+    if (k == 0) return 0;
     if (total_subsets_ == 0) return p.subset % k;
     const std::size_t idx = std::size_t(p.subset) * k / total_subsets_;
     return idx >= k ? k - 1 : idx;
@@ -64,6 +70,7 @@ class RoundRobinRouter final : public RoutingPolicy {
  public:
   std::size_t pick(const Packet&,
                    std::span<const RouteTarget> targets) override {
+    if (targets.empty()) return 0;
     return next_++ % targets.size();
   }
   [[nodiscard]] std::string name() const override { return "round-robin"; }
@@ -83,6 +90,7 @@ class SimpleRandomizationRouter final : public RoutingPolicy {
 
   std::size_t pick(const Packet& p,
                    std::span<const RouteTarget> targets) override {
+    if (targets.empty()) return 0;
     Cycle& c = cycles_[p.subset];
     if (c.order.size() != targets.size()) {
       c.order.resize(targets.size());
@@ -120,6 +128,7 @@ class LeastLoadedRouter final : public RoutingPolicy {
  public:
   std::size_t pick(const Packet&,
                    std::span<const RouteTarget> targets) override {
+    if (targets.empty()) return 0;
     std::size_t best = 0;
     double best_backlog = targets[0].node->cpu().backlog();
     for (std::size_t i = 1; i < targets.size(); ++i) {

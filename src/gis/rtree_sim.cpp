@@ -77,7 +77,7 @@ class RTreeQuerySim {
   /// application with many concurrent searches).
   sim::Task<> client(unsigned c) {
     asu_ns::Node& host = cluster_.host(0);
-    sim::Rng rng(cfg_.seed * 7919 + c);
+    sim::Rng rng = sim::Rng(cfg_.seed).stream(sim::stream_id("client", c));
     const auto& cost = mp_.cost;
 
     for (unsigned qi = 0; qi < cfg_.queries_per_client; ++qi) {

@@ -1,9 +1,30 @@
 #include "obs/report.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 
 namespace lmas::obs {
+
+std::string digest_to_string(std::uint64_t digest) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(digest));
+  return buf;
+}
+
+std::optional<std::uint64_t> digest_from_string(std::string_view s) {
+  if (s.size() != 18 || s[0] != '0' || s[1] != 'x') return std::nullopt;
+  std::uint64_t v = 0;
+  for (const char c : s.substr(2)) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') v |= std::uint64_t(c - '0');
+    else if (c >= 'a' && c <= 'f') v |= std::uint64_t(c - 'a' + 10);
+    else if (c >= 'A' && c <= 'F') v |= std::uint64_t(c - 'A' + 10);
+    else return std::nullopt;
+  }
+  return v;
+}
 
 BenchReport::BenchReport(std::string name) : name_(std::move(name)) {
   root_ = Json::object();
@@ -23,6 +44,16 @@ void BenchReport::add_utilization(const std::string& node, double mean,
 
 void BenchReport::add_metrics(const MetricsRegistry& registry) {
   root_["metrics"] = registry.snapshot();
+}
+
+void BenchReport::add_digest(std::uint64_t digest) {
+  root_["digest"] = digest_to_string(digest);
+}
+
+std::optional<std::uint64_t> BenchReport::digest() const {
+  const Json* d = root_.find("digest");
+  if (!d || !d->is_string()) return std::nullopt;
+  return digest_from_string(d->as_string());
 }
 
 std::string BenchReport::path(const std::string& dir) const {

@@ -1,12 +1,22 @@
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 
 namespace lmas::obs {
+
+/// Execution digests are 64-bit words, but JSON numbers are doubles; they
+/// travel as fixed-width "0x%016llx" strings so round-trips are lossless.
+[[nodiscard]] std::string digest_to_string(std::uint64_t digest);
+/// Inverse of digest_to_string; nullopt on malformed input.
+[[nodiscard]] std::optional<std::uint64_t> digest_from_string(
+    std::string_view s);
 
 /// Builder for the machine-readable artifact every bench writes alongside
 /// its text output: `BENCH_<name>.json`. Schema (lmas-bench-v1):
@@ -41,6 +51,14 @@ class BenchReport {
 
   /// Embed a registry snapshot under "metrics".
   void add_metrics(const MetricsRegistry& registry);
+
+  /// Record the run's engine execution digest under "digest" (hex
+  /// string; see digest_to_string). Golden-run tooling compares this
+  /// field across artifact generations.
+  void add_digest(std::uint64_t digest);
+
+  /// Parse the "digest" field back; nullopt if absent or malformed.
+  [[nodiscard]] std::optional<std::uint64_t> digest() const;
 
   /// Output path: `<dir>/BENCH_<name>.json`. `dir` defaults to the
   /// LMAS_BENCH_DIR environment variable, falling back to the working

@@ -25,6 +25,7 @@ Engine::Engine() {
 
 void Engine::spawn(Task<> task, std::string name) {
   auto handle = task.handle();
+  fold(fnv1a64(name));
   if (!name.empty() && tracer_.enabled()) {
     // Only traces consult the handle->name map, and enablement precedes
     // spawning in every traced flow (env at construction, config before
@@ -53,6 +54,7 @@ std::size_t Engine::run_fast(SimTime until) {
     events_.pop();
     now_ = ev.t;
     ++processed;
+    fold(std::bit_cast<std::uint64_t>(ev.t) ^ std::rotl(ev.seq, 31));
     if (ev.h && !ev.h.done()) {
       ev.h.resume();
     }
@@ -68,6 +70,7 @@ std::size_t Engine::run_traced(SimTime until) {
     events_.pop();
     now_ = ev.t;
     ++processed;
+    fold(std::bit_cast<std::uint64_t>(ev.t) ^ std::rotl(ev.seq, 31));
     if (ev.h && !ev.h.done()) {
       // Bracket the resume of a *named* root so traces show which
       // process the nested resource spans belong to. (Anonymous events

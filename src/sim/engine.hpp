@@ -1,5 +1,6 @@
 #pragma once
 
+#include <bit>
 #include <coroutine>
 #include <cstdint>
 #include <queue>
@@ -9,6 +10,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sim/random.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
 
@@ -111,6 +113,26 @@ class Engine {
     return events_processed_;
   }
 
+  /// Execution digest: an allocation-free splitmix-chained hash folded
+  /// over the committed event stream — (sim time, sequence) of every
+  /// processed event, the name of every spawned root task, and every
+  /// resource occupancy (resource id, completion time). Two runs with the
+  /// same seed and configuration MUST produce identical digests; that
+  /// invariant is what the golden-run regression suite pins, so any
+  /// silent behavior drift (reordered events, changed timing, different
+  /// resource usage) shows up as a digest mismatch rather than only as a
+  /// crash. The digest is order-sensitive by construction: folding is a
+  /// chained permutation, not a commutative sum.
+  [[nodiscard]] std::uint64_t digest() const noexcept { return digest_; }
+
+  /// Fold one word into the execution digest. Components with behavior
+  /// the event stream alone cannot see (resources, routers, fault
+  /// injectors) fold their own commitments; cost is a few ALU ops.
+  void fold(std::uint64_t v) noexcept {
+    std::uint64_t s = digest_ ^ v;
+    digest_ = splitmix64(s);
+  }
+
   /// Number of spawned root tasks that have not completed. Non-zero after
   /// run() drains the queue means blocked (deadlocked or starved) processes.
   [[nodiscard]] std::size_t unfinished_tasks() const noexcept;
@@ -169,6 +191,7 @@ class Engine {
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
+  std::uint64_t digest_ = 0xcbf29ce484222325ULL;  // FNV offset basis
 
   obs::MetricsRegistry metrics_;
   obs::Tracer tracer_;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <string_view>
 
 namespace lmas::sim {
 
@@ -11,6 +12,30 @@ constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
   return z ^ (z >> 31);
+}
+
+/// One splitmix64 output for a given state (no sequencing).
+constexpr std::uint64_t splitmix64_once(std::uint64_t state) noexcept {
+  return splitmix64(state);
+}
+
+/// FNV-1a over a byte string; used for stable component identifiers
+/// (resource names, task names) in execution digests and stream ids.
+constexpr std::uint64_t fnv1a64(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Stable id for a named (and optionally indexed) random stream:
+/// stream_id("workload", asu) never collides with stream_id("routing")
+/// regardless of index arithmetic, unlike ad-hoc `seed * K + i` seeding.
+constexpr std::uint64_t stream_id(std::string_view purpose,
+                                  std::uint64_t index = 0) noexcept {
+  return fnv1a64(purpose) ^ splitmix64_once(index);
 }
 
 /// xoshiro256** — deterministic across platforms (std:: distributions are
@@ -68,8 +93,35 @@ class Rng {
     return -std::log(u) / rate;
   }
 
-  /// Derive an independent stream (per node / per functor instance).
-  [[nodiscard]] Rng fork() noexcept {
+  // ---- stream derivation -------------------------------------------
+  //
+  // Seeding hygiene: components must never share one generator, or the
+  // order in which they are constructed (and how many draws each takes)
+  // perturbs every downstream consumer's values. Two documented ways to
+  // derive an independent generator:
+  //
+  //  * stream(id)  — const; hashes the current state together with a
+  //    caller-chosen stream id. Any number of streams can be split off
+  //    the same parent in any order without affecting the parent or each
+  //    other. Use a distinct id per purpose (see stream_id() for deriving
+  //    ids from names, e.g. "workload"/asu-index, "routing", "faults").
+  //  * split()     — consumes one draw from the parent to seed the
+  //    child. Children are independent, but each split() advances the
+  //    parent, so split order matters; prefer stream() wherever a stable
+  //    id exists.
+
+  /// Derive the generator for an independent, named stream. Const: does
+  /// not advance this generator; same (state, id) always yields the same
+  /// stream, and nearby ids yield uncorrelated streams (splitmix mixing).
+  [[nodiscard]] Rng stream(std::uint64_t stream_id) const noexcept {
+    std::uint64_t sm = s_[0] ^ (s_[2] * 0x9e3779b97f4a7c15ULL);
+    sm = splitmix64(sm) ^ stream_id;
+    return Rng(splitmix64(sm));
+  }
+
+  /// Derive an independent stream by drawing once from this generator
+  /// (order-of-split sensitive; see the note above).
+  [[nodiscard]] Rng split() noexcept {
     std::uint64_t sm = next();
     return Rng(splitmix64(sm));
   }

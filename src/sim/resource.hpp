@@ -1,7 +1,9 @@
 #pragma once
 
+#include <bit>
 #include <cassert>
 #include <coroutine>
+#include <cstdint>
 #include <string>
 
 #include "sim/engine.hpp"
@@ -18,7 +20,10 @@ namespace lmas::sim {
 class Resource : public MetricsSource {
  public:
   Resource(Engine& eng, std::string name, SimTime util_bin = 0.25)
-      : eng_(&eng), name_(std::move(name)), util_(util_bin) {
+      : eng_(&eng),
+        name_(std::move(name)),
+        name_hash_(fnv1a64(name_)),
+        util_(util_bin) {
     // Pull-model metrics: the hot path only updates plain members;
     // publish_metrics materializes `<name>.busy_seconds` /
     // `.backlog_seconds` / `.requests` when a snapshot is taken. The
@@ -98,6 +103,10 @@ class Resource : public MetricsSource {
     util_.add_busy(start, end);
     total_service_ += service;
     ++total_requests_;
+    // Commit (who, until-when) to the engine's execution digest: the
+    // event stream alone cannot distinguish equal-length occupancies of
+    // different servers.
+    eng_->fold(name_hash_ ^ std::bit_cast<std::uint64_t>(end));
     if (eng_->tracer().enabled() && service > 0) {
       eng_->tracer().complete(track_, traced_as, start, end);
     }
@@ -105,6 +114,7 @@ class Resource : public MetricsSource {
 
   Engine* eng_;
   std::string name_;
+  std::uint64_t name_hash_;
   UtilizationRecorder util_;
   SimTime free_at_ = 0;
   SimTime total_service_ = 0;

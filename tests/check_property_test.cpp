@@ -1,0 +1,56 @@
+// Property/metamorphic conformance suites (ctest label: property).
+//
+// Each suite runs 100 seeded cases through the forall() harness; on
+// failure the assertion message carries the shrunk counterexample plus a
+// copy-pasteable repro command (LMAS_CHECK_SEED=... lmas_check property).
+#include <gtest/gtest.h>
+
+#include "check/suites.hpp"
+
+namespace check = lmas::check;
+
+namespace {
+
+constexpr std::size_t kCases = 100;
+constexpr std::uint64_t kSeed = 0;
+
+TEST(Property, SortedOutputIsPermutationOfInput) {
+  const auto f = check::suite_permutation(kCases, kSeed);
+  ASSERT_FALSE(f.has_value()) << f->describe();
+}
+
+TEST(Property, PacketPartialOrderSurvivesEveryRouter) {
+  const auto f = check::suite_packet_order(kCases, kSeed);
+  ASSERT_FALSE(f.has_value()) << f->describe();
+}
+
+TEST(Property, RecordsAndChecksumsAreConserved) {
+  const auto f = check::suite_conservation(kCases, kSeed);
+  ASSERT_FALSE(f.has_value()) << f->describe();
+}
+
+TEST(Property, SrRoutingStaysWithinImbalanceBound) {
+  const auto f = check::suite_sr_balance(kCases, kSeed);
+  ASSERT_FALSE(f.has_value()) << f->describe();
+}
+
+TEST(Property, PredictorTracksEmulatedPass1Time) {
+  const auto f = check::suite_predictor(kCases, kSeed);
+  ASSERT_FALSE(f.has_value()) << f->describe();
+}
+
+TEST(Property, DigestsAreStableAcrossReruns) {
+  const auto f = check::suite_digest(kCases, kSeed);
+  ASSERT_FALSE(f.has_value()) << f->describe();
+}
+
+// The registry the lmas_check driver iterates must cover every suite above.
+TEST(Property, RegistryListsAllSuites) {
+  ASSERT_EQ(check::all_suites().size(), 6u);
+  for (const auto& s : check::all_suites()) {
+    EXPECT_NE(s.fn, nullptr) << s.name;
+    EXPECT_GE(s.default_cases, 100u) << s.name;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,124 @@
+// RoutingPolicy edge cases under replica failure/removal: the target set
+// may shrink, grow, collapse to one instance, or empty out entirely
+// between pick() calls, and every policy must stay in range (empty set ->
+// sentinel 0, never dereferenced by contract).
+#include <gtest/gtest.h>
+
+#include <span>
+#include <vector>
+
+#include "asu/node.hpp"
+#include "core/routing.hpp"
+#include "sim/sim.hpp"
+
+namespace core = lmas::core;
+namespace asu = lmas::asu;
+namespace sim = lmas::sim;
+
+namespace {
+
+core::Packet packet(std::uint32_t subset, std::uint32_t seq = 0) {
+  core::Packet p;
+  p.subset = subset;
+  p.seq = seq;
+  return p;
+}
+
+std::vector<core::RouteTarget> plain_targets(std::size_t k) {
+  return std::vector<core::RouteTarget>(k);
+}
+
+TEST(RoutingEdge, EmptyTargetSetYieldsSentinelZero) {
+  const std::span<const core::RouteTarget> none;
+  core::StaticPartitionRouter st(8);
+  core::RoundRobinRouter rr;
+  core::SimpleRandomizationRouter sr{sim::Rng(1)};
+  core::LeastLoadedRouter ll;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(st.pick(packet(i), none), 0u);
+    EXPECT_EQ(rr.pick(packet(i), none), 0u);
+    EXPECT_EQ(sr.pick(packet(i), none), 0u);
+    EXPECT_EQ(ll.pick(packet(i), none), 0u);
+  }
+}
+
+TEST(RoutingEdge, SingleTargetAlwaysYieldsZero) {
+  const auto one = plain_targets(1);
+  core::StaticPartitionRouter st(8);
+  core::RoundRobinRouter rr;
+  core::SimpleRandomizationRouter sr{sim::Rng(1)};
+  for (std::uint32_t s = 0; s < 16; ++s) {
+    EXPECT_EQ(st.pick(packet(s), one), 0u);
+    EXPECT_EQ(rr.pick(packet(s), one), 0u);
+    EXPECT_EQ(sr.pick(packet(s), one), 0u);
+  }
+}
+
+TEST(RoutingEdge, PoliciesStayInRangeWhenTargetSetShrinksAndGrows) {
+  core::StaticPartitionRouter st(16);
+  core::RoundRobinRouter rr;
+  core::SimpleRandomizationRouter sr{sim::Rng(7)};
+  // 4 replicas -> failure drops to 2 -> recovery to 5 -> collapse to 1.
+  for (const std::size_t k : {4u, 2u, 5u, 1u}) {
+    const auto targets = plain_targets(k);
+    for (std::uint32_t i = 0; i < 32; ++i) {
+      EXPECT_LT(st.pick(packet(i % 16, i), targets), k);
+      EXPECT_LT(rr.pick(packet(i % 16, i), targets), k);
+      EXPECT_LT(sr.pick(packet(i % 16, i), targets), k);
+    }
+  }
+}
+
+TEST(RoutingEdge, SrKeepsCyclingEvenlyAfterResize) {
+  core::SimpleRandomizationRouter sr{sim::Rng(3)};
+  (void)sr.pick(packet(0), plain_targets(5));  // prime a 5-wide cycle
+  // After the shrink the reset cycle must still visit each of the 3
+  // remaining instances exactly once per cycle.
+  const auto targets = plain_targets(3);
+  std::vector<int> count(3, 0);
+  for (int i = 0; i < 30; ++i) ++count[sr.pick(packet(0), targets)];
+  EXPECT_EQ(count[0], 10);
+  EXPECT_EQ(count[1], 10);
+  EXPECT_EQ(count[2], 10);
+}
+
+TEST(RoutingEdge, LeastLoadedTracksBacklogAfterReplicaRemoval) {
+  sim::Engine eng;
+  asu::MachineParams mp;
+  asu::Node n0(eng, asu::NodeKind::Host, 0, mp);
+  asu::Node n1(eng, asu::NodeKind::Host, 1, mp);
+  asu::Node n2(eng, asu::NodeKind::Host, 2, mp);
+  n0.cpu().post(5.0);
+  n1.cpu().post(1.0);
+  n2.cpu().post(3.0);
+
+  core::LeastLoadedRouter ll;
+  std::vector<core::RouteTarget> all = {{&n0}, {&n1}, {&n2}};
+  EXPECT_EQ(ll.pick(packet(0), all), 1u);  // n1 has the least backlog
+
+  // n1 fails and is removed: the policy must fall back to the least
+  // loaded survivor, not remember a stale index.
+  std::vector<core::RouteTarget> survivors = {{&n0}, {&n2}};
+  EXPECT_EQ(ll.pick(packet(0), survivors), 1u);  // n2 (backlog 3 < 5)
+
+  std::vector<core::RouteTarget> last = {{&n0}};
+  EXPECT_EQ(ll.pick(packet(0), last), 0u);
+}
+
+TEST(RoutingEdge, MakeRouterHandlesEmptyAndSingleForAllKinds) {
+  sim::Engine eng;
+  asu::MachineParams mp;
+  asu::Node node(eng, asu::NodeKind::Host, 0, mp);
+  const std::span<const core::RouteTarget> none;
+  const std::vector<core::RouteTarget> one = {{&node}};
+  for (const auto kind :
+       {core::RouterKind::Static, core::RouterKind::RoundRobin,
+        core::RouterKind::SimpleRandomization,
+        core::RouterKind::LeastLoaded}) {
+    auto r = core::make_router(kind, sim::Rng(11), 4);
+    EXPECT_EQ(r->pick(packet(2), none), 0u) << r->name();
+    EXPECT_EQ(r->pick(packet(2), one), 0u) << r->name();
+  }
+}
+
+}  // namespace

@@ -1,0 +1,92 @@
+// String-escaping and special-value coverage for the JSON emitter, plus
+// BenchReport round-trip of the execution-digest field. Bench artifacts
+// embed resource and functor names verbatim; a name with a quote or a
+// control character must not corrupt the document.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+
+namespace obs = lmas::obs;
+
+namespace {
+
+TEST(JsonEscape, QuotesBackslashesAndNamedEscapes) {
+  obs::Json j = std::string("a\"b\\c\bd\fe\nf\rg\th");
+  EXPECT_EQ(j.dump(), R"("a\"b\\c\bd\fe\nf\rg\th")");
+}
+
+TEST(JsonEscape, ControlCharactersUseUnicodeEscapes) {
+  std::string s = "x";
+  s += '\x01';
+  s += '\x1f';
+  s += "y";
+  obs::Json j = s;
+  EXPECT_EQ(j.dump(), "\"x\\u0001\\u001fy\"");
+}
+
+TEST(JsonEscape, EscapedStringsRoundTripThroughParse) {
+  std::string s;
+  for (int c = 1; c < 0x20; ++c) s += char(c);
+  s += "\"\\plain";
+  obs::Json j = obs::Json::object();
+  j["k\n"] = s;
+  const auto back = obs::Json::parse(j.dump());
+  ASSERT_TRUE(back.has_value());
+  const obs::Json* v = back->find("k\n");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->as_string(), s);
+}
+
+TEST(JsonEscape, Utf8PassesThroughUntouched) {
+  // Multi-byte UTF-8 (alpha, beta, a CJK char) has bytes >= 0x80: none
+  // may be escaped or mangled.
+  const std::string s = "αβ汉";
+  obs::Json j = s;
+  EXPECT_EQ(j.dump(), "\"" + s + "\"");
+  const auto back = obs::Json::parse(j.dump());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->as_string(), s);
+}
+
+TEST(JsonEscape, NanAndInfinitySerializeAsNull) {
+  EXPECT_EQ(obs::Json(std::nan("")).dump(), "null");
+  EXPECT_EQ(obs::Json(std::numeric_limits<double>::infinity()).dump(),
+            "null");
+  EXPECT_EQ(obs::Json(-std::numeric_limits<double>::infinity()).dump(),
+            "null");
+}
+
+TEST(DigestString, RoundTripsAndRejectsMalformedInput) {
+  const std::uint64_t d = 0x0123456789abcdefULL;
+  EXPECT_EQ(obs::digest_to_string(d), "0x0123456789abcdef");
+  EXPECT_EQ(obs::digest_from_string("0x0123456789abcdef"), d);
+  EXPECT_EQ(obs::digest_from_string(obs::digest_to_string(0)), 0u);
+  EXPECT_FALSE(obs::digest_from_string("0123456789abcdef").has_value());
+  EXPECT_FALSE(obs::digest_from_string("0x123").has_value());
+  EXPECT_FALSE(obs::digest_from_string("0x0123456789abcdeg").has_value());
+  EXPECT_FALSE(obs::digest_from_string("").has_value());
+}
+
+TEST(BenchReport, DigestFieldRoundTrips) {
+  obs::BenchReport rep("digest_rt");
+  EXPECT_FALSE(rep.digest().has_value());
+  rep.add_digest(0xfeedfacedeadbeefULL);
+  EXPECT_EQ(rep.digest(), 0xfeedfacedeadbeefULL);
+
+  // And through the serialized artifact: the digest must survive as an
+  // exact 64-bit value (hex string — doubles cannot carry it).
+  const auto doc = obs::Json::parse(rep.root().dump());
+  ASSERT_TRUE(doc.has_value());
+  const obs::Json* d = doc->find("digest");
+  ASSERT_NE(d, nullptr);
+  ASSERT_TRUE(d->is_string());
+  EXPECT_EQ(obs::digest_from_string(d->as_string()),
+            0xfeedfacedeadbeefULL);
+}
+
+}  // namespace

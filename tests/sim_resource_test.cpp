@@ -180,12 +180,42 @@ TEST(Rng, ExponentialHasRequestedMean) {
   EXPECT_NEAR(acc.mean(), 0.5, 0.02);
 }
 
-TEST(Rng, ForkProducesIndependentStream) {
+TEST(Rng, SplitProducesIndependentStream) {
   sim::Rng parent(99);
-  sim::Rng child = parent.fork();
+  sim::Rng child = parent.split();
   int same = 0;
   for (int i = 0; i < 100; ++i) same += (parent.next() == child.next());
   EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, StreamDerivationIsStableAndDoesNotAdvanceParent) {
+  sim::Rng parent(99);
+  sim::Rng a1 = parent.stream(sim::stream_id("workload", 0));
+  sim::Rng b = parent.stream(sim::stream_id("routing"));
+  sim::Rng a2 = parent.stream(sim::stream_id("workload", 0));
+  // Same (state, id) -> same stream, regardless of derivation order.
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a1.next(), a2.next());
+  // Parent state untouched: a fresh parent derives the same stream.
+  sim::Rng c = sim::Rng(99).stream(sim::stream_id("routing"));
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(b.next(), c.next());
+}
+
+TEST(Rng, DistinctStreamsAreUncorrelated) {
+  sim::Rng parent(7);
+  sim::Rng w = parent.stream(sim::stream_id("workload", 3));
+  sim::Rng r = parent.stream(sim::stream_id("routing", 3));
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (w.next() == r.next());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, StreamIdsSeparateNameAndIndex) {
+  // The failure mode of `seed * K + i` seeding: ("workload", K) colliding
+  // with ("routing", 0). Named ids cannot collide that way.
+  EXPECT_NE(sim::stream_id("workload", 1),
+            sim::stream_id("workload", 2));
+  EXPECT_NE(sim::stream_id("workload", 0), sim::stream_id("routing", 0));
+  EXPECT_NE(sim::stream_id("workload"), sim::stream_id("routing"));
 }
 
 }  // namespace
