@@ -1,0 +1,156 @@
+/// Figure 10 companion — routing under faults: the same skewed DSM-Sort
+/// workload as fig10_skew (first half uniform, second half exponential),
+/// now with a deterministic fault plan driven while pass 1 runs: a host
+/// CPU degradation window, ASU slowdowns, an ASU crash-and-recover
+/// window, and a link delay/jitter window. Static partitioning cannot
+/// steer around any of it; SR spreads every subset across both hosts;
+/// least-loaded routing actively avoids the degraded host. The managed
+/// configurations must complete the faulted run strictly faster than
+/// static — with zero records lost (the retry/park delivery contract).
+///
+/// Writes BENCH_fig10_faults.json (schema lmas-bench-v1): a fault-free
+/// static reference plus one entry per (router x faulted run), each
+/// carrying the full dsm_report_to_json payload. Set LMAS_TRACE=1 to
+/// export Chrome traces (the fault injector has its own track).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/core.hpp"
+#include "fault/fault.hpp"
+#include "obs/report.hpp"
+
+namespace core = lmas::core;
+namespace asu = lmas::asu;
+namespace obs = lmas::obs;
+namespace fault = lmas::fault;
+
+namespace {
+
+bool trace_requested() {
+  const char* v = std::getenv("LMAS_TRACE");
+  return v != nullptr && v[0] == '1';
+}
+
+/// The fault schedule, scaled to the measured fault-free horizon H so the
+/// windows land mid-run regardless of machine speed. Host 0 degrades for
+/// the middle third; two ASUs slow down, one crashes and recovers; the
+/// interconnect jitters late in the run.
+fault::FaultPlan make_plan(double H) {
+  fault::FaultPlan plan;
+  plan.slowdown(/*on_asu=*/false, 0, 0.15 * H, 0.30 * H, 3.0);
+  plan.slowdown(/*on_asu=*/true, 1, 0.10 * H, 0.20 * H, 4.0);
+  plan.slowdown(/*on_asu=*/true, 5, 0.45 * H, 0.25 * H, 2.5);
+  plan.crash(/*on_asu=*/true, 2, 0.25 * H, 0.15 * H);
+  plan.link_delay(0.40 * H, 0.20 * H, /*extra=*/1e-4, /*jitter=*/5e-5);
+  plan.normalize();
+  return plan;
+}
+
+}  // namespace
+
+int main() {
+  asu::MachineParams mp;
+  mp.num_hosts = 2;
+  mp.num_asus = 16;
+  mp.c = 8.0;
+  mp.util_bin = 0.05;
+
+  core::DsmSortConfig cfg;
+  cfg.total_records = std::size_t(1) << 22;
+  cfg.alpha = 16;
+  cfg.key_dist = core::KeyDist::HalfUniformHalfExp;
+  cfg.seed = 42;
+
+  obs::BenchReport report("fig10_faults");
+  report.params()["records"] = double(cfg.total_records);
+  report.params()["hosts"] = 2;
+  report.params()["asus"] = 16;
+  report.params()["c"] = 8.0;
+  report.params()["alpha"] = double(cfg.alpha);
+  report.params()["key_dist"] = "half_uniform_half_exp";
+  report.results() = obs::Json::array();
+
+  std::printf("# Figure 10 under faults: 2 hosts + 16 ASUs, n=%zu, skewed "
+              "input\n", cfg.total_records);
+
+  // Fault-free static run: fixes the horizon the plan is scaled to and
+  // gives the artifact a clean baseline.
+  cfg.sort_router = core::RouterKind::Static;
+  const core::DsmSortReport base = core::run_dsm_sort(mp, cfg);
+  bool all_ok = base.ok();
+  {
+    obs::Json entry = core::dsm_report_to_json(base);
+    entry["router"] = "static";
+    entry["faulted"] = false;
+    report.results().push_back(std::move(entry));
+  }
+  const double H = base.pass1_seconds;
+  const fault::FaultPlan plan = make_plan(H);
+  std::printf("# fault plan (H = fault-free static pass 1 = %.3fs):\n", H);
+  obs::Json plan_json = obs::Json::array();
+  for (const auto& e : plan.events) {
+    const std::string d = fault::describe(e);
+    std::printf("#   %s\n", d.c_str());
+    plan_json.push_back(d);
+  }
+  report.params()["fault_plan"] = std::move(plan_json);
+
+  constexpr int kRuns = 3;
+  const core::RouterKind kinds[kRuns] = {
+      core::RouterKind::Static, core::RouterKind::SimpleRandomization,
+      core::RouterKind::LeastLoaded};
+  const char* keys[kRuns] = {"static", "sr", "least-loaded"};
+  core::DsmSortReport faulted[kRuns];
+
+  cfg.faults = plan;
+  for (int run = 0; run < kRuns; ++run) {
+    cfg.sort_router = kinds[run];
+    if (trace_requested()) {
+      cfg.trace_file =
+          std::string("trace_fig10_faults_") + keys[run] + ".json";
+    }
+    faulted[run] = core::run_dsm_sort(mp, cfg);
+    all_ok &= faulted[run].ok();
+    obs::Json entry = core::dsm_report_to_json(faulted[run]);
+    entry["router"] = keys[run];
+    entry["faulted"] = true;
+    report.results().push_back(std::move(entry));
+  }
+  report.add_digest(faulted[1].digest);  // the managed (SR) faulted run
+
+  std::printf("\n%-14s %12s %12s %14s %10s\n", "router", "pass1(s)",
+              "vs static", "records lost", "valid");
+  for (int run = 0; run < kRuns; ++run) {
+    const auto& r = faulted[run];
+    const std::size_t lost = r.records_in - r.records_stored;
+    std::printf("%-14s %12.3f %11.1f%% %14zu %10s\n", keys[run],
+                r.pass1_seconds,
+                100.0 * (r.pass1_seconds / faulted[0].pass1_seconds - 1.0),
+                lost, r.ok() ? "ok" : "FAIL");
+    all_ok &= lost == 0;
+  }
+  std::printf("# fault-free static reference: %.3fs (faults cost static "
+              "+%.1f%%)\n", H,
+              100.0 * (faulted[0].pass1_seconds / H - 1.0));
+
+  // The acceptance gate: under the identical plan and seed, both managed
+  // routers must beat static outright.
+  const bool sr_wins = faulted[1].pass1_seconds < faulted[0].pass1_seconds;
+  const bool ll_wins = faulted[2].pass1_seconds < faulted[0].pass1_seconds;
+  std::printf("# SR %s static, least-loaded %s static\n",
+              sr_wins ? "beats" : "DOES NOT beat",
+              ll_wins ? "beats" : "DOES NOT beat");
+  all_ok &= sr_wins && ll_wins;
+
+  std::printf("# validation: %s\n", all_ok ? "all runs ok" : "FAILURES");
+  report.root()["ok"] = all_ok;
+  if (report.write()) {
+    std::printf("# bench artifact: %s\n", report.path().c_str());
+  } else {
+    std::printf("# FAILED to write %s\n", report.path().c_str());
+    all_ok = false;
+  }
+  return all_ok ? 0 : 1;
+}

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # One-shot pre-commit gate: build + tier-1 tests, then the same tier-1
 # suite under ASan/UBSan (separate build tree; sanitizer runs are slower,
-# so the long-running property label is left to `ctest -L property`).
+# so the long-running property label is left to `ctest -L property`) —
+# plus a reduced-case pass of the fault property suites under the
+# sanitizers, since degraded-mode delivery (crash/retry/park) is exactly
+# where lifetime bugs would hide.
 #
 # Usage: scripts/run_checks.sh [build-dir] [sanitizer-build-dir]
 set -euo pipefail
@@ -11,20 +14,26 @@ BUILD="${1:-build}"
 SAN_BUILD="${2:-build-san}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
-echo "== [1/4] configure + build (${BUILD})"
+echo "== [1/5] configure + build (${BUILD})"
 cmake -S . -B "${BUILD}" -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${BUILD}" -j "${JOBS}"
 
-echo "== [2/4] tier-1 tests"
+echo "== [2/5] tier-1 tests"
 ctest --test-dir "${BUILD}" -L tier1 --output-on-failure
 
-echo "== [3/4] configure + build with sanitizers (${SAN_BUILD})"
+echo "== [3/5] configure + build with sanitizers (${SAN_BUILD})"
 cmake -S . -B "${SAN_BUILD}" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DLMAS_SANITIZE=address,undefined
 cmake --build "${SAN_BUILD}" -j "${JOBS}"
 
-echo "== [4/4] tier-1 tests under ASan/UBSan"
+echo "== [4/5] tier-1 tests under ASan/UBSan"
 UBSAN_OPTIONS="halt_on_error=1" ASAN_OPTIONS="detect_leaks=1" \
   ctest --test-dir "${SAN_BUILD}" -L tier1 --output-on-failure
+
+echo "== [5/5] fault property suites under ASan/UBSan (reduced cases)"
+UBSAN_OPTIONS="halt_on_error=1" ASAN_OPTIONS="detect_leaks=1" \
+  "${SAN_BUILD}/tools/lmas_check" property --suite fault-conservation --cases 20
+UBSAN_OPTIONS="halt_on_error=1" ASAN_OPTIONS="detect_leaks=1" \
+  "${SAN_BUILD}/tools/lmas_check" property --suite fault-routing --cases 20
 
 echo "== all checks passed"

@@ -8,6 +8,7 @@
 #include "asu/node.hpp"
 #include "asu/params.hpp"
 #include "sim/engine.hpp"
+#include "sim/random.hpp"
 #include "sim/resource.hpp"
 #include "sim/task.hpp"
 
@@ -46,13 +47,45 @@ class Network {
       sim::Resource& l = link(from, to);
       co_await l.use(params_.link_seconds(bytes));
     }
-    co_await eng_->sleep(params_.link_latency);
+    co_await eng_->sleep(sample_latency());
     co_await to.nic_transfer(bytes);
   }
 
   [[nodiscard]] const MachineParams& params() const noexcept {
     return params_;
   }
+
+  // ---- fault windows: link delay / jitter ---------------------------
+
+  /// Open a delay window: every transfer pays `extra` additional latency
+  /// plus uniform jitter in [0, jitter). The jitter stream is a named
+  /// sim::Rng stream owned by the injector, so the perturbation replays
+  /// bit-identically per seed.
+  void set_link_delay(double extra, double jitter, sim::Rng jitter_rng) {
+    delay_active_ = true;
+    extra_latency_ = extra;
+    jitter_ = jitter;
+    jitter_rng_ = jitter_rng;
+  }
+  void clear_link_delay() noexcept { delay_active_ = false; }
+  [[nodiscard]] bool link_delay_active() const noexcept {
+    return delay_active_;
+  }
+
+  /// Per-message propagation latency. Outside a delay window this returns
+  /// the configured constant and draws nothing — fault-free runs must not
+  /// consume randomness or perturb digests.
+  [[nodiscard]] double sample_latency() {
+    if (!delay_active_) return params_.link_latency;
+    double d = params_.link_latency + extra_latency_;
+    if (jitter_ > 0) d += jitter_rng_.uniform(0.0, jitter_);
+    return d;
+  }
+
+  /// Health change board shared by every node of the owning cluster
+  /// (null for a bare Network in unit tests).
+  [[nodiscard]] HealthBoard* health_board() const noexcept { return board_; }
+  void set_health_board(HealthBoard* board) noexcept { board_ = board; }
 
   [[nodiscard]] sim::Resource& link(const Node& a, const Node& b) {
     const Node& host = a.is_asu() ? b : a;
@@ -67,24 +100,32 @@ class Network {
   unsigned num_hosts_;
   unsigned num_asus_;
   std::vector<std::unique_ptr<sim::Resource>> links_;
+  bool delay_active_ = false;
+  double extra_latency_ = 0;
+  double jitter_ = 0;
+  sim::Rng jitter_rng_;
+  HealthBoard* board_ = nullptr;
 };
 
 /// The emulated machine: H hosts, D ASUs, interconnect (Figure 2).
 class Cluster {
  public:
   Cluster(sim::Engine& eng, const MachineParams& params)
-      : eng_(&eng), params_(params) {
+      : eng_(&eng), params_(params), board_(eng) {
     hosts_.reserve(params.num_hosts);
     for (unsigned h = 0; h < params.num_hosts; ++h) {
       hosts_.push_back(
           std::make_unique<Node>(eng, NodeKind::Host, h, params));
+      hosts_.back()->set_health_board(&board_);
     }
     asus_.reserve(params.num_asus);
     for (unsigned a = 0; a < params.num_asus; ++a) {
       asus_.push_back(std::make_unique<Node>(eng, NodeKind::Asu, a, params));
+      asus_.back()->set_health_board(&board_);
     }
     net_ = std::make_unique<Network>(eng, params, params.num_hosts,
                                      params.num_asus);
+    net_->set_health_board(&board_);
   }
 
   [[nodiscard]] sim::Engine& engine() noexcept { return *eng_; }
@@ -100,10 +141,17 @@ class Cluster {
   [[nodiscard]] Node& host(unsigned i) { return *hosts_.at(i); }
   [[nodiscard]] Node& asu(unsigned i) { return *asus_.at(i); }
   [[nodiscard]] Network& network() noexcept { return *net_; }
+  [[nodiscard]] HealthBoard& health_board() noexcept { return board_; }
+
+  /// Node by (tier, index) — the fault layer's addressing scheme.
+  [[nodiscard]] Node& node(NodeKind kind, unsigned i) {
+    return kind == NodeKind::Host ? host(i) : asu(i);
+  }
 
  private:
   sim::Engine* eng_;
   MachineParams params_;
+  HealthBoard board_;
   std::vector<std::unique_ptr<Node>> hosts_;
   std::vector<std::unique_ptr<Node>> asus_;
   std::unique_ptr<Network> net_;

@@ -14,6 +14,35 @@ namespace lmas::asu {
 
 enum class NodeKind { Host, Asu };
 
+/// Degraded-mode state of a node (Section 3.3 allows the target set of a
+/// set-typed functor to shrink and grow: "replica failure, removal,
+/// re-replication"). Healthy and Degraded nodes run — a degraded node
+/// merely computes slower (its CPU's service rate is scaled down);
+/// a Crashed node accepts no new packets and its record pumps pause
+/// until recovery.
+enum class NodeHealth { Healthy, Degraded, Crashed };
+
+/// Cluster-wide health change board: a monotone epoch plus a condition.
+/// Routing fabric (StageOutput) caches the healthy target set per epoch,
+/// so the per-packet cost of degraded-mode support is one integer compare
+/// in the fault-free case; processes that must wait for *some* replica to
+/// recover park on the condition.
+class HealthBoard {
+ public:
+  explicit HealthBoard(sim::Engine& eng) : changed_(eng) {}
+
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+  void bump() {
+    ++epoch_;
+    changed_.notify_all();
+  }
+  [[nodiscard]] auto wait() { return changed_.wait(); }
+
+ private:
+  std::uint64_t epoch_ = 1;
+  sim::Condition changed_;
+};
+
 /// One processing element of the emulated machine. Hosts have a fast CPU
 /// and no storage of their own; ASUs pair a (1/c)-speed CPU with a disk.
 /// CPU work is expressed in host-seconds and scaled by the node's speed,
@@ -67,6 +96,50 @@ class Node {
   [[nodiscard]] const sim::Resource& cpu() const noexcept { return cpu_; }
   [[nodiscard]] sim::Resource& nic() noexcept { return nic_; }
 
+  // ---- health / degraded modes --------------------------------------
+
+  [[nodiscard]] NodeHealth health() const noexcept { return health_; }
+  [[nodiscard]] bool running() const noexcept {
+    return health_ != NodeHealth::Crashed;
+  }
+  [[nodiscard]] bool crashed() const noexcept {
+    return health_ == NodeHealth::Crashed;
+  }
+
+  /// CPU degradation: competing load or partial failure leaves 1/slowdown
+  /// of the node's compute rate. Applies to subsequently charged work.
+  void set_degraded(double slowdown) {
+    assert(slowdown >= 1.0);
+    health_ = NodeHealth::Degraded;
+    cpu_.set_rate_scale(1.0 / slowdown);
+    announce();
+  }
+
+  /// Crash/stop: the node leaves every routing target set and its record
+  /// pumps pause at the next health check. Already-accepted packets stay
+  /// queued (nothing is lost) and resume processing on recovery.
+  void set_crashed() {
+    health_ = NodeHealth::Crashed;
+    announce();
+  }
+
+  /// Recovery: rejoin target sets at full speed; parked pumps resume.
+  void set_healthy() {
+    health_ = NodeHealth::Healthy;
+    cpu_.set_rate_scale(1.0);
+    resumed_.notify_all();
+    announce();
+  }
+
+  /// Condition a paused pump parks on; use as
+  ///   while (!node.running()) co_await node.health_wait();
+  /// so the healthy path costs one branch and never touches the engine.
+  [[nodiscard]] auto health_wait() { return resumed_.wait(); }
+
+  /// Wire this node to the cluster's health board (Cluster does this at
+  /// construction; standalone nodes in unit tests may leave it unset).
+  void set_health_board(HealthBoard* board) noexcept { board_ = board; }
+
   /// ASU-only local disk.
   [[nodiscard]] Disk& disk() {
     assert(disk_);
@@ -75,6 +148,10 @@ class Node {
   [[nodiscard]] bool has_disk() const noexcept { return bool(disk_); }
 
  private:
+  void announce() {
+    if (board_) board_->bump();
+  }
+
   sim::Engine* eng_;
   NodeKind kind_;
   unsigned id_;
@@ -84,6 +161,9 @@ class Node {
   double nic_rate_;
   std::size_t memory_bytes_;
   std::unique_ptr<Disk> disk_;
+  NodeHealth health_ = NodeHealth::Healthy;
+  sim::Condition resumed_{*eng_};
+  HealthBoard* board_ = nullptr;
 };
 
 }  // namespace lmas::asu

@@ -9,6 +9,7 @@
 #include "core/dsm_sort.hpp"
 #include "core/packet.hpp"
 #include "core/workload.hpp"
+#include "fault/plan.hpp"
 #include "sim/random.hpp"
 
 namespace lmas::check {
@@ -107,6 +108,17 @@ inline PacketPlan gen_packet_plan(sim::Rng& rng, unsigned size) {
     }
   }
   return plan;
+}
+
+/// Fault schedule scaled to a machine shape and a measured (or estimated)
+/// fault-free horizon: every window opens inside the first 80% of the
+/// horizon and every crash recovers, so faulted runs always complete.
+/// Size scales the number of windows (1 .. ~2 + size/2).
+inline fault::FaultPlan gen_fault_plan(sim::Rng& rng,
+                                       const asu::MachineParams& mp,
+                                       double horizon, unsigned size) {
+  return fault::generate_fault_plan(rng, mp.num_hosts, mp.num_asus,
+                                    std::max(horizon, 1e-6), 2 + size / 2);
 }
 
 }  // namespace lmas::check

@@ -4,6 +4,7 @@
 #include <cstdarg>
 #include <cstdio>
 #include <map>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -14,6 +15,7 @@
 #include "core/dsm_sort.hpp"
 #include "core/pipeline.hpp"
 #include "extmem/sort.hpp"
+#include "fault/fault.hpp"
 #include "extmem/stream.hpp"
 #include "sim/sim.hpp"
 
@@ -367,6 +369,219 @@ std::optional<std::string> prop_digest(sim::Rng& rng, unsigned size) {
   return std::nullopt;
 }
 
+// ---- fault conservation --------------------------------------------
+
+std::optional<std::string> prop_fault_conservation(sim::Rng& rng,
+                                                   unsigned size) {
+  const asu::MachineParams mp = gen_machine(rng, size);
+  core::DsmSortConfig cfg = gen_dsm_config(rng, size);
+  // Fault plans perturb pass 1; keep runs single-pass so the measured
+  // horizon brackets the whole faulted execution.
+  cfg.run_merge_pass = false;
+
+  const core::DsmSortReport base = run_dsm_sort(mp, cfg);
+  if (!base.ok()) {
+    return fmt("fault-free baseline failed validation [%s]",
+               cfg_str(mp, cfg).c_str());
+  }
+  cfg.faults = gen_fault_plan(rng, mp, base.pass1_seconds, size);
+
+  const core::DsmSortReport rep = run_dsm_sort(mp, cfg);
+  if (rep.records_stored != rep.records_in) {
+    return fmt("faults lost records: stored %zu of %zu (%zu fault events) "
+               "[%s]",
+               rep.records_stored, rep.records_in, cfg.faults.size(),
+               cfg_str(mp, cfg).c_str());
+  }
+  if (!rep.checksum_ok) {
+    return fmt("key checksum not conserved under faults [%s]",
+               cfg_str(mp, cfg).c_str());
+  }
+  if (!rep.subsets_ok) {
+    return fmt("records crossed subset boundaries under faults [%s]",
+               cfg_str(mp, cfg).c_str());
+  }
+  if (!rep.runs_sorted_ok) {
+    return fmt("stored runs not sorted under faults (retry re-ordering "
+               "leaked through seq-keyed store) [%s]",
+               cfg_str(mp, cfg).c_str());
+  }
+  if (rep.digest == base.digest) {
+    return fmt("fault plan (%zu events) left the digest unchanged [%s]",
+               cfg.faults.size(), cfg_str(mp, cfg).c_str());
+  }
+  // Same seed + same plan replay bit-identically.
+  const core::DsmSortReport again = run_dsm_sort(mp, cfg);
+  if (again.digest != rep.digest) {
+    return fmt("same fault plan, different digests: 0x%016llx vs 0x%016llx "
+               "[%s]",
+               static_cast<unsigned long long>(rep.digest),
+               static_cast<unsigned long long>(again.digest),
+               cfg_str(mp, cfg).c_str());
+  }
+  return std::nullopt;
+}
+
+// ---- fault routing -------------------------------------------------
+
+sim::Task<> fault_consumer(asu::Node& node, sim::Channel<core::Packet>& in,
+                           std::vector<core::Packet>& got) {
+  while (auto p = co_await in.recv()) {
+    // Pump-pause convention: accepted packets wait out a crash window.
+    while (!node.running()) co_await node.health_wait();
+    got.push_back(std::move(*p));
+  }
+}
+
+struct RoutedRun {
+  std::size_t packets = 0;
+  std::size_t records = 0;
+  std::vector<std::vector<core::Packet>> got;  // per target
+  std::uint64_t digest = 0;
+  std::size_t unfinished = 0;
+  double makespan = 0;
+};
+
+/// Drive a PacketPlan through one StageOutput with consumers on ASUs (the
+/// crashable tier) under `faults`; empty plan = fault-free baseline.
+RoutedRun run_routed_plan(const PacketPlan& plan, core::RouterKind kind,
+                          sim::Rng router_rng, std::uint64_t fault_seed,
+                          const fault::FaultPlan& faults) {
+  asu::MachineParams mp;
+  mp.num_hosts = plan.producers;
+  mp.num_asus = plan.targets;
+  sim::Engine eng;
+  asu::Cluster cluster(eng, mp);
+
+  core::StageInboxes inboxes(eng, plan.targets, /*capacity_packets=*/4);
+  std::vector<asu::Node*> nodes;
+  for (unsigned t = 0; t < plan.targets; ++t) {
+    nodes.push_back(&cluster.asu(t));
+  }
+  core::StageOutput out(eng, cluster.network(), mp.record_bytes,
+                        inboxes.endpoints(nodes),
+                        core::make_router(kind, router_rng, plan.subsets),
+                        plan.producers, /*window_per_producer=*/4,
+                        "prop.fault_stage");
+  std::unique_ptr<fault::FaultInjector> inj;
+  if (!faults.empty()) {
+    out.set_fault_retry(faults.retry_timeout, faults.max_retries);
+    inj = std::make_unique<fault::FaultInjector>(
+        cluster, faults,
+        sim::Rng(fault_seed).stream(sim::stream_id("faults")));
+    eng.spawn(inj->run(), "fault-injector");
+  }
+
+  RoutedRun res;
+  res.got.resize(plan.targets);
+  for (unsigned p = 0; p < plan.producers; ++p) {
+    eng.spawn(plan_producer(out, cluster.host(p), plan.per_producer[p]));
+  }
+  for (unsigned t = 0; t < plan.targets; ++t) {
+    eng.spawn(fault_consumer(cluster.asu(t), inboxes.inbox(t), res.got[t]));
+  }
+  eng.run();
+  for (const auto& g : res.got) {
+    res.packets += g.size();
+    for (const auto& p : g) res.records += p.records.size();
+  }
+  res.digest = eng.digest();
+  res.unfinished = eng.unfinished_tasks();
+  res.makespan = eng.now();
+  return res;
+}
+
+std::optional<std::string> prop_fault_routing(sim::Rng& rng, unsigned size) {
+  PacketPlan plan = gen_packet_plan(rng, size);
+  constexpr core::RouterKind kRouters[] = {
+      core::RouterKind::Static, core::RouterKind::RoundRobin,
+      core::RouterKind::SimpleRandomization, core::RouterKind::LeastLoaded};
+  const core::RouterKind kind = kRouters[rng.below(std::size(kRouters))];
+  const sim::Rng router_rng = rng.split();
+  const std::uint64_t fault_seed = rng.next();
+
+  std::size_t packets_sent = 0;
+  for (const auto& pp : plan.per_producer) packets_sent += pp.size();
+
+  asu::MachineParams shape;
+  shape.num_hosts = plan.producers;
+  shape.num_asus = plan.targets;
+
+  const RoutedRun base =
+      run_routed_plan(plan, kind, router_rng, fault_seed, {});
+  if (base.unfinished != 0) {
+    return fmt("baseline left %zu tasks blocked", base.unfinished);
+  }
+  const fault::FaultPlan faults =
+      gen_fault_plan(rng, shape, base.makespan, size);
+
+  const RoutedRun faulted =
+      run_routed_plan(plan, kind, router_rng, fault_seed, faults);
+  if (faulted.unfinished != 0) {
+    return fmt("%zu tasks still blocked under faults (%zu events, "
+               "router=%s)",
+               faulted.unfinished, faults.size(),
+               core::router_kind_name(kind));
+  }
+  if (faulted.packets != packets_sent ||
+      faulted.records != plan.total_records) {
+    return fmt("lost traffic under faults: %zu/%zu packets, %zu/%zu "
+               "records (%zu events, router=%s)",
+               faulted.packets, packets_sent, faulted.records,
+               plan.total_records, faults.size(),
+               core::router_kind_name(kind));
+  }
+  // Records stay together and in order within every delivered packet.
+  for (unsigned t = 0; t < plan.targets; ++t) {
+    for (const auto& p : faulted.got[t]) {
+      for (std::size_t r = 0; r < p.records.size(); ++r) {
+        if (p.records[r].id != std::uint32_t(r)) {
+          return fmt("packet records reordered at instance %u under faults",
+                     t);
+        }
+      }
+    }
+  }
+  // Router balance: when the plan never shrinks the target set (no
+  // crashes), SR's floor/ceil bound must survive slowdowns and link
+  // delays untouched — degraded nodes stay routing targets.
+  const bool has_crash = std::any_of(
+      faults.events.begin(), faults.events.end(), [](const auto& e) {
+        return e.kind == fault::FaultSpec::Kind::Crash;
+      });
+  if (!has_crash && kind == core::RouterKind::SimpleRandomization) {
+    std::map<std::uint32_t, std::size_t> subset_totals;
+    std::map<std::uint32_t, std::vector<std::size_t>> subset_counts;
+    for (unsigned t = 0; t < plan.targets; ++t) {
+      for (const auto& p : faulted.got[t]) {
+        ++subset_totals[p.subset];
+        auto& c = subset_counts[p.subset];
+        c.resize(plan.targets, 0);
+        ++c[t];
+      }
+    }
+    for (const auto& [s, total] : subset_totals) {
+      const std::size_t lo = total / plan.targets;
+      const std::size_t hi = lo + (total % plan.targets == 0 ? 0 : 1);
+      for (std::size_t t = 0; t < subset_counts[s].size(); ++t) {
+        if (subset_counts[s][t] < lo || subset_counts[s][t] > hi) {
+          return fmt("SR balance broken under crash-free faults: subset %u "
+                     "target %zu got %zu, bound [%zu, %zu]",
+                     s, t, subset_counts[s][t], lo, hi);
+        }
+      }
+    }
+  }
+  // Same plan, same seeds: the faulted run replays bit-identically.
+  const RoutedRun again =
+      run_routed_plan(plan, kind, router_rng, fault_seed, faults);
+  if (again.digest != faulted.digest) {
+    return fmt("same fault plan, different digests (router=%s)",
+               core::router_kind_name(kind));
+  }
+  return std::nullopt;
+}
+
 std::optional<Failure> run_suite(const char* name, std::size_t cases,
                                  std::uint64_t seed, unsigned min_size,
                                  unsigned max_size, const Property& prop) {
@@ -410,6 +625,19 @@ std::optional<Failure> suite_digest(std::size_t cases, std::uint64_t seed) {
   return run_suite("digest", cases, seed, 1, 6, prop_digest);
 }
 
+std::optional<Failure> suite_fault_conservation(std::size_t cases,
+                                                std::uint64_t seed) {
+  // Each case runs one baseline + two faulted DSM-Sorts; cap size to keep
+  // a 100-case suite interactive.
+  return run_suite("fault-conservation", cases, seed, 1, 8,
+                   prop_fault_conservation);
+}
+
+std::optional<Failure> suite_fault_routing(std::size_t cases,
+                                           std::uint64_t seed) {
+  return run_suite("fault-routing", cases, seed, 1, 8, prop_fault_routing);
+}
+
 const std::vector<SuiteInfo>& all_suites() {
   static const std::vector<SuiteInfo> kSuites = {
       {"permutation", &suite_permutation, 100},
@@ -418,6 +646,8 @@ const std::vector<SuiteInfo>& all_suites() {
       {"sr-balance", &suite_sr_balance, 100},
       {"predictor", &suite_predictor, 100},
       {"digest", &suite_digest, 100},
+      {"fault-conservation", &suite_fault_conservation, 100},
+      {"fault-routing", &suite_fault_routing, 100},
   };
   return kSuites;
 }

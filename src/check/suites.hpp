@@ -36,6 +36,15 @@ namespace lmas::check {
 ///  - digest:       same seed + same config reproduce bit-identical
 ///                  execution digests and metric fingerprints; a different
 ///                  seed produces a different digest.
+///  - fault-conservation: DSM-Sort under every generated FaultPlan (ASU
+///                  slowdowns, crash/recover windows, link delays) still
+///                  conserves records and checksums, keeps runs sorted,
+///                  moves the digest, and replays deterministically.
+///  - fault-routing: the degraded-mode delivery contract at the routing
+///                  layer — no packet is lost to a crashed replica
+///                  (retry-with-timeout re-routes it), packets stay
+///                  intact, SR balance survives crash-free perturbation,
+///                  and faulted runs replay bit-identically.
 std::optional<Failure> suite_permutation(std::size_t cases,
                                          std::uint64_t seed);
 std::optional<Failure> suite_packet_order(std::size_t cases,
@@ -47,6 +56,10 @@ std::optional<Failure> suite_sr_balance(std::size_t cases,
 std::optional<Failure> suite_predictor(std::size_t cases,
                                        std::uint64_t seed);
 std::optional<Failure> suite_digest(std::size_t cases, std::uint64_t seed);
+std::optional<Failure> suite_fault_conservation(std::size_t cases,
+                                                std::uint64_t seed);
+std::optional<Failure> suite_fault_routing(std::size_t cases,
+                                           std::uint64_t seed);
 
 struct SuiteInfo {
   std::string_view name;

@@ -9,6 +9,7 @@
 
 #include "asu/asu.hpp"
 #include "core/pipeline.hpp"
+#include "fault/fault.hpp"
 #include "obs/report.hpp"
 #include "core/splitters.hpp"
 #include "extmem/distribute.hpp"
@@ -133,6 +134,20 @@ class DsmSortSim {
     records_sorted_per_host_.assign(h_, 0);
     store_end_.assign(d_, 0.0);
 
+    // Fault layer: spawned only for a non-empty plan so fault-free runs
+    // make no extra RNG draws, schedule no extra events, and register no
+    // extra metrics — the pinned golden digests stay bit-for-bit intact.
+    if (!cfg_.faults.empty()) {
+      to_sort_->set_fault_retry(cfg_.faults.retry_timeout,
+                                cfg_.faults.max_retries);
+      to_store_->set_fault_retry(cfg_.faults.retry_timeout,
+                                 cfg_.faults.max_retries);
+      injector_ = std::make_unique<fault::FaultInjector>(
+          cluster_, cfg_.faults,
+          sim::Rng(cfg_.seed).stream(sim::stream_id("faults")));
+      eng_.spawn(injector_->run(), "fault-injector");
+    }
+
     for (unsigned a = 0; a < d_; ++a) {
       eng_.spawn(distribute_instance(a), "distribute" + std::to_string(a));
     }
@@ -200,6 +215,9 @@ class DsmSortSim {
     std::size_t remaining = n_local;
     std::vector<Packet> ready;
     while (remaining > 0) {
+      // Degraded modes: a crashed ASU stops reading/classifying until it
+      // recovers (one branch on the healthy path, no engine work).
+      while (!node.running()) co_await node.health_wait();
       const std::size_t blk = std::min(block_records_, remaining);
       remaining -= blk;
       co_await rs.next_block(/*last=*/remaining == 0);
@@ -282,6 +300,9 @@ class DsmSortSim {
     while (true) {
       auto p = co_await in.recv();
       if (!p) break;
+      // Accepted packets stay queued across a crash window; processing
+      // pauses here and resumes on recovery (nothing is lost).
+      while (!node.running()) co_await node.health_wait();
       auto& buf = staging[p->subset];
       buf.insert(buf.end(), p->records.begin(), p->records.end());
       while (buf.size() >= run_len) {
@@ -342,20 +363,38 @@ class DsmSortSim {
         eng_.metrics().counter("functor.store" + std::to_string(a) +
                                ".records");
     auto& in = store_in_->inbox(a);
-    std::map<std::uint32_t, StoredRun> open;  // run_id -> accumulating run
+    // Chunks are keyed by (run_id, seq) rather than appended in arrival
+    // order: fault re-routing (retry-with-timeout) can let a later chunk
+    // of a run overtake an earlier one, and chunk seqs within a run are
+    // assigned in key order, so seq-ordered concatenation reconstructs a
+    // sorted run under any interleaving. Arrival order == seq order in
+    // fault-free runs, so this is behavior-neutral there.
+    struct OpenRun {
+      std::uint32_t subset = 0;
+      std::map<std::uint32_t, std::vector<em::KeyRecord>> chunks;
+    };
+    std::map<std::uint32_t, OpenRun> open;  // run_id -> accumulating run
     while (true) {
       auto p = co_await in.recv();
       if (!p) break;
+      while (!node.running()) co_await node.health_wait();
       records_done.inc(p->records.size());
       co_await node.disk().write(p->wire_bytes(mp_.record_bytes));
-      StoredRun& run = open[p->run_id];
+      OpenRun& run = open[p->run_id];
       run.subset = p->subset;
-      run.records.insert(run.records.end(), p->records.begin(),
-                         p->records.end());
+      auto& chunk = run.chunks[p->seq];
+      chunk.insert(chunk.end(), p->records.begin(), p->records.end());
     }
     auto& dest = stored_[a];
     dest.reserve(open.size());
-    for (auto& [run_id, run] : open) dest.push_back(std::move(run));
+    for (auto& [run_id, run] : open) {
+      StoredRun sr;
+      sr.subset = run.subset;
+      for (auto& [seq, recs] : run.chunks) {
+        sr.records.insert(sr.records.end(), recs.begin(), recs.end());
+      }
+      dest.push_back(std::move(sr));
+    }
     store_end_[a] = eng_.now();
   }
 
@@ -747,6 +786,7 @@ class DsmSortSim {
   std::size_t records_final_ = 0;
   bool final_sorted_ok_ = true;
   std::uint32_t dsm_track_ = 0;
+  std::unique_ptr<fault::FaultInjector> injector_;
 };
 
 }  // namespace

@@ -8,6 +8,7 @@
 #include "asu/params.hpp"
 #include "core/routing.hpp"
 #include "core/workload.hpp"
+#include "fault/plan.hpp"
 #include "obs/json.hpp"
 
 namespace lmas::core {
@@ -65,6 +66,12 @@ struct DsmSortConfig {
   unsigned gamma2_max = 0;
 
   std::uint64_t seed = 42;
+
+  /// Deterministic fault schedule driven while pass 1 runs (the injector
+  /// drains its whole timeline inside the pass-1 event loop). Empty plan
+  /// = injector never spawned: zero digest drift, zero extra metrics —
+  /// fault-free runs stay bit-identical to pre-fault-layer builds.
+  fault::FaultPlan faults;
 
   /// When non-empty, enable sim-time tracing for this run and export the
   /// Chrome trace-event file here (loadable in chrome://tracing or

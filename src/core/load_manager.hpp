@@ -103,6 +103,10 @@ class LoadMonitor {
           eng.tracer().counter(track, "host.backlog." + std::to_string(h),
                                s.time, s.host_backlog[h]);
         }
+        for (unsigned a = 0; a < cluster_->num_asus(); ++a) {
+          eng.tracer().counter(track, "asu.backlog." + std::to_string(a),
+                               s.time, s.asu_backlog[a]);
+        }
       }
       const bool all_idle =
           std::all_of(s.host_backlog.begin(), s.host_backlog.end(),
@@ -110,9 +114,16 @@ class LoadMonitor {
           std::all_of(s.asu_backlog.begin(), s.asu_backlog.end(),
                       [](double b) { return b <= 0; });
       samples_.push_back(std::move(s));
-      // Two consecutive all-idle samples: the workload has drained; stop
-      // so the monitor does not keep the event queue alive forever.
-      if (all_idle && saw_work_) break;
+      // Two consecutive all-idle samples after any work: the workload has
+      // drained; stop so the monitor does not keep the event queue alive
+      // forever. A single idle sample is not enough — DSM-Sort-style
+      // programs have quiescent gaps between phases longer than one
+      // period, and stopping inside one would miss all later load.
+      if (all_idle && saw_work_) {
+        if (++idle_streak_ >= 2) break;
+      } else {
+        idle_streak_ = 0;
+      }
       if (!all_idle) saw_work_ = true;
     }
   }
@@ -121,6 +132,7 @@ class LoadMonitor {
   double period_;
   std::vector<LoadSample> samples_;
   bool saw_work_ = false;
+  std::size_t idle_streak_ = 0;
 };
 
 }  // namespace lmas::core

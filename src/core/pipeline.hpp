@@ -98,6 +98,17 @@ class StageOutput {
   void set_target_node(std::size_t i, asu::Node& node) {
     endpoints_.at(i).node = &node;
     targets_.at(i).node = &node;
+    targets_dirty_ = true;
+  }
+
+  /// Degraded-mode delivery contract (see fault::FaultPlan): how long an
+  /// in-flight packet waits before re-entering the router when its target
+  /// crashes under it, and how many re-routes it attempts before parking
+  /// until that replica recovers.
+  void set_fault_retry(double timeout, std::size_t max_retries) {
+    assert(timeout > 0);
+    retry_timeout_ = timeout;
+    max_retries_ = max_retries;
   }
   [[nodiscard]] std::uint64_t packets_sent() const noexcept {
     return packets_sent_;
@@ -107,8 +118,19 @@ class StageOutput {
   }
 
   /// Route `p` with this stage's policy, pay the transfer, deliver.
+  /// Routing sees only instances whose node is currently running
+  /// (Section 3.3: the target set of a set-typed functor shrinks and
+  /// grows); if every replica is down the sender parks on the health
+  /// board until one recovers.
   [[nodiscard]] sim::Task<> emit(asu::Node& from, Packet p) {
-    const std::size_t idx = router_->pick(p, targets_);
+    refresh_active();
+    while (active_.empty()) {
+      assert(net_->health_board() &&
+             "all targets crashed and no health board to wait on");
+      co_await net_->health_board()->wait();
+      refresh_active();
+    }
+    const std::size_t idx = active_index_[router_->pick(p, active_)];
     co_await emit_to(idx, from, std::move(p));
   }
 
@@ -146,18 +168,65 @@ class StageOutput {
   }
 
  private:
+  /// Rebuild the healthy target subset when the cluster health epoch (or
+  /// a migration) changed. Fault-free cost per emit: one integer compare.
+  void refresh_active() {
+    const asu::HealthBoard* board = net_->health_board();
+    const std::uint64_t epoch = board ? board->epoch() : 1;
+    if (!targets_dirty_ && epoch == seen_epoch_) return;
+    seen_epoch_ = epoch;
+    targets_dirty_ = false;
+    active_.clear();
+    active_index_.clear();
+    for (std::size_t i = 0; i < targets_.size(); ++i) {
+      if (targets_[i].node->running()) {
+        active_.push_back(targets_[i]);
+        active_index_.push_back(i);
+      }
+    }
+  }
+
+  /// Lazily registered so fault-free runs publish no fault metrics (the
+  /// golden harness pins the metrics fingerprint).
+  obs::Counter& fault_retries() {
+    if (!retries_counter_) {
+      retries_counter_ = &eng_->metrics().counter(name_ + ".fault_retries");
+    }
+    return *retries_counter_;
+  }
+
   [[nodiscard]] sim::Task<> deliver(std::size_t idx, asu::Node* from,
                                     Packet p, std::size_t bytes) {
-    Endpoint& ep = endpoints_[idx];
-    if (from != ep.node) {
-      if (from->is_asu() != ep.node->is_asu()) {
-        co_await net_->link(*from, *ep.node)
-            .use(double(bytes) / link_bandwidth());
+    std::size_t tries = 0;
+    for (;;) {
+      Endpoint& ep = endpoints_[idx];
+      if (from != ep.node) {
+        if (from->is_asu() != ep.node->is_asu()) {
+          co_await net_->link(*from, *ep.node)
+              .use(double(bytes) / link_bandwidth());
+        }
+        co_await eng_->sleep(net_->sample_latency());
+        co_await ep.node->nic_transfer(bytes);
       }
-      co_await eng_->sleep(link_latency());
-      co_await ep.node->nic_transfer(bytes);
+      if (ep.node->running()) break;
+      // The receiver crashed while this packet was in flight. Retry with
+      // timeout: wait, then re-enter the router over the healthy actives
+      // and physically move the packet there (transfer is re-paid). After
+      // max_retries_ park until *this* replica recovers — the packet is
+      // owned either way, never dropped, so record conservation holds.
+      if (tries < max_retries_) {
+        ++tries;
+        fault_retries().inc();
+        co_await eng_->sleep(retry_timeout_);
+        refresh_active();
+        if (!active_.empty()) {
+          idx = active_index_[router_->pick(p, active_)];
+        }
+      } else {
+        while (!ep.node->running()) co_await ep.node->health_wait();
+      }
     }
-    co_await ep.ch->send(std::move(p));
+    co_await endpoints_[idx].ch->send(std::move(p));
     --inflight_;
     slot_free_.notify_one();
     if (inflight_ == 0) drained_.notify_all();
@@ -173,15 +242,18 @@ class StageOutput {
   [[nodiscard]] double link_bandwidth() const noexcept {
     return net_->params().link_bandwidth;
   }
-  [[nodiscard]] double link_latency() const noexcept {
-    return net_->params().link_latency;
-  }
 
   sim::Engine* eng_;
   asu::Network* net_;
   std::size_t record_bytes_;
   std::vector<Endpoint> endpoints_;
   std::vector<RouteTarget> targets_;
+  std::vector<RouteTarget> active_;
+  std::vector<std::size_t> active_index_;
+  std::uint64_t seen_epoch_ = 0;  ///< 0 forces the first refresh
+  bool targets_dirty_ = false;
+  double retry_timeout_ = 1e-3;
+  std::size_t max_retries_ = 8;
   std::unique_ptr<RoutingPolicy> router_;
   unsigned producers_left_;
   std::size_t window_;
@@ -195,6 +267,7 @@ class StageOutput {
   obs::Counter* records_counter_ = nullptr;
   obs::Counter* bytes_counter_ = nullptr;
   obs::Histogram* batch_hist_ = nullptr;
+  obs::Counter* retries_counter_ = nullptr;
   std::vector<obs::Counter*> routed_;
   std::uint32_t track_ = 0;
 };

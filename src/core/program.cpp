@@ -40,6 +40,9 @@ struct Program::Impl {
     StageOutput* downstream = outputs.front().get();
     Packet p;
     while (src(i, p)) {
+      // Degraded modes: a crashed source node stops producing until it
+      // recovers (the healthy path costs one branch, no engine work).
+      while (!node.running()) co_await node.health_wait();
       src_stats.packets_out++;
       src_stats.records_out += p.records.size();
       if (node.has_disk()) {
@@ -71,6 +74,9 @@ struct Program::Impl {
     while (true) {
       auto p = co_await inbox.recv();
       if (!p) break;
+      // A crashed instance keeps its accepted packets queued but pauses
+      // processing until recovery (nothing is lost, work resumes).
+      while (!node->running()) co_await node->health_wait();
       if (st.spec.migrate) {
         if (asu::Node* target = st.spec.migrate(i, *node);
             target != nullptr && target != node) {

@@ -191,10 +191,14 @@ enum class RouterKind { Static, RoundRobin, SimpleRandomization, LeastLoaded };
 /// Build a policy; when `instrument` is non-null the policy is wrapped in
 /// an InstrumentedRouter publishing into that engine's registry/tracer
 /// under `label` (defaults to the policy's own name).
+///
+/// `rng` is deliberately NOT defaulted: every SR router must get a
+/// caller-derived named stream (seeding hygiene — a shared default seed
+/// would correlate every uncustomized router; see sim::Rng::stream).
+/// Deterministic kinds ignore it; pass any derived stream.
 inline std::unique_ptr<RoutingPolicy> make_router(
-    RouterKind kind, sim::Rng rng = sim::Rng(1),
-    std::uint32_t total_subsets = 0, sim::Engine* instrument = nullptr,
-    std::string label = "") {
+    RouterKind kind, sim::Rng rng, std::uint32_t total_subsets = 0,
+    sim::Engine* instrument = nullptr, std::string label = "") {
   std::unique_ptr<RoutingPolicy> p;
   switch (kind) {
     case RouterKind::Static:

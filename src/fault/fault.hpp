@@ -1,0 +1,9 @@
+#pragma once
+
+// Umbrella header for the fault-injection layer: deterministic, seeded
+// perturbation of the emulated machine (ASU slowdown, crash/recover,
+// link delay windows) plus the degraded-mode delivery contract consumed
+// by core::StageOutput. See DESIGN.md "Fault model & degraded modes".
+
+#include "fault/injector.hpp"  // IWYU pragma: export
+#include "fault/plan.hpp"      // IWYU pragma: export

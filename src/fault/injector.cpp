@@ -1,0 +1,198 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstdio>
+
+namespace lmas::fault {
+
+FaultInjector::FaultInjector(asu::Cluster& cluster, FaultPlan plan,
+                             sim::Rng rng)
+    : cluster_(&cluster), plan_(std::move(plan)), rng_(rng) {
+  plan_.normalize();
+  timeline_.reserve(plan_.events.size() * 2);
+  for (std::uint32_t i = 0; i < plan_.events.size(); ++i) {
+    const FaultSpec& e = plan_.events[i];
+    assert(e.duration > 0);
+    timeline_.push_back({e.at, i, /*apply=*/true});
+    timeline_.push_back({e.end(), i, /*apply=*/false});
+  }
+  // Stable sort on time only: a zero-length tie keeps apply before its own
+  // revert (push order above), and cross-spec ties resolve in normalized
+  // plan order — both deterministic, so the digest is too.
+  std::stable_sort(
+      timeline_.begin(), timeline_.end(),
+      [](const Transition& a, const Transition& b) { return a.at < b.at; });
+  crash_depth_.assign(cluster.num_hosts() + cluster.num_asus(), 0);
+  slow_product_.assign(cluster.num_hosts() + cluster.num_asus(), 1.0);
+  track_ = cluster.engine().tracer().track("fault-injector");
+}
+
+unsigned FaultInjector::clamp_index(const FaultSpec& spec) const {
+  const unsigned tier =
+      spec.on_asu ? cluster_->num_asus() : cluster_->num_hosts();
+  return spec.node % tier;
+}
+
+asu::Node& FaultInjector::target(const FaultSpec& spec) {
+  return cluster_->node(spec.on_asu ? asu::NodeKind::Asu : asu::NodeKind::Host,
+                        clamp_index(spec));
+}
+
+void FaultInjector::settle(bool on_asu, unsigned node) {
+  const std::size_t i = on_asu ? cluster_->num_hosts() + node : node;
+  asu::Node& n =
+      cluster_->node(on_asu ? asu::NodeKind::Asu : asu::NodeKind::Host, node);
+  if (crash_depth_[i] > 0) {
+    if (!n.crashed()) n.set_crashed();
+  } else if (slow_product_[i] > 1.0) {
+    n.set_degraded(slow_product_[i]);
+  } else {
+    n.set_healthy();
+  }
+}
+
+void FaultInjector::apply(const FaultSpec& spec, std::uint32_t idx) {
+  obs::MetricsRegistry& reg = cluster_->engine().metrics();
+  switch (spec.kind) {
+    case FaultSpec::Kind::Slowdown:
+      slow_product_[(spec.on_asu ? cluster_->num_hosts() : 0) +
+                    clamp_index(spec)] *= spec.factor;
+      settle(spec.on_asu, clamp_index(spec));
+      reg.counter("fault.slowdowns").inc();
+      break;
+    case FaultSpec::Kind::Crash:
+      ++crash_depth_[(spec.on_asu ? cluster_->num_hosts() : 0) +
+                     clamp_index(spec)];
+      settle(spec.on_asu, clamp_index(spec));
+      reg.counter("fault.crashes").inc();
+      break;
+    case FaultSpec::Kind::LinkDelay:
+      ++delay_depth_;
+      cluster_->network().set_link_delay(
+          spec.extra_latency, spec.jitter,
+          rng_.stream(sim::stream_id("link-jitter", idx)));
+      reg.counter("fault.link_delay_windows").inc();
+      break;
+  }
+  ++applied_;
+}
+
+void FaultInjector::revert(const FaultSpec& spec, std::uint32_t idx) {
+  obs::MetricsRegistry& reg = cluster_->engine().metrics();
+  switch (spec.kind) {
+    case FaultSpec::Kind::Slowdown: {
+      const std::size_t i =
+          (spec.on_asu ? cluster_->num_hosts() : 0) + clamp_index(spec);
+      slow_product_[i] /= spec.factor;
+      // Multiplicative close-out drifts below 1 in the last window; snap
+      // so the node returns to exactly nominal rate.
+      if (slow_product_[i] < 1.0 + 1e-12) slow_product_[i] = 1.0;
+      settle(spec.on_asu, clamp_index(spec));
+      break;
+    }
+    case FaultSpec::Kind::Crash:
+      --crash_depth_[(spec.on_asu ? cluster_->num_hosts() : 0) +
+                     clamp_index(spec)];
+      settle(spec.on_asu, clamp_index(spec));
+      reg.counter("fault.recoveries").inc();
+      break;
+    case FaultSpec::Kind::LinkDelay:
+      if (--delay_depth_ == 0) cluster_->network().clear_link_delay();
+      (void)idx;
+      break;
+  }
+  ++reverted_;
+}
+
+sim::Task<> FaultInjector::run() {
+  sim::Engine& eng = cluster_->engine();
+  // Commit the whole schedule to the digest up front: a faulted run can
+  // never alias a fault-free one even if no window ends up perturbing
+  // timing (e.g. a slowdown of an idle node).
+  eng.fold(plan_.fingerprint());
+  for (const Transition& t : timeline_) {
+    if (t.at > eng.now()) co_await eng.sleep(t.at - eng.now());
+    const FaultSpec& spec = plan_.events[t.spec];
+    std::uint64_t w = sim::fnv1a64("fault-event") ^
+                      ((std::uint64_t(t.spec) << 1) | (t.apply ? 1 : 0));
+    eng.fold(sim::splitmix64_once(w ^ std::bit_cast<std::uint64_t>(eng.now())));
+    if (eng.tracer().enabled()) {
+      eng.tracer().instant(
+          track_, (t.apply ? "apply " : "revert ") + describe(spec), eng.now());
+    }
+    if (t.apply) {
+      apply(spec, t.spec);
+    } else {
+      revert(spec, t.spec);
+    }
+  }
+}
+
+std::string describe(const FaultSpec& spec) {
+  char node[16];
+  if (spec.kind == FaultSpec::Kind::LinkDelay) {
+    node[0] = '\0';
+  } else {
+    std::snprintf(node, sizeof node, "%s%u ", spec.on_asu ? "asu" : "host",
+                  spec.node);
+  }
+  char buf[128];
+  switch (spec.kind) {
+    case FaultSpec::Kind::Slowdown:
+      std::snprintf(buf, sizeof buf, "slowdown %s@%.4g+%.4g x%.3g", node,
+                    spec.at, spec.duration, spec.factor);
+      break;
+    case FaultSpec::Kind::Crash:
+      std::snprintf(buf, sizeof buf, "crash %s@%.4g+%.4g", node, spec.at,
+                    spec.duration);
+      break;
+    case FaultSpec::Kind::LinkDelay:
+      std::snprintf(buf, sizeof buf, "link-delay @%.4g+%.4g +%.3gs~%.3gs",
+                    spec.at, spec.duration, spec.extra_latency, spec.jitter);
+      break;
+  }
+  return buf;
+}
+
+FaultPlan generate_fault_plan(sim::Rng& rng, unsigned num_hosts,
+                              unsigned num_asus, double horizon,
+                              unsigned size) {
+  assert(num_hosts > 0 && num_asus > 0 && horizon > 0);
+  FaultPlan plan;
+  const unsigned n = 1 + unsigned(rng.below(std::max(1u, size)));
+  for (unsigned i = 0; i < n; ++i) {
+    // Windows start in the first 80% of the horizon and are strictly
+    // shorter than it, so every crash recovers well before parked work
+    // would be abandoned — the liveness precondition documented on
+    // FaultPlan.
+    const double at = rng.uniform(0.0, horizon * 0.8);
+    const double dur = rng.uniform(horizon * 0.02, horizon * 0.4);
+    switch (rng.below(4)) {
+      case 0:
+      case 1: {  // slowdowns twice as likely: the paper's degraded regime
+        const bool on_asu = rng.below(4) != 0;
+        const unsigned tier = on_asu ? num_asus : num_hosts;
+        plan.slowdown(on_asu, unsigned(rng.below(tier)), at, dur,
+                      1.5 + rng.uniform(0.0, 6.5));
+        break;
+      }
+      case 2:
+        // Crashes target ASUs only: ASU-side replicas are the set-typed
+        // functor instances whose membership may shrink and grow
+        // (Section 3.3); host pumps hold unsharable in-memory sort state,
+        // so host faults are modeled as slowdowns instead.
+        plan.crash(true, unsigned(rng.below(num_asus)), at, dur);
+        break;
+      case 3:
+        plan.link_delay(at, dur, rng.uniform(0.0, 2e-4),
+                        rng.uniform(0.0, 1e-4));
+        break;
+    }
+  }
+  plan.normalize();
+  return plan;
+}
+
+}  // namespace lmas::fault

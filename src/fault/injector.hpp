@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "asu/network.hpp"
+#include "fault/plan.hpp"
+#include "sim/random.hpp"
+#include "sim/task.hpp"
+
+namespace lmas::fault {
+
+/// Seeded sim-time fault scheduler: expands a FaultPlan into an
+/// apply/revert timeline and drives it from one coroutine. All
+/// perturbation state (jitter draws, window ordering) comes from the
+/// injector's own named Rng stream, so a (workload seed, fault seed)
+/// pair replays bit-identically; each applied transition is folded into
+/// the engine digest, so faulted and fault-free runs can never alias.
+///
+/// Overlap semantics per node: a node is Crashed while *any* crash
+/// window covers it; otherwise Degraded by the product of all open
+/// slowdown factors; otherwise Healthy. Overlapping link-delay windows
+/// are last-writer-wins until every window has closed.
+///
+/// The injector must outlive the engine run that executes `run()`
+/// (callers own it by value or unique_ptr next to the Engine).
+class FaultInjector {
+ public:
+  FaultInjector(asu::Cluster& cluster, FaultPlan plan, sim::Rng rng);
+
+  /// The driver coroutine; spawn exactly once:
+  ///   eng.spawn(injector.run());
+  /// Completes after the last window closes — it holds no engine work
+  /// open beyond that, so quiescence detection is unaffected.
+  [[nodiscard]] sim::Task<> run();
+
+  [[nodiscard]] std::size_t applied() const noexcept { return applied_; }
+  [[nodiscard]] std::size_t reverted() const noexcept { return reverted_; }
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+ private:
+  struct Transition {
+    double at = 0;
+    std::uint32_t spec = 0;  ///< index into plan_.events
+    bool apply = true;       ///< false = window close
+  };
+
+  void apply(const FaultSpec& spec, std::uint32_t idx);
+  void revert(const FaultSpec& spec, std::uint32_t idx);
+  /// Recompute one node's health from the open-window counters.
+  void settle(bool on_asu, unsigned node);
+  asu::Node& target(const FaultSpec& spec);
+  [[nodiscard]] unsigned clamp_index(const FaultSpec& spec) const;
+
+  asu::Cluster* cluster_;
+  FaultPlan plan_;
+  sim::Rng rng_;
+  std::vector<Transition> timeline_;
+
+  // Open-window bookkeeping, indexed [host 0..H-1][asu 0..D-1] flattened.
+  std::vector<unsigned> crash_depth_;
+  std::vector<double> slow_product_;
+  unsigned delay_depth_ = 0;
+
+  std::size_t applied_ = 0;
+  std::size_t reverted_ = 0;
+  std::uint32_t track_ = 0;
+};
+
+}  // namespace lmas::fault

@@ -73,6 +73,17 @@ class Resource : public MetricsSource {
     return free_at_;
   }
 
+  /// Scale the service rate for subsequently posted work: a scale of s
+  /// stretches every service demand by 1/s (s < 1 = degraded, 1 = nominal).
+  /// The fault injector uses this for ASU CPU degradation windows; work
+  /// already queued keeps its original completion time (the emulated
+  /// server finishes the request it is on at the old rate).
+  void set_rate_scale(double s) noexcept {
+    assert(s > 0);
+    rate_scale_ = s;
+  }
+  [[nodiscard]] double rate_scale() const noexcept { return rate_scale_; }
+
   /// Time at which currently queued work completes.
   [[nodiscard]] SimTime free_at() const noexcept { return free_at_; }
   [[nodiscard]] SimTime backlog() const noexcept {
@@ -96,6 +107,10 @@ class Resource : public MetricsSource {
   /// the recorder, and (when tracing) emit the occupancy span on this
   /// resource's track. Registry publication is deferred to the collector.
   void occupy(SimTime service, const char* traced_as) {
+    // The == 1.0 fast path is not just speed: fault-free runs must charge
+    // bit-identical times (x / 1.0 == x, but keeping the branch makes the
+    // invariant explicit and free).
+    if (rate_scale_ != 1.0) service /= rate_scale_;
     const SimTime now = eng_->now();
     const SimTime start = now > free_at_ ? now : free_at_;
     const SimTime end = start + service;
@@ -116,6 +131,7 @@ class Resource : public MetricsSource {
   std::string name_;
   std::uint64_t name_hash_;
   UtilizationRecorder util_;
+  double rate_scale_ = 1.0;
   SimTime free_at_ = 0;
   SimTime total_service_ = 0;
   std::uint64_t total_requests_ = 0;

@@ -44,9 +44,19 @@ TEST(Property, DigestsAreStableAcrossReruns) {
   ASSERT_FALSE(f.has_value()) << f->describe();
 }
 
+TEST(Property, ConservationHoldsUnderEveryFaultPlan) {
+  const auto f = check::suite_fault_conservation(kCases, kSeed);
+  ASSERT_FALSE(f.has_value()) << f->describe();
+}
+
+TEST(Property, NoPacketIsLostToACrashedReplica) {
+  const auto f = check::suite_fault_routing(kCases, kSeed);
+  ASSERT_FALSE(f.has_value()) << f->describe();
+}
+
 // The registry the lmas_check driver iterates must cover every suite above.
 TEST(Property, RegistryListsAllSuites) {
-  ASSERT_EQ(check::all_suites().size(), 6u);
+  ASSERT_EQ(check::all_suites().size(), 8u);
   for (const auto& s : check::all_suites()) {
     EXPECT_NE(s.fn, nullptr) << s.name;
     EXPECT_GE(s.default_cases, 100u) << s.name;

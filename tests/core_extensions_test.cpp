@@ -344,6 +344,63 @@ TEST(LoadMonitor, BalancedWorkShowsLowImbalance) {
   EXPECT_LT(mon.peak_host_imbalance(), 0.2);
 }
 
+// Regression: the monitor used to stop at the FIRST all-idle sample after
+// any work. DSM-Sort-style programs have quiescent gaps between phases
+// longer than one sampling period, and stopping inside one missed every
+// later sample (Fig. 10's utilization series would truncate at the first
+// phase boundary). A single idle sample must not end monitoring; two
+// consecutive ones do.
+TEST(LoadMonitor, SurvivesIdleGapLongerThanOnePeriod) {
+  sim::Engine eng;
+  auto mp = machine(1, 1);
+  asu::Cluster cluster(eng, mp);
+  core::LoadMonitor mon(cluster, 0.01);
+  mon.start();
+  // Two bursts with a 0.012s quiescent gap (> one period, < two): the
+  // sample at t=0.05 lands inside the gap and sees an idle cluster.
+  auto worker = [](sim::Engine& e, asu::Node& n) -> sim::Task<> {
+    co_await n.compute(0.045);
+    co_await e.sleep(0.012);
+    co_await n.compute(0.03);  // second burst: busy [0.057, 0.087]
+  };
+  eng.spawn(worker(eng, cluster.host(0)));
+  eng.run();
+
+  EXPECT_EQ(eng.unfinished_tasks(), 0u);  // monitor still terminates
+  ASSERT_FALSE(mon.samples().empty());
+  // The monitor sampled through the gap: the second burst is observed...
+  bool saw_second_burst = false;
+  for (const auto& s : mon.samples()) {
+    if (s.time > 0.055 && s.host_backlog[0] > 0) saw_second_burst = true;
+  }
+  EXPECT_TRUE(saw_second_burst);
+  EXPECT_GT(mon.samples().back().time, 0.087);
+  // ...and it still stops promptly once the workload truly drains (two
+  // idle samples after the last burst, not max_samples).
+  EXPECT_LT(mon.samples().size(), 20u);
+}
+
+// Satellite of the same fix: ASU backlogs are sampled and published
+// symmetrically with host backlogs (the trace/registry view used to cover
+// hosts only).
+TEST(LoadMonitor, SamplesAsuBacklogsSymmetrically) {
+  sim::Engine eng;
+  auto mp = machine(1, 2);
+  asu::Cluster cluster(eng, mp);
+  core::LoadMonitor mon(cluster, 0.01);
+  mon.start();
+  auto worker = [](asu::Node& n) -> sim::Task<> { co_await n.compute(0.1); };
+  eng.spawn(worker(cluster.asu(1)));  // work on an ASU, hosts idle
+  eng.run();
+  double peak_asu = 0;
+  for (const auto& s : mon.samples()) {
+    ASSERT_EQ(s.asu_backlog.size(), 2u);
+    peak_asu = std::max(peak_asu, s.asu_backlog[1]);
+  }
+  EXPECT_GT(peak_asu, 0.0);
+  ASSERT_NE(eng.metrics().find_gauge("asu.backlog.1"), nullptr);
+}
+
 }  // namespace
 
 // ---------- distributed two-level B+-tree ----------

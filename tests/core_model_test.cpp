@@ -107,7 +107,8 @@ TEST(Routing, FactoryProducesAllKinds) {
   for (auto kind : {RouterKind::Static, RouterKind::RoundRobin,
                     RouterKind::SimpleRandomization,
                     RouterKind::LeastLoaded}) {
-    auto r = core::make_router(kind);
+    auto r = core::make_router(
+        kind, sim::Rng(7).stream(sim::stream_id("routing-test")));
     ASSERT_NE(r, nullptr);
     EXPECT_EQ(r->name(), core::router_kind_name(kind));
   }
