@@ -1,112 +1,109 @@
 #pragma once
 
-/// Shared plumbing for bench artifacts: every bench binary writes a
-/// machine-readable BENCH_<name>.json next to its text output, so the
-/// perf trajectory can be recorded run-over-run instead of scraped from
-/// stdout. For the google-benchmark microbenches, JsonFileReporter tees
-/// each run's timings into the artifact while the console reporter keeps
-/// printing as before.
+/// Shared plumbing for the figure/ablation benches: every bench binary
+/// writes a machine-readable BENCH_<name>.json next to its text output,
+/// so the perf trajectory can be recorded run-over-run instead of
+/// scraped from stdout.
+///
+/// The sweep helpers here are the front door to the parallel executor
+/// (src/par): a bench declares its grid as a SweepSpec — a flat list of
+/// self-contained cells plus a pure run function — and run_sweep()
+/// evaluates the cells across LMAS_JOBS worker threads, returning
+/// results in submission order. Because each cell owns a private
+/// sim::Engine and results are slotted by index, the artifact bytes are
+/// identical whether the sweep ran on 1 thread or 64 — only the
+/// wall-clock fields stamped by stamp_sweep() differ.
+///
+/// google-benchmark microbenches use gbench_tee.hpp instead; this header
+/// deliberately does not include benchmark.h.
 
-#include <benchmark/benchmark.h>
-
-#include <cstdio>
+#include <chrono>
+#include <cstddef>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "obs/report.hpp"
+#include "par/executor.hpp"
 
 namespace lmas::benchio {
 
-class JsonFileReporter final : public benchmark::BenchmarkReporter {
- public:
-  explicit JsonFileReporter(std::string bench_name)
-      : report_(std::move(bench_name)) {
-    report_.results() = obs::Json::array();
+/// Timing facts for one sweep. Everything here is wall-clock derived and
+/// therefore machine-dependent: stamp_sweep() writes it into the
+/// artifact's dedicated timing fields, never into "results".
+struct SweepStats {
+  unsigned jobs = 1;              ///< worker threads used
+  std::size_t cells = 0;          ///< grid cells evaluated
+  double wall_clock_s = 0;        ///< end-to-end sweep wall time
+  double cell_seconds_total = 0;  ///< sum of per-cell wall times
+
+  /// Observed speedup over running the same cells back-to-back on one
+  /// thread: sum of per-cell times / elapsed wall time. ~jobs when the
+  /// grid is wide and cells are balanced; 1.0 when jobs == 1.
+  [[nodiscard]] double parallel_speedup() const {
+    return wall_clock_s > 0 ? cell_seconds_total / wall_clock_s : 0.0;
   }
-
-  bool ReportContext(const Context& context) override {
-    obs::Json& params = report_.params();
-    params["cpus"] = int(context.cpu_info.num_cpus);
-    params["cpu_mhz"] = context.cpu_info.cycles_per_second / 1e6;
-    return true;
-  }
-
-  void ReportRuns(const std::vector<Run>& runs) override {
-    for (const Run& run : runs) {
-      if (run.error_occurred) continue;
-      obs::Json r = obs::Json::object();
-      r["name"] = run.benchmark_name();
-      r["iterations"] = double(run.iterations);
-      r["real_time_ns"] = run.GetAdjustedRealTime();
-      r["cpu_time_ns"] = run.GetAdjustedCPUTime();
-      for (const auto& [name, counter] : run.counters) {
-        r[name] = double(counter.value);
-      }
-      report_.results().push_back(std::move(r));
-    }
-  }
-
-  /// Write the artifact; prints the path so runs are self-describing.
-  void Finalize() override {
-    wrote_ = report_.write();
-    if (wrote_) {
-      std::fprintf(stderr, "# bench artifact: %s\n",
-                   report_.path().c_str());
-    } else {
-      std::fprintf(stderr, "# FAILED to write %s\n",
-                   report_.path().c_str());
-    }
-  }
-
-  bool wrote() const { return wrote_; }
-
- private:
-  obs::BenchReport report_;
-  bool wrote_ = false;
 };
 
-/// Display reporter that tees every run into both the stock console
-/// reporter and a JsonFileReporter. Used as the *display* reporter so
-/// google-benchmark does not demand --benchmark_out for the file side.
-class TeeReporter final : public benchmark::BenchmarkReporter {
- public:
-  explicit TeeReporter(std::string bench_name)
-      : json_(std::move(bench_name)) {}
-
-  bool ReportContext(const Context& context) override {
-    console_.SetOutputStream(&GetOutputStream());
-    console_.SetErrorStream(&GetErrorStream());
-    const bool ok = console_.ReportContext(context);
-    json_.ReportContext(context);
-    return ok;
-  }
-
-  void ReportRuns(const std::vector<Run>& runs) override {
-    console_.ReportRuns(runs);
-    json_.ReportRuns(runs);
-  }
-
-  void Finalize() override {
-    console_.Finalize();
-    json_.Finalize();
-  }
-
-  bool wrote() const { return json_.wrote(); }
-
- private:
-  benchmark::ConsoleReporter console_;
-  JsonFileReporter json_;
+/// A declarative sweep: the full grid as a flat cell list plus the pure
+/// function evaluating one cell. Cells must be self-contained (a cell
+/// builds its own machine + config + engine inside run_fn) — run_fn runs
+/// concurrently on executor threads and must not touch shared mutable
+/// state. report_name names the BENCH_<name>.json artifact the caller
+/// assembles from the results.
+template <class Cell, class Result>
+struct SweepSpec {
+  std::string report_name;
+  std::vector<Cell> cells;
+  std::function<Result(const Cell&)> run_fn;
 };
 
-/// Drop-in replacement for BENCHMARK_MAIN(): console output plus the
-/// BENCH_<name>.json artifact.
-inline int run_with_artifact(int argc, char** argv,
-                             const std::string& bench_name) {
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  TeeReporter tee(bench_name);
-  benchmark::RunSpecifiedBenchmarks(&tee);
-  benchmark::Shutdown();
-  return tee.wrote() ? 0 : 1;
+/// Evaluate every cell, jobs-wide, and return results in cell order
+/// (results[i] is run_fn(cells[i]) regardless of which thread ran it or
+/// when it finished). Fills *stats with the sweep's timing facts when
+/// non-null. Throws whatever run_fn threw (first failing cell wins).
+template <class Cell, class Result>
+std::vector<Result> run_sweep(const SweepSpec<Cell, Result>& spec,
+                              SweepStats* stats = nullptr) {
+  using clock = std::chrono::steady_clock;
+  par::Executor ex;
+  std::vector<double> cell_seconds(spec.cells.size(), 0.0);
+  const auto t0 = clock::now();
+  std::vector<Result> results = par::map_ordered<Result>(
+      ex, spec.cells.size(), [&](std::size_t i) {
+        const auto c0 = clock::now();
+        Result r = spec.run_fn(spec.cells[i]);
+        cell_seconds[i] = std::chrono::duration<double>(clock::now() - c0)
+                              .count();
+        return r;
+      });
+  if (stats != nullptr) {
+    stats->jobs = ex.jobs();
+    stats->cells = spec.cells.size();
+    stats->wall_clock_s =
+        std::chrono::duration<double>(clock::now() - t0).count();
+    stats->cell_seconds_total = 0;
+    for (double s : cell_seconds) stats->cell_seconds_total += s;
+  }
+  return results;
+}
+
+/// Stamp a sweep's timing facts into the artifact. These are the ONLY
+/// machine-dependent fields a figure bench writes: they live at the
+/// document root (never inside "results"), so artifacts from serial and
+/// parallel runs of the same build differ exactly here and nowhere else.
+/// total_sim_events, when > 0, also records engine throughput as
+/// events_per_sec = simulated events per second of cell compute time —
+/// the hot-path metric the microbenches track.
+inline void stamp_sweep(obs::BenchReport& report, const SweepStats& stats,
+                        double total_sim_events = 0) {
+  report.root()["jobs"] = double(stats.jobs);
+  report.set_wall_clock(stats.wall_clock_s);
+  report.root()["cell_seconds_total"] = stats.cell_seconds_total;
+  report.root()["parallel_speedup"] = stats.parallel_speedup();
+  if (total_sim_events > 0 && stats.cell_seconds_total > 0) {
+    report.set_events_per_sec(total_sim_events / stats.cell_seconds_total);
+  }
 }
 
 }  // namespace lmas::benchio

@@ -8,7 +8,12 @@
 /// configurations must complete the faulted run strictly faster than
 /// static — with zero records lost (the retry/park delivery contract).
 ///
-/// Writes BENCH_fig10_faults.json (schema lmas-bench-v1): a fault-free
+/// The fault-free static reference runs first (serially — it fixes the
+/// horizon H the fault plan is scaled to); the three faulted runs then
+/// form a SweepSpec evaluated through the parallel executor. Results
+/// come back in submission order: bit-identical output at any LMAS_JOBS.
+///
+/// Writes BENCH_fig10_faults.json (schema lmas-bench-v1): the fault-free
 /// static reference plus one entry per (router x faulted run), each
 /// carrying the full dsm_report_to_json payload. Set LMAS_TRACE=1 to
 /// export Chrome traces (the fault injector has its own track).
@@ -16,7 +21,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
+#include "bench_json.hpp"
 #include "core/core.hpp"
 #include "fault/fault.hpp"
 #include "obs/report.hpp"
@@ -25,6 +32,7 @@ namespace core = lmas::core;
 namespace asu = lmas::asu;
 namespace obs = lmas::obs;
 namespace fault = lmas::fault;
+namespace benchio = lmas::benchio;
 
 namespace {
 
@@ -48,20 +56,34 @@ fault::FaultPlan make_plan(double H) {
   return plan;
 }
 
-}  // namespace
-
-int main() {
+asu::MachineParams machine() {
   asu::MachineParams mp;
   mp.num_hosts = 2;
   mp.num_asus = 16;
   mp.c = 8.0;
   mp.util_bin = 0.05;
+  return mp;
+}
 
+core::DsmSortConfig base_config() {
   core::DsmSortConfig cfg;
   cfg.total_records = std::size_t(1) << 22;
   cfg.alpha = 16;
   cfg.key_dist = core::KeyDist::HalfUniformHalfExp;
   cfg.seed = 42;
+  return cfg;
+}
+
+struct Cell {
+  core::RouterKind router = core::RouterKind::Static;
+  const char* key = "";
+};
+
+}  // namespace
+
+int main() {
+  const asu::MachineParams mp = machine();
+  core::DsmSortConfig cfg = base_config();
 
   obs::BenchReport report("fig10_faults");
   report.params()["records"] = double(cfg.total_records);
@@ -76,7 +98,8 @@ int main() {
               "input\n", cfg.total_records);
 
   // Fault-free static run: fixes the horizon the plan is scaled to and
-  // gives the artifact a clean baseline.
+  // gives the artifact a clean baseline. Serial by necessity — the
+  // faulted cells cannot be built until H is known.
   cfg.sort_router = core::RouterKind::Static;
   const core::DsmSortReport base = core::run_dsm_sort(mp, cfg);
   bool all_ok = base.ok();
@@ -97,24 +120,34 @@ int main() {
   }
   report.params()["fault_plan"] = std::move(plan_json);
 
-  constexpr int kRuns = 3;
-  const core::RouterKind kinds[kRuns] = {
-      core::RouterKind::Static, core::RouterKind::SimpleRandomization,
-      core::RouterKind::LeastLoaded};
-  const char* keys[kRuns] = {"static", "sr", "least-loaded"};
-  core::DsmSortReport faulted[kRuns];
-
-  cfg.faults = plan;
-  for (int run = 0; run < kRuns; ++run) {
-    cfg.sort_router = kinds[run];
+  benchio::SweepSpec<Cell, core::DsmSortReport> sweep;
+  sweep.report_name = "fig10_faults";
+  sweep.cells = {
+      {core::RouterKind::Static, "static"},
+      {core::RouterKind::SimpleRandomization, "sr"},
+      {core::RouterKind::LeastLoaded, "least-loaded"},
+  };
+  sweep.run_fn = [&mp, &plan](const Cell& cell) {
+    core::DsmSortConfig c = base_config();
+    c.faults = plan;
+    c.sort_router = cell.router;
     if (trace_requested()) {
-      cfg.trace_file =
-          std::string("trace_fig10_faults_") + keys[run] + ".json";
+      c.trace_file =
+          std::string("trace_fig10_faults_") + cell.key + ".json";
     }
-    faulted[run] = core::run_dsm_sort(mp, cfg);
+    return core::run_dsm_sort(machine(), c);
+  };
+
+  benchio::SweepStats stats;
+  const std::vector<core::DsmSortReport> faulted =
+      benchio::run_sweep(sweep, &stats);
+
+  double sweep_sim_events = 0;
+  for (std::size_t run = 0; run < faulted.size(); ++run) {
     all_ok &= faulted[run].ok();
+    sweep_sim_events += double(faulted[run].sim_events);
     obs::Json entry = core::dsm_report_to_json(faulted[run]);
-    entry["router"] = keys[run];
+    entry["router"] = sweep.cells[run].key;
     entry["faulted"] = true;
     report.results().push_back(std::move(entry));
   }
@@ -122,10 +155,10 @@ int main() {
 
   std::printf("\n%-14s %12s %12s %14s %10s\n", "router", "pass1(s)",
               "vs static", "records lost", "valid");
-  for (int run = 0; run < kRuns; ++run) {
+  for (std::size_t run = 0; run < faulted.size(); ++run) {
     const auto& r = faulted[run];
     const std::size_t lost = r.records_in - r.records_stored;
-    std::printf("%-14s %12.3f %11.1f%% %14zu %10s\n", keys[run],
+    std::printf("%-14s %12.3f %11.1f%% %14zu %10s\n", sweep.cells[run].key,
                 r.pass1_seconds,
                 100.0 * (r.pass1_seconds / faulted[0].pass1_seconds - 1.0),
                 lost, r.ok() ? "ok" : "FAIL");
@@ -144,6 +177,9 @@ int main() {
               ll_wins ? "beats" : "DOES NOT beat");
   all_ok &= sr_wins && ll_wins;
 
+  benchio::stamp_sweep(report, stats, sweep_sim_events);
+  std::printf("# sweep: %zu faulted cells on %u job(s), wall %.2fs\n",
+              stats.cells, stats.jobs, stats.wall_clock_s);
   std::printf("# validation: %s\n", all_ok ? "all runs ok" : "FAILURES");
   report.root()["ok"] = all_ok;
   if (report.write()) {

@@ -6,6 +6,10 @@
 /// both hosts) keeps utilizations nearly identical and terminates
 /// earlier.
 ///
+/// Both runs are declared as a two-cell SweepSpec and evaluated through
+/// the parallel executor (LMAS_JOBS threads); results return in
+/// submission order, so output is bit-identical to a serial run.
+///
 /// Alongside the text table, writes BENCH_fig10_skew.json
 /// (schema lmas-bench-v1): one result entry per run carrying the full
 /// dsm_report_to_json payload (per-pass timings, per-node utilization
@@ -15,13 +19,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
+#include "bench_json.hpp"
 #include "core/core.hpp"
 #include "obs/report.hpp"
 
 namespace core = lmas::core;
 namespace asu = lmas::asu;
 namespace obs = lmas::obs;
+namespace benchio = lmas::benchio;
 
 namespace {
 
@@ -30,9 +37,13 @@ bool trace_requested() {
   return v != nullptr && v[0] == '1';
 }
 
-}  // namespace
+struct Cell {
+  core::RouterKind router = core::RouterKind::Static;
+  const char* key = "";
+  const char* label = "";
+};
 
-int main() {
+core::DsmSortReport run_cell(const Cell& cell) {
   asu::MachineParams mp;
   mp.num_hosts = 2;
   mp.num_asus = 16;
@@ -44,37 +55,52 @@ int main() {
   cfg.alpha = 16;
   cfg.key_dist = core::KeyDist::HalfUniformHalfExp;
   cfg.seed = 42;
+  cfg.sort_router = cell.router;
+  if (trace_requested()) {
+    cfg.trace_file = std::string("trace_fig10_") + cell.key + ".json";
+  }
+  return core::run_dsm_sort(mp, cfg);
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kRecords = std::size_t(1) << 23;
+  constexpr double kUtilBin = 0.05;
 
   obs::BenchReport report("fig10_skew");
-  report.params()["records"] = double(cfg.total_records);
+  report.params()["records"] = double(kRecords);
   report.params()["hosts"] = 2;
   report.params()["asus"] = 16;
   report.params()["c"] = 8.0;
-  report.params()["alpha"] = double(cfg.alpha);
-  report.params()["util_bin_seconds"] = mp.util_bin;
+  report.params()["alpha"] = 16.0;
+  report.params()["util_bin_seconds"] = kUtilBin;
   report.params()["key_dist"] = "half_uniform_half_exp";
   report.results() = obs::Json::array();
 
   std::printf("# Figure 10: host CPU utilization under skew, 2 hosts + 16 "
-              "ASUs, n=%zu\n", cfg.total_records);
+              "ASUs, n=%zu\n", kRecords);
   std::printf("# input: first half uniform, second half exponential\n");
 
-  bool all_ok = true;
-  core::DsmSortReport reports[2];
-  const core::RouterKind kinds[2] = {core::RouterKind::Static,
-                                     core::RouterKind::SimpleRandomization};
-  const char* labels[2] = {"no load control", "load-controlled"};
-  const char* keys[2] = {"static", "managed"};
+  benchio::SweepSpec<Cell, core::DsmSortReport> sweep;
+  sweep.report_name = "fig10_skew";
+  sweep.run_fn = run_cell;
+  sweep.cells = {
+      {core::RouterKind::Static, "static", "no load control"},
+      {core::RouterKind::SimpleRandomization, "managed", "load-controlled"},
+  };
 
-  for (int run = 0; run < 2; ++run) {
-    cfg.sort_router = kinds[run];
-    if (trace_requested()) {
-      cfg.trace_file = std::string("trace_fig10_") + keys[run] + ".json";
-    }
-    reports[run] = core::run_dsm_sort(mp, cfg);
+  benchio::SweepStats stats;
+  const std::vector<core::DsmSortReport> reports =
+      benchio::run_sweep(sweep, &stats);
+
+  bool all_ok = true;
+  double total_sim_events = 0;
+  for (std::size_t run = 0; run < reports.size(); ++run) {
     all_ok &= reports[run].ok();
+    total_sim_events += double(reports[run].sim_events);
     obs::Json entry = core::dsm_report_to_json(reports[run]);
-    entry["router"] = keys[run];
+    entry["router"] = sweep.cells[run].key;
     report.results().push_back(std::move(entry));
   }
   // Top-level digest: the load-managed run (each result entry also
@@ -91,26 +117,29 @@ int main() {
   };
   for (std::size_t b = 0; b < bins; ++b) {
     std::printf("%-8.2f %16.3f %16.3f %18.3f %18.3f\n",
-                double(b) * mp.util_bin,
+                double(b) * kUtilBin,
                 at(reports[0].hosts[0].series, b),
                 at(reports[0].hosts[1].series, b),
                 at(reports[1].hosts[0].series, b),
                 at(reports[1].hosts[1].series, b));
   }
 
-  for (int run = 0; run < 2; ++run) {
+  for (std::size_t run = 0; run < reports.size(); ++run) {
     const auto& r = reports[run];
     const double a = double(r.records_sorted_per_host[0]);
     const double b = double(r.records_sorted_per_host[1]);
     std::printf("\n# %-16s makespan %.3fs | host shares %.0f / %.0f "
                 "(imbalance %.1f%%) | mean util %.2f / %.2f\n",
-                labels[run], r.pass1_seconds, a, b,
+                sweep.cells[run].label, r.pass1_seconds, a, b,
                 100.0 * std::abs(a - b) / (a + b), r.hosts[0].mean,
                 r.hosts[1].mean);
   }
   std::printf("# load-managed run ends %.1f%% earlier\n",
               100.0 * (1.0 - reports[1].pass1_seconds /
                                  reports[0].pass1_seconds));
+  benchio::stamp_sweep(report, stats, total_sim_events);
+  std::printf("# sweep: %zu cells on %u job(s), wall %.2fs\n", stats.cells,
+              stats.jobs, stats.wall_clock_s);
   std::printf("# validation: %s\n", all_ok ? "all runs ok" : "FAILURES");
   report.root()["ok"] = all_ok;
   if (report.write()) {

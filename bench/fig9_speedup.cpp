@@ -9,6 +9,12 @@
 /// D; the host saturates around 16 ASUs, after which high alpha wins and
 /// adaptive tracks the upper envelope.
 ///
+/// The whole grid — 6 machine sizes x (baseline + 5 alphas + adaptive) =
+/// 42 simulations — is declared as one SweepSpec and evaluated across
+/// LMAS_JOBS threads. Every cell is an independent engine, results come
+/// back in submission order, so the table and artifact are bit-identical
+/// to a serial run; only the wall-clock fields move.
+///
 /// Alongside the text table, writes BENCH_fig9_speedup.json
 /// (schema lmas-bench-v1) with per-run pass timings and, for the largest
 /// machine's adaptive run, per-node utilization plus the full metrics
@@ -18,13 +24,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
+#include "bench_json.hpp"
 #include "core/core.hpp"
 #include "obs/report.hpp"
 
 namespace core = lmas::core;
 namespace asu = lmas::asu;
 namespace obs = lmas::obs;
+namespace benchio = lmas::benchio;
 
 namespace {
 
@@ -33,10 +42,39 @@ bool trace_requested() {
   return v != nullptr && v[0] == '1';
 }
 
+enum class Kind { kBaseline, kAlpha, kAdaptive };
+
+/// One (machine size, configuration) grid point. Self-contained: run()
+/// builds its own machine + config, so cells can execute on any thread.
+struct Cell {
+  unsigned asus = 0;
+  Kind kind = Kind::kBaseline;
+  unsigned alpha = 0;  ///< kAlpha: the series value; kAdaptive: alpha*
+  bool detailed = false;
+  bool trace = false;
+};
+
+constexpr std::size_t kRecords = 1 << 22;
+
+core::DsmSortReport run_cell(const Cell& cell) {
+  asu::MachineParams mp;
+  mp.num_hosts = 1;
+  mp.num_asus = cell.asus;
+  mp.c = 8.0;
+
+  core::DsmSortConfig cfg;
+  cfg.total_records = kRecords;
+  cfg.log2_alpha_beta = 18;
+  cfg.seed = 42;
+  cfg.distribute_on_asus = cell.kind != Kind::kBaseline;
+  if (cell.kind != Kind::kBaseline) cfg.alpha = cell.alpha;
+  if (cell.trace) cfg.trace_file = "trace_fig9_adaptive.json";
+  return core::run_dsm_sort(mp, cfg);
+}
+
 }  // namespace
 
 int main() {
-  constexpr std::size_t kRecords = 1 << 22;
   constexpr std::array<unsigned, 5> kAlphas{1, 4, 16, 64, 256};
   constexpr std::array<unsigned, 6> kAsus{2, 4, 8, 16, 32, 64};
 
@@ -51,6 +89,40 @@ int main() {
       std::vector<double>(kAsus.begin(), kAsus.end()));
   report.results() = obs::Json::array();
 
+  // Flatten the grid. The adaptive alpha is chosen by the (pure) cost
+  // predictor, so it can be fixed before any simulation runs — that is
+  // what lets the adaptive cells join the same parallel sweep.
+  benchio::SweepSpec<Cell, core::DsmSortReport> sweep;
+  sweep.report_name = "fig9_speedup";
+  sweep.run_fn = run_cell;
+  for (const auto d : kAsus) {
+    asu::MachineParams mp;
+    mp.num_hosts = 1;
+    mp.num_asus = d;
+    mp.c = 8.0;
+    core::DsmSortConfig cfg;
+    cfg.total_records = kRecords;
+    cfg.log2_alpha_beta = 18;
+    cfg.seed = 42;
+    cfg.distribute_on_asus = true;
+    const unsigned star = core::choose_alpha(mp, cfg, kAlphas);
+
+    sweep.cells.push_back({.asus = d, .kind = Kind::kBaseline});
+    for (const auto a : kAlphas) {
+      sweep.cells.push_back({.asus = d, .kind = Kind::kAlpha, .alpha = a});
+    }
+    const bool detailed = d == kAsus.back();
+    sweep.cells.push_back({.asus = d,
+                           .kind = Kind::kAdaptive,
+                           .alpha = star,
+                           .detailed = detailed,
+                           .trace = detailed && trace_requested()});
+  }
+
+  benchio::SweepStats stats;
+  const std::vector<core::DsmSortReport> runs =
+      benchio::run_sweep(sweep, &stats);
+
   std::printf("# Figure 9: DSM-Sort pass-1 speedup vs number of ASUs\n");
   std::printf("# n=%zu records (128B, 4B key), H=1, c=8, alpha*beta=2^18\n",
               kRecords);
@@ -58,57 +130,45 @@ int main() {
   for (auto a : kAlphas) std::printf(" a=%-6u", a);
   std::printf(" %-8s %s\n", "adaptive", "(alpha*)");
 
+  // Reassemble the table in grid order: each machine size owns a
+  // contiguous slice of (1 + |alphas| + 1) results.
   bool all_ok = true;
-  for (const auto d : kAsus) {
-    asu::MachineParams mp;
-    mp.num_hosts = 1;
-    mp.num_asus = d;
-    mp.c = 8.0;
-
-    core::DsmSortConfig cfg;
-    cfg.total_records = kRecords;
-    cfg.log2_alpha_beta = 18;
-    cfg.seed = 42;
+  double total_sim_events = 0;
+  constexpr std::size_t kPerRow = 1 + kAlphas.size() + 1;
+  for (std::size_t row_i = 0; row_i < kAsus.size(); ++row_i) {
+    const std::size_t base_i = row_i * kPerRow;
+    const Cell& base_cell = sweep.cells[base_i];
+    const core::DsmSortReport& base = runs[base_i];
+    all_ok &= base.ok();
+    total_sim_events += double(base.sim_events);
 
     obs::Json row = obs::Json::object();
-    row["asus"] = double(d);
-
-    cfg.distribute_on_asus = false;
-    const auto base = core::run_dsm_sort(mp, cfg);
-    all_ok &= base.ok();
+    row["asus"] = double(base_cell.asus);
     row["baseline_pass1_seconds"] = base.pass1_seconds;
-    std::printf("%-8u %9.3fs", d, base.pass1_seconds);
+    std::printf("%-8u %9.3fs", base_cell.asus, base.pass1_seconds);
 
-    cfg.distribute_on_asus = true;
     obs::Json& by_alpha = row["by_alpha"];
     by_alpha = obs::Json::object();
-    for (const auto a : kAlphas) {
-      cfg.alpha = a;
-      const auto rep = core::run_dsm_sort(mp, cfg);
+    for (std::size_t k = 0; k < kAlphas.size(); ++k) {
+      const core::DsmSortReport& rep = runs[base_i + 1 + k];
       all_ok &= rep.ok();
+      total_sim_events += double(rep.sim_events);
       obs::Json cell = obs::Json::object();
       cell["pass1_seconds"] = rep.pass1_seconds;
       cell["speedup"] = base.pass1_seconds / rep.pass1_seconds;
-      by_alpha[std::to_string(a)] = std::move(cell);
+      by_alpha[std::to_string(kAlphas[k])] = std::move(cell);
       std::printf(" %7.2f", base.pass1_seconds / rep.pass1_seconds);
     }
 
-    const unsigned star = core::choose_alpha(mp, cfg, kAlphas);
-    cfg.alpha = star;
-    // Trace / detailed instrumentation for the biggest machine's
-    // adaptive run only: one representative run keeps the artifact small.
-    const bool detailed = d == kAsus.back();
-    if (detailed && trace_requested()) {
-      cfg.trace_file = "trace_fig9_adaptive.json";
-    }
-    const auto ad = core::run_dsm_sort(mp, cfg);
-    cfg.trace_file.clear();
+    const Cell& ad_cell = sweep.cells[base_i + 1 + kAlphas.size()];
+    const core::DsmSortReport& ad = runs[base_i + 1 + kAlphas.size()];
     all_ok &= ad.ok();
-    row["adaptive_alpha"] = double(star);
+    total_sim_events += double(ad.sim_events);
+    row["adaptive_alpha"] = double(ad_cell.alpha);
     row["adaptive_pass1_seconds"] = ad.pass1_seconds;
     row["adaptive_speedup"] = base.pass1_seconds / ad.pass1_seconds;
     row["adaptive_digest"] = obs::digest_to_string(ad.digest);
-    if (detailed) {
+    if (ad_cell.detailed) {
       report.add_digest(ad.digest);
       for (const auto& h : ad.hosts) {
         report.add_utilization(h.node, h.mean, ad.util_bin_seconds, h.series);
@@ -121,8 +181,15 @@ int main() {
     }
     report.results().push_back(std::move(row));
     std::printf(" %8.2f  (a=%u)\n", base.pass1_seconds / ad.pass1_seconds,
-                star);
+                ad_cell.alpha);
   }
+
+  benchio::stamp_sweep(report, stats, total_sim_events);
+  std::printf("# sweep: %zu cells on %u job(s), wall %.2fs, "
+              "speedup %.2fx, %.0f events/s\n",
+              stats.cells, stats.jobs, stats.wall_clock_s,
+              stats.parallel_speedup(),
+              total_sim_events / stats.cell_seconds_total);
   std::printf("# validation: %s\n", all_ok ? "all runs ok" : "FAILURES");
   report.root()["ok"] = all_ok;
   if (report.write()) {

@@ -1,0 +1,111 @@
+#pragma once
+
+/// google-benchmark plumbing for the kernel microbenches: JsonFileReporter
+/// tees each run's timings into the BENCH_<name>.json artifact while the
+/// console reporter keeps printing as before. Figure/ablation benches do
+/// not link google-benchmark — they use the sweep helpers in
+/// bench_json.hpp instead.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "obs/report.hpp"
+
+namespace lmas::benchio {
+
+class JsonFileReporter final : public benchmark::BenchmarkReporter {
+ public:
+  explicit JsonFileReporter(std::string bench_name)
+      : report_(std::move(bench_name)) {
+    report_.results() = obs::Json::array();
+  }
+
+  bool ReportContext(const Context& context) override {
+    obs::Json& params = report_.params();
+    params["cpus"] = int(context.cpu_info.num_cpus);
+    params["cpu_mhz"] = context.cpu_info.cycles_per_second / 1e6;
+    return true;
+  }
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      obs::Json r = obs::Json::object();
+      r["name"] = run.benchmark_name();
+      r["iterations"] = double(run.iterations);
+      r["real_time_ns"] = run.GetAdjustedRealTime();
+      r["cpu_time_ns"] = run.GetAdjustedCPUTime();
+      for (const auto& [name, counter] : run.counters) {
+        r[name] = double(counter.value);
+      }
+      report_.results().push_back(std::move(r));
+    }
+  }
+
+  /// Write the artifact; prints the path so runs are self-describing.
+  void Finalize() override {
+    wrote_ = report_.write();
+    if (wrote_) {
+      std::fprintf(stderr, "# bench artifact: %s\n",
+                   report_.path().c_str());
+    } else {
+      std::fprintf(stderr, "# FAILED to write %s\n",
+                   report_.path().c_str());
+    }
+  }
+
+  bool wrote() const { return wrote_; }
+
+ private:
+  obs::BenchReport report_;
+  bool wrote_ = false;
+};
+
+/// Display reporter that tees every run into both the stock console
+/// reporter and a JsonFileReporter. Used as the *display* reporter so
+/// google-benchmark does not demand --benchmark_out for the file side.
+class TeeReporter final : public benchmark::BenchmarkReporter {
+ public:
+  explicit TeeReporter(std::string bench_name)
+      : json_(std::move(bench_name)) {}
+
+  bool ReportContext(const Context& context) override {
+    console_.SetOutputStream(&GetOutputStream());
+    console_.SetErrorStream(&GetErrorStream());
+    const bool ok = console_.ReportContext(context);
+    json_.ReportContext(context);
+    return ok;
+  }
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    console_.ReportRuns(runs);
+    json_.ReportRuns(runs);
+  }
+
+  void Finalize() override {
+    console_.Finalize();
+    json_.Finalize();
+  }
+
+  bool wrote() const { return json_.wrote(); }
+
+ private:
+  benchmark::ConsoleReporter console_;
+  JsonFileReporter json_;
+};
+
+/// Drop-in replacement for BENCHMARK_MAIN(): console output plus the
+/// BENCH_<name>.json artifact.
+inline int run_with_artifact(int argc, char** argv,
+                             const std::string& bench_name) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  TeeReporter tee(bench_name);
+  benchmark::RunSpecifiedBenchmarks(&tee);
+  benchmark::Shutdown();
+  return tee.wrote() ? 0 : 1;
+}
+
+}  // namespace lmas::benchio

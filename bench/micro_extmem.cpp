@@ -6,7 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
-#include "bench_json.hpp"
+#include "gbench_tee.hpp"
 
 #include <algorithm>
 

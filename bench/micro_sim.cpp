@@ -5,8 +5,11 @@
 
 #include <benchmark/benchmark.h>
 
-#include "bench_json.hpp"
+#include <cstdint>
 
+#include "gbench_tee.hpp"
+
+#include "sim/event_heap.hpp"
 #include "sim/sim.hpp"
 
 namespace sim = lmas::sim;
@@ -74,6 +77,60 @@ void BM_ResourceContention(benchmark::State& state) {
   state.SetItemsProcessed(std::int64_t(state.iterations()) * users * kUses);
 }
 BENCHMARK(BM_ResourceContention)->Arg(2)->Arg(16)->Arg(128);
+
+/// The engine's hot path in isolation: steady-state push+pop churn on the
+/// four-ary event heap at a fixed pending-event depth. This is the
+/// structure every simulated event flows through; items/sec here is the
+/// hard ceiling on engine events/sec.
+void BM_EventHeapChurn(benchmark::State& state) {
+  struct Ev {
+    double t;
+    std::uint64_t seq;
+  };
+  struct Before {
+    bool operator()(const Ev& a, const Ev& b) const noexcept {
+      if (a.t != b.t) return a.t < b.t;
+      return a.seq < b.seq;
+    }
+  };
+  const std::size_t depth = std::size_t(state.range(0));
+  sim::Rng rng(7);
+  sim::FourAryHeap<Ev, Before> heap;
+  heap.reserve(depth);
+  std::uint64_t seq = 0;
+  for (std::size_t i = 0; i < depth; ++i) {
+    heap.push(Ev{rng.uniform(0.0, 1.0), seq++});
+  }
+  double now = 0;
+  for (auto _ : state) {
+    const Ev ev = heap.pop_min();
+    now = ev.t;
+    // Re-arm like a sleeping process does: schedule a bit in the future.
+    heap.push(Ev{now + rng.uniform(0.0, 0.01), seq++});
+    benchmark::DoNotOptimize(heap);
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()));
+}
+BENCHMARK(BM_EventHeapChurn)->Arg(64)->Arg(1024)->Arg(16384)->Arg(262144);
+
+/// End-to-end engine throughput in events/sec: the number every sweep's
+/// events_per_sec artifact field should roughly track. A wide machine of
+/// independent sleepers keeps the queue deep without channel or resource
+/// overhead dominating.
+void BM_EngineEventsPerSec(benchmark::State& state) {
+  const int tasks = int(state.range(0));
+  constexpr int kHops = 64;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    sim::Engine eng;
+    for (int t = 0; t < tasks; ++t) eng.spawn(sleeper_chain(eng, kHops));
+    events += eng.run();
+  }
+  state.SetItemsProcessed(std::int64_t(events));
+  state.counters["events_per_sec"] = benchmark::Counter(
+      double(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EngineEventsPerSec)->Arg(256)->Arg(4096)->Arg(32768);
 
 void BM_RngThroughput(benchmark::State& state) {
   sim::Rng rng(1);

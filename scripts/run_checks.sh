@@ -6,34 +6,51 @@
 # sanitizers, since degraded-mode delivery (crash/retry/park) is exactly
 # where lifetime bugs would hide.
 #
-# Usage: scripts/run_checks.sh [build-dir] [sanitizer-build-dir]
+# plus a ThreadSanitizer pass over the parallel sweep executor — the one
+# place in the tree where threads share state.
+#
+# Usage: scripts/run_checks.sh [build-dir] [sanitizer-build-dir] [tsan-build-dir]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
 SAN_BUILD="${2:-build-san}"
+TSAN_BUILD="${3:-build-tsan}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
-echo "== [1/5] configure + build (${BUILD})"
+echo "== [1/7] configure + build (${BUILD})"
 cmake -S . -B "${BUILD}" -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${BUILD}" -j "${JOBS}"
 
-echo "== [2/5] tier-1 tests"
+echo "== [2/7] tier-1 tests"
 ctest --test-dir "${BUILD}" -L tier1 --output-on-failure
 
-echo "== [3/5] configure + build with sanitizers (${SAN_BUILD})"
+echo "== [3/7] configure + build with sanitizers (${SAN_BUILD})"
 cmake -S . -B "${SAN_BUILD}" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DLMAS_SANITIZE=address,undefined
 cmake --build "${SAN_BUILD}" -j "${JOBS}"
 
-echo "== [4/5] tier-1 tests under ASan/UBSan"
+echo "== [4/7] tier-1 tests under ASan/UBSan"
 UBSAN_OPTIONS="halt_on_error=1" ASAN_OPTIONS="detect_leaks=1" \
   ctest --test-dir "${SAN_BUILD}" -L tier1 --output-on-failure
 
-echo "== [5/5] fault property suites under ASan/UBSan (reduced cases)"
+echo "== [5/7] fault property suites under ASan/UBSan (reduced cases)"
 UBSAN_OPTIONS="halt_on_error=1" ASAN_OPTIONS="detect_leaks=1" \
   "${SAN_BUILD}/tools/lmas_check" property --suite fault-conservation --cases 20
 UBSAN_OPTIONS="halt_on_error=1" ASAN_OPTIONS="detect_leaks=1" \
   "${SAN_BUILD}/tools/lmas_check" property --suite fault-routing --cases 20
+
+echo "== [6/7] build executor tests under TSan (${TSAN_BUILD})"
+cmake -S . -B "${TSAN_BUILD}" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DLMAS_SANITIZE=thread
+cmake --build "${TSAN_BUILD}" -j "${JOBS}" --target par_tests
+
+echo "== [7/7] executor tests under TSan (LMAS_JOBS stressed)"
+# Run the whole par suite at several jobs counts: the golden digest test
+# inside exercises real engine workloads across the pool.
+for j in 2 8; do
+  TSAN_OPTIONS="halt_on_error=1" LMAS_JOBS="${j}" \
+    "${TSAN_BUILD}/tests/par_tests"
+done
 
 echo "== all checks passed"

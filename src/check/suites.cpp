@@ -133,11 +133,15 @@ std::optional<std::string> prop_packet_order(sim::Rng& rng, unsigned size) {
   for (unsigned t = 0; t < plan.targets; ++t) {
     nodes.push_back(&cluster.host(t));
   }
-  core::StageOutput out(eng, cluster.network(), mp.record_bytes,
-                        inboxes.endpoints(nodes),
-                        core::make_router(kind, rng.split(), plan.subsets),
-                        plan.producers, /*window_per_producer=*/4,
-                        "prop.stage");
+  core::StageOutput out(
+      eng, cluster.network(),
+      core::StageSpec{
+          .record_bytes = mp.record_bytes,
+          .endpoints = inboxes.endpoints(nodes),
+          .router = core::make_router(kind, rng.split(), plan.subsets),
+          .producers = plan.producers,
+          .window_per_producer = 4,
+          .name = "prop.stage"});
 
   std::size_t packets_sent = 0;
   for (unsigned p = 0; p < plan.producers; ++p) {
@@ -458,11 +462,15 @@ RoutedRun run_routed_plan(const PacketPlan& plan, core::RouterKind kind,
   for (unsigned t = 0; t < plan.targets; ++t) {
     nodes.push_back(&cluster.asu(t));
   }
-  core::StageOutput out(eng, cluster.network(), mp.record_bytes,
-                        inboxes.endpoints(nodes),
-                        core::make_router(kind, router_rng, plan.subsets),
-                        plan.producers, /*window_per_producer=*/4,
-                        "prop.fault_stage");
+  core::StageOutput out(
+      eng, cluster.network(),
+      core::StageSpec{
+          .record_bytes = mp.record_bytes,
+          .endpoints = inboxes.endpoints(nodes),
+          .router = core::make_router(kind, router_rng, plan.subsets),
+          .producers = plan.producers,
+          .window_per_producer = 4,
+          .name = "prop.fault_stage"});
   std::unique_ptr<fault::FaultInjector> inj;
   if (!faults.empty()) {
     out.set_fault_retry(faults.retry_timeout, faults.max_retries);

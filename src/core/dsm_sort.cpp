@@ -117,18 +117,25 @@ class DsmSortSim {
     const RouterKind sort_kind =
         cfg_.distribute_on_asus ? cfg_.sort_router : RouterKind::RoundRobin;
     to_sort_ = std::make_unique<StageOutput>(
-        eng_, cluster_.network(), mp_.record_bytes,
-        sort_in_->endpoints(host_nodes),
-        make_router(sort_kind,
-                    sim::Rng(cfg_.seed).stream(sim::stream_id("routing.sort")),
-                    alpha_, &eng_, "sort"),
-        d_, 32, "to_sort");
+        eng_, cluster_.network(),
+        StageSpec{
+            .record_bytes = mp_.record_bytes,
+            .endpoints = sort_in_->endpoints(host_nodes),
+            .router = make_router(
+                sort_kind,
+                sim::Rng(cfg_.seed).stream(sim::stream_id("routing.sort")),
+                alpha_, &eng_, "sort"),
+            .producers = d_,
+            .name = "to_sort"});
     // Runs are striped across ASUs at packet granularity (Section 4.3:
     // merged/sorted runs are stored striped across the ASUs).
     to_store_ = std::make_unique<StageOutput>(
-        eng_, cluster_.network(), mp_.record_bytes,
-        store_in_->endpoints(asu_nodes), std::make_unique<RoundRobinRouter>(),
-        h_, 32, "to_store");
+        eng_, cluster_.network(),
+        StageSpec{.record_bytes = mp_.record_bytes,
+                  .endpoints = store_in_->endpoints(asu_nodes),
+                  .router = std::make_unique<RoundRobinRouter>(),
+                  .producers = h_,
+                  .name = "to_store"});
 
     stored_.assign(d_, {});
     records_sorted_per_host_.assign(h_, 0);
@@ -196,7 +203,10 @@ class DsmSortSim {
 
     std::vector<Packet> staging(alpha_);
     std::vector<std::uint32_t> seq(alpha_, 0);
-    for (unsigned s = 0; s < alpha_; ++s) staging[s].subset = s;
+    for (unsigned s = 0; s < alpha_; ++s) {
+      staging[s].subset = s;
+      staging[s].records = to_sort_->pool().acquire(packet_records_);
+    }
 
     const double per_record_cpu =
         cfg_.distribute_on_asus
@@ -237,7 +247,8 @@ class DsmSortSim {
         ++staged_records;
         if (staging[s].records.size() >= packet_records_) {
           staged_records -= staging[s].records.size();
-          stage_ready(staging[s], seq[s], ready);
+          stage_ready(staging[s], seq[s], ready, to_sort_->pool(),
+                      packet_records_);
         } else if (staged_records >= budget_records) {
           std::size_t fullest = 0;
           for (unsigned t = 1; t < alpha_; ++t) {
@@ -247,7 +258,8 @@ class DsmSortSim {
             }
           }
           staged_records -= staging[fullest].records.size();
-          stage_ready(staging[fullest], seq[fullest], ready);
+          stage_ready(staging[fullest], seq[fullest], ready,
+                      to_sort_->pool(), packet_records_);
         }
       }
       const double wall = wall_seconds() - w0;
@@ -271,7 +283,8 @@ class DsmSortSim {
     ready.clear();
     for (unsigned s = 0; s < alpha_; ++s) {
       if (!staging[s].records.empty()) {
-        stage_ready(staging[s], seq[s], ready);
+        stage_ready(staging[s], seq[s], ready, to_sort_->pool(),
+                    packet_records_);
       }
     }
     for (auto& pkt : ready) {
@@ -280,13 +293,17 @@ class DsmSortSim {
     to_sort_->producer_done();
   }
 
+  /// Flush one staging slot into `ready`, refilling the slot with a
+  /// recycled buffer so the next fill starts at full capacity without a
+  /// fresh allocation.
   static void stage_ready(Packet& slot, std::uint32_t& seq,
-                          std::vector<Packet>& ready) {
+                          std::vector<Packet>& ready, PacketPool& pool,
+                          std::size_t capacity) {
     Packet out;
     out.subset = slot.subset;
     out.seq = seq++;
     out.records = std::move(slot.records);
-    slot.records.clear();
+    slot.records = pool.acquire(capacity);
     ready.push_back(std::move(out));
   }
 
@@ -305,6 +322,7 @@ class DsmSortSim {
       while (!node.running()) co_await node.health_wait();
       auto& buf = staging[p->subset];
       buf.insert(buf.end(), p->records.begin(), p->records.end());
+      to_sort_->pool().release(std::move(p->records));
       while (buf.size() >= run_len) {
         std::vector<em::KeyRecord> block(buf.begin(),
                                          buf.begin() + std::ptrdiff_t(run_len));
@@ -350,6 +368,7 @@ class DsmSortSim {
       out.run_id = run_id;
       out.seq = seq++;
       out.sorted = true;
+      out.records = to_store_->pool().acquire(n);
       out.records.assign(block.begin() + std::ptrdiff_t(off),
                          block.begin() + std::ptrdiff_t(off + n));
       off += n;
@@ -383,7 +402,12 @@ class DsmSortSim {
       OpenRun& run = open[p->run_id];
       run.subset = p->subset;
       auto& chunk = run.chunks[p->seq];
-      chunk.insert(chunk.end(), p->records.begin(), p->records.end());
+      if (chunk.empty()) {
+        chunk = std::move(p->records);
+      } else {
+        chunk.insert(chunk.end(), p->records.begin(), p->records.end());
+        to_store_->pool().release(std::move(p->records));
+      }
     }
     auto& dest = stored_[a];
     dest.reserve(open.size());
@@ -440,13 +464,19 @@ class DsmSortSim {
     for (unsigned i = 0; i < d_; ++i) asu_nodes.push_back(&cluster_.asu(i));
 
     to_host_merge_ = std::make_unique<StageOutput>(
-        eng_, cluster_.network(), mp_.record_bytes,
-        merge_in_->endpoints(host_nodes),
-        std::make_unique<StaticPartitionRouter>(), d_, 32, "to_host_merge");
+        eng_, cluster_.network(),
+        StageSpec{.record_bytes = mp_.record_bytes,
+                  .endpoints = merge_in_->endpoints(host_nodes),
+                  .router = std::make_unique<StaticPartitionRouter>(),
+                  .producers = d_,
+                  .name = "to_host_merge"});
     to_final_store_ = std::make_unique<StageOutput>(
-        eng_, cluster_.network(), mp_.record_bytes,
-        final_in_->endpoints(asu_nodes), std::make_unique<RoundRobinRouter>(),
-        h_, 32, "to_final_store");
+        eng_, cluster_.network(),
+        StageSpec{.record_bytes = mp_.record_bytes,
+                  .endpoints = final_in_->endpoints(asu_nodes),
+                  .router = std::make_unique<RoundRobinRouter>(),
+                  .producers = h_,
+                  .name = "to_final_store"});
 
     final_end_.assign(d_, pass1_end_);
     subset_bounds_.assign(alpha_, {});
@@ -563,6 +593,7 @@ class DsmSortSim {
       out.run_id = run_id;
       out.seq = seq++;
       out.sorted = true;
+      out.records = to_host_merge_->pool().acquire(n);
       out.records.assign(records.begin() + std::ptrdiff_t(off),
                          records.begin() + std::ptrdiff_t(off + n));
       off += n;
@@ -588,7 +619,12 @@ class DsmSortSim {
         continue;
       }
       auto& run = pending[p->subset][p->run_id];
-      run.insert(run.end(), p->records.begin(), p->records.end());
+      if (run.empty()) {
+        run = std::move(p->records);
+      } else {
+        run.insert(run.end(), p->records.begin(), p->records.end());
+        to_host_merge_->pool().release(std::move(p->records));
+      }
     }
     to_final_store_->producer_done();
   }
@@ -666,6 +702,7 @@ class DsmSortSim {
       out.subset = subset;
       out.seq = seq++;
       out.sorted = true;
+      out.records = to_final_store_->pool().acquire(packet_records_);
       while (out.records.size() < packet_records_) {
         auto r = tree.next();
         if (!r) break;
@@ -677,7 +714,10 @@ class DsmSortSim {
         ++bounds.count;
         out.records.push_back(*r);
       }
-      if (out.records.empty()) break;
+      if (out.records.empty()) {
+        to_final_store_->pool().release(std::move(out.records));
+        break;
+      }
       co_await node.compute(double(out.records.size()) * per_rec);
       co_await to_final_store_->emit(node, std::move(out));
     }
@@ -692,6 +732,7 @@ class DsmSortSim {
       if (!p) break;
       co_await node.disk().write(p->wire_bytes(mp_.record_bytes));
       records_final_ += p->records.size();
+      to_final_store_->pool().release(std::move(p->records));
     }
     final_end_[a] = eng_.now();
   }

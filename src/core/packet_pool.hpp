@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "extmem/record.hpp"
+
+namespace lmas::core {
+
+/// Recycler for the record buffers that dominate per-send allocation in
+/// the pipeline hot path: every staged packet a producer flushes and
+/// every chunk a consumer absorbs used to allocate (and free) a fresh
+/// std::vector<KeyRecord>. The pool keeps spent buffers (cleared, with
+/// their capacity intact) and hands them back LIFO, so the most recently
+/// released — cache-warm — buffer is reused first.
+///
+/// Single-threaded by design: a pool belongs to one StageOutput and
+/// therefore to one engine; the sweep executor runs one engine per
+/// thread, so no locking is needed (DESIGN.md §10). Reuse is purely a
+/// memory-traffic optimization — it changes no event timing, no RNG
+/// draws, and no metrics, so execution digests are bit-identical with
+/// the pool on or off.
+class PacketPool {
+ public:
+  using Buffer = std::vector<em::KeyRecord>;
+
+  /// An empty buffer with capacity >= `min_capacity` (freshly reserved
+  /// when the free list is empty or the reused buffer is too small).
+  [[nodiscard]] Buffer acquire(std::size_t min_capacity = 0) {
+    ++acquired_;
+    if (!free_.empty()) {
+      Buffer b = std::move(free_.back());
+      free_.pop_back();
+      ++reused_;
+      if (b.capacity() < min_capacity) b.reserve(min_capacity);
+      return b;
+    }
+    Buffer b;
+    if (min_capacity > 0) b.reserve(min_capacity);
+    return b;
+  }
+
+  /// Return a spent buffer: contents are cleared, capacity survives.
+  /// Beyond `max_free` buffers the extra one is simply freed, bounding
+  /// pool memory at max_free * largest-buffer bytes.
+  void release(Buffer&& b) {
+    ++released_;
+    if (free_.size() >= max_free_ || b.capacity() == 0) return;
+    b.clear();
+    free_.push_back(std::move(b));
+  }
+
+  /// Drop every cached buffer (the capacities go back to the allocator).
+  void clear() noexcept { free_.clear(); }
+
+  void set_max_free(std::size_t n) noexcept { max_free_ = n; }
+
+  [[nodiscard]] std::size_t free_count() const noexcept {
+    return free_.size();
+  }
+  [[nodiscard]] std::uint64_t acquired() const noexcept { return acquired_; }
+  [[nodiscard]] std::uint64_t reused() const noexcept { return reused_; }
+  [[nodiscard]] std::uint64_t released() const noexcept { return released_; }
+
+ private:
+  std::vector<Buffer> free_;
+  std::size_t max_free_ = 256;
+  std::uint64_t acquired_ = 0;
+  std::uint64_t reused_ = 0;
+  std::uint64_t released_ = 0;
+};
+
+}  // namespace lmas::core

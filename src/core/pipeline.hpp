@@ -9,6 +9,7 @@
 #include "asu/network.hpp"
 #include "asu/node.hpp"
 #include "core/packet.hpp"
+#include "core/packet_pool.hpp"
 #include "core/routing.hpp"
 #include "sim/channel.hpp"
 #include "sim/resource.hpp"
@@ -36,6 +37,39 @@ struct Endpoint {
   asu::Node* node = nullptr;
 };
 
+/// Everything that shapes one outbound stage, as an options struct so
+/// construction sites read as configuration, not as a seven-positional
+/// argument puzzle. Designated-initializer friendly:
+///
+///   StageOutput out(eng, net, {.record_bytes = mp.record_bytes,
+///                              .endpoints = inboxes.endpoints(nodes),
+///                              .router = make_router(...),
+///                              .producers = 4,
+///                              .name = "to_sort"});
+///
+/// Fields not named fall back to the defaults below. The struct is
+/// move-only (it carries the routing policy) and is consumed by the
+/// StageOutput constructor.
+struct StageSpec {
+  /// Modeled on-the-wire size of one record (transfer charging).
+  std::size_t record_bytes = 0;
+
+  /// Downstream instances: one inbox + pinned node per replica.
+  std::vector<Endpoint> endpoints;
+
+  /// Routing policy across the replicas (required).
+  std::unique_ptr<RoutingPolicy> router;
+
+  /// Number of upstream producers that will call producer_done().
+  unsigned producers = 0;
+
+  /// In-flight packet window granted per producer (backpressure bound).
+  std::size_t window_per_producer = 32;
+
+  /// Metric/trace prefix for this stage's instruments.
+  std::string name = "stage";
+};
+
 /// The outbound side of a functor stage: routes packets across the
 /// replicated instances of the next stage, charging network transfer
 /// between nodes. Producers must call producer_done(); when the last
@@ -49,21 +83,18 @@ struct Endpoint {
 /// the receiver or the wire is the bottleneck.
 class StageOutput {
  public:
-  StageOutput(sim::Engine& eng, asu::Network& net, std::size_t record_bytes,
-              std::vector<Endpoint> endpoints,
-              std::unique_ptr<RoutingPolicy> router, unsigned producers,
-              std::size_t window_per_producer = 32,
-              std::string name = "stage")
+  StageOutput(sim::Engine& eng, asu::Network& net, StageSpec spec)
       : eng_(&eng),
         net_(&net),
-        record_bytes_(record_bytes),
-        endpoints_(std::move(endpoints)),
-        router_(std::move(router)),
-        producers_left_(producers),
-        window_(std::max<std::size_t>(1, window_per_producer) * producers),
+        record_bytes_(spec.record_bytes),
+        endpoints_(std::move(spec.endpoints)),
+        router_(std::move(spec.router)),
+        producers_left_(spec.producers),
+        window_(std::max<std::size_t>(1, spec.window_per_producer) *
+                spec.producers),
         slot_free_(eng),
         drained_(eng),
-        name_(std::move(name)) {
+        name_(std::move(spec.name)) {
     targets_.reserve(endpoints_.size());
     for (const auto& ep : endpoints_) targets_.push_back({ep.node});
     // Per-channel instruments: total traffic, batch-size shape, and one
@@ -116,6 +147,12 @@ class StageOutput {
   [[nodiscard]] std::uint64_t records_sent() const noexcept {
     return records_sent_;
   }
+
+  /// Record-buffer recycler for this stage's traffic: producers acquire
+  /// staging buffers here and the consumers on the other end of the
+  /// channel release spent ones back, closing the allocation loop.
+  /// Same-engine (single-thread) use only — see PacketPool.
+  [[nodiscard]] PacketPool& pool() noexcept { return pool_; }
 
   /// Route `p` with this stage's policy, pay the transfer, deliver.
   /// Routing sees only instances whose node is currently running
@@ -262,6 +299,7 @@ class StageOutput {
   sim::Condition drained_;
   std::uint64_t packets_sent_ = 0;
   std::uint64_t records_sent_ = 0;
+  PacketPool pool_;
   std::string name_;
   obs::Counter* packets_counter_ = nullptr;
   obs::Counter* records_counter_ = nullptr;

@@ -8,7 +8,7 @@
 namespace lmas::core {
 
 struct Program::StageRt {
-  StageSpec spec;
+  ProgramStageSpec spec;
   std::unique_ptr<StageInboxes> inboxes;
   StageStats stats;
 };
@@ -143,7 +143,7 @@ void Program::set_source(std::string name, std::vector<asu::Node*> placement,
   impl_->src_per_record_cost = per_record_cost;
 }
 
-void Program::add_stage(StageSpec spec) {
+void Program::add_stage(ProgramStageSpec spec) {
   if (spec.placement.empty()) {
     throw std::invalid_argument("stage '" + spec.name +
                                 "' needs at least one instance");
@@ -179,12 +179,16 @@ ProgramStats Program::run() {
         i == 0 ? unsigned(im.src_nodes.size())
                : unsigned(im.stages[i - 1]->spec.placement.size());
     im.outputs.push_back(std::make_unique<StageOutput>(
-        *im.eng, im.cluster->network(), im.record_bytes(),
-        st.inboxes->endpoints(st.spec.placement),
-        make_router(st.spec.router,
-                    sim::Rng(0x9ab).stream(sim::stream_id("routing", i)),
-                    st.spec.router_subsets, im.eng, st.spec.name),
-        producers, 32, "to_" + st.spec.name));
+        *im.eng, im.cluster->network(),
+        StageSpec{
+            .record_bytes = im.record_bytes(),
+            .endpoints = st.inboxes->endpoints(st.spec.placement),
+            .router = make_router(
+                st.spec.router,
+                sim::Rng(0x9ab).stream(sim::stream_id("routing", i)),
+                st.spec.router_subsets, im.eng, st.spec.name),
+            .producers = producers,
+            .name = "to_" + st.spec.name}));
   }
 
   const double t0 = im.eng->now();

@@ -21,7 +21,7 @@ using SourceFn = std::function<bool(unsigned instance, Packet& out)>;
 /// Declarative description of one functor stage: which nodes host its
 /// instances (the replication degree is the placement size) and how
 /// packets are routed across those instances.
-struct StageSpec {
+struct ProgramStageSpec {
   std::string name;
   FunctorFactory make;
   std::vector<asu::Node*> placement;
@@ -77,7 +77,7 @@ class Program {
 
   /// Append a functor stage. Placement on an ASU requires the functor's
   /// declared state to fit the ASU memory bound (throws otherwise).
-  void add_stage(StageSpec spec);
+  void add_stage(ProgramStageSpec spec);
 
   /// Execute to completion and collect the last stage's output packets.
   ProgramStats run();

@@ -50,6 +50,14 @@ void BenchReport::add_digest(std::uint64_t digest) {
   root_["digest"] = digest_to_string(digest);
 }
 
+void BenchReport::set_wall_clock(double seconds) {
+  root_["wall_clock_s"] = seconds;
+}
+
+void BenchReport::set_events_per_sec(double eps) {
+  root_["events_per_sec"] = eps;
+}
+
 std::optional<std::uint64_t> BenchReport::digest() const {
   const Json* d = root_.find("digest");
   if (!d || !d->is_string()) return std::nullopt;

@@ -60,6 +60,16 @@ class BenchReport {
   /// Parse the "digest" field back; nullopt if absent or malformed.
   [[nodiscard]] std::optional<std::uint64_t> digest() const;
 
+  /// Record the bench's end-to-end wall time under "wall_clock_s". This
+  /// and events_per_sec are the only machine-dependent fields a bench
+  /// should write: they live at the document root so two runs of the
+  /// same build still produce identical bytes everywhere else.
+  void set_wall_clock(double seconds);
+
+  /// Record engine throughput (simulated events committed per second of
+  /// compute wall time) under "events_per_sec".
+  void set_events_per_sec(double eps);
+
   /// Output path: `<dir>/BENCH_<name>.json`. `dir` defaults to the
   /// LMAS_BENCH_DIR environment variable, falling back to the working
   /// directory.

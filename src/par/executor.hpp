@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace lmas::par {
+
+/// Worker count for a sweep: the LMAS_JOBS environment variable when it
+/// parses to a positive integer, otherwise std::thread::hardware_concurrency
+/// (never less than 1). Read once per call so tests can vary the env.
+[[nodiscard]] unsigned default_jobs();
+
+/// Deterministic fixed-pool executor for embarrassingly parallel sweeps.
+///
+/// Design constraints (DESIGN.md §10):
+///  - Work-stealing-free: a batch is a contiguous index range [0, n);
+///    workers claim indices from a single shared cursor in submission
+///    order. Which *thread* runs a cell is timing-dependent; which *slot*
+///    a result lands in never is.
+///  - One self-contained simulation per cell: the executor shares no
+///    mutable state between cells, so serial (jobs=1) and parallel runs
+///    of the same cells produce bit-identical results.
+///  - jobs=1 runs the batch inline on the calling thread — the serial
+///    path is literally a for loop, with no thread machinery to trust.
+///
+/// One batch at a time: for_each_index() is not reentrant and the
+/// executor is not meant to be shared across threads.
+class Executor {
+ public:
+  explicit Executor(unsigned jobs = default_jobs());
+  ~Executor();
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  [[nodiscard]] unsigned jobs() const noexcept { return jobs_; }
+
+  /// Run body(0) .. body(n-1) across the pool and block until all
+  /// complete. If bodies throw, the exception thrown by the lowest index
+  /// is rethrown here after the batch fully drains (no detached work).
+  void for_each_index(std::size_t n,
+                      const std::function<void(std::size_t)>& body);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;  // null when jobs_ == 1 (inline mode)
+  unsigned jobs_;
+};
+
+/// Map fn over [0, n): results land in submission order (out[i] is
+/// fn(i)), regardless of the thread interleaving that produced them.
+/// Result must be default-constructible and movable.
+template <class Result, class Fn>
+[[nodiscard]] std::vector<Result> map_ordered(Executor& ex, std::size_t n,
+                                              Fn&& fn) {
+  std::vector<Result> out(n);
+  ex.for_each_index(n, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace lmas::par

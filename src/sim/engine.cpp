@@ -49,9 +49,8 @@ std::size_t Engine::run(SimTime until) {
 std::size_t Engine::run_fast(SimTime until) {
   std::size_t processed = 0;
   while (!events_.empty()) {
-    Event ev = events_.top();
-    if (ev.t > until) break;
-    events_.pop();
+    if (events_.top().t > until) break;
+    const Event ev = events_.pop_min();
     now_ = ev.t;
     ++processed;
     fold(std::bit_cast<std::uint64_t>(ev.t) ^ std::rotl(ev.seq, 31));
@@ -65,9 +64,8 @@ std::size_t Engine::run_fast(SimTime until) {
 std::size_t Engine::run_traced(SimTime until) {
   std::size_t processed = 0;
   while (!events_.empty()) {
-    Event ev = events_.top();
-    if (ev.t > until) break;
-    events_.pop();
+    if (events_.top().t > until) break;
+    const Event ev = events_.pop_min();
     now_ = ev.t;
     ++processed;
     fold(std::bit_cast<std::uint64_t>(ev.t) ^ std::rotl(ev.seq, 31));

@@ -3,13 +3,13 @@
 #include <bit>
 #include <coroutine>
 #include <cstdint>
-#include <queue>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sim/event_heap.hpp"
 #include "sim/random.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
@@ -169,10 +169,12 @@ class Engine {
     std::uint64_t seq;
     std::coroutine_handle<> h;
   };
-  struct EventOrder {
+  /// Min-order on the unique (time, seq) key; total over live events, so
+  /// the heap's pop sequence is the engine's causal order.
+  struct EventBefore {
     bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.t != b.t) return a.t > b.t;
-      return a.seq > b.seq;
+      if (a.t != b.t) return a.t < b.t;
+      return a.seq < b.seq;
     }
   };
   struct Root {
@@ -184,7 +186,7 @@ class Engine {
   std::size_t run_traced(SimTime until);
 
   MetricsSource* sources_ = nullptr;
-  std::priority_queue<Event, std::vector<Event>, EventOrder> events_;
+  FourAryHeap<Event, EventBefore> events_;
   std::vector<Root> roots_;
   // Handle address -> name, for labeling resumes while tracing.
   std::unordered_map<const void*, std::string> named_roots_;

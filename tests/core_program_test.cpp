@@ -296,7 +296,7 @@ TEST(Migration, OverloadedHostShedsFunctorToAsu) {
     rig.cluster->host(0).cpu().post(0.05);
     core::Program prog(*rig.cluster);
     prog.set_source("gen", rig.all_asus(), counting_source(20, 256));
-    core::StageSpec spec;
+    core::ProgramStageSpec spec;
     spec.name = "work";
     spec.make = [](unsigned) {
       return std::make_unique<core::MapFunctor>(
@@ -338,7 +338,7 @@ TEST(Migration, StablePolicyNeverMoves) {
   Rig rig(1, 2);
   core::Program prog(*rig.cluster);
   prog.set_source("gen", rig.all_asus(), counting_source(5, 64));
-  core::StageSpec spec;
+  core::ProgramStageSpec spec;
   spec.name = "steady";
   spec.make = [](unsigned) {
     return std::make_unique<core::MapFunctor>(

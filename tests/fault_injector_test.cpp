@@ -258,10 +258,14 @@ TEST(DegradedDelivery, InFlightPacketRetriesAndReroutesOnCrash) {
 
   core::StageInboxes inboxes(eng, 2, 4);
   std::vector<asu::Node*> nodes{&cluster.asu(0), &cluster.asu(1)};
-  core::StageOutput out(eng, cluster.network(), mp.record_bytes,
-                        inboxes.endpoints(nodes),
-                        std::make_unique<core::RoundRobinRouter>(), 1, 4,
-                        "retry_stage");
+  core::StageOutput out(
+      eng, cluster.network(),
+      core::StageSpec{.record_bytes = mp.record_bytes,
+                      .endpoints = inboxes.endpoints(nodes),
+                      .router = std::make_unique<core::RoundRobinRouter>(),
+                      .producers = 1,
+                      .window_per_producer = 4,
+                      .name = "retry_stage"});
 
   std::vector<std::pair<double, core::Packet>> got0, got1;
   eng.spawn(consume(cluster.asu(0), inboxes.inbox(0), got0, eng));
@@ -300,10 +304,14 @@ TEST(DegradedDelivery, AllReplicasCrashedParksUntilRecovery) {
 
   core::StageInboxes inboxes(eng, 2, 4);
   std::vector<asu::Node*> nodes{&cluster.asu(0), &cluster.asu(1)};
-  core::StageOutput out(eng, cluster.network(), mp.record_bytes,
-                        inboxes.endpoints(nodes),
-                        std::make_unique<core::RoundRobinRouter>(), 1, 4,
-                        "parked_stage");
+  core::StageOutput out(
+      eng, cluster.network(),
+      core::StageSpec{.record_bytes = mp.record_bytes,
+                      .endpoints = inboxes.endpoints(nodes),
+                      .router = std::make_unique<core::RoundRobinRouter>(),
+                      .producers = 1,
+                      .window_per_producer = 4,
+                      .name = "parked_stage"});
   out.set_fault_retry(1e-3, 2);
 
   std::vector<std::pair<double, core::Packet>> got0, got1;
@@ -341,10 +349,14 @@ TEST(DegradedDelivery, RecoveryReaddsTargetToRoutingSet) {
 
   core::StageInboxes inboxes(eng, 2, 16);
   std::vector<asu::Node*> nodes{&cluster.asu(0), &cluster.asu(1)};
-  core::StageOutput out(eng, cluster.network(), mp.record_bytes,
-                        inboxes.endpoints(nodes),
-                        std::make_unique<core::RoundRobinRouter>(), 1, 16,
-                        "readd_stage");
+  core::StageOutput out(
+      eng, cluster.network(),
+      core::StageSpec{.record_bytes = mp.record_bytes,
+                      .endpoints = inboxes.endpoints(nodes),
+                      .router = std::make_unique<core::RoundRobinRouter>(),
+                      .producers = 1,
+                      .window_per_producer = 16,
+                      .name = "readd_stage"});
 
   std::vector<std::pair<double, core::Packet>> got0, got1;
   eng.spawn(consume(cluster.asu(0), inboxes.inbox(0), got0, eng));

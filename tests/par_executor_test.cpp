@@ -1,0 +1,179 @@
+/// The parallel sweep executor: deterministic fan-out of self-contained
+/// simulation cells. Two contracts matter. First, map_ordered returns
+/// results in submission order no matter which thread ran which cell.
+/// Second — the one the benches lean on — running the pinned golden
+/// configurations through the executor yields exactly the digests the
+/// committed golden file pins, at every jobs count.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "check/golden.hpp"
+#include "par/executor.hpp"
+
+namespace par = lmas::par;
+namespace check = lmas::check;
+
+namespace {
+
+/// Scoped LMAS_JOBS override; restores the previous value on exit.
+class ScopedJobsEnv {
+ public:
+  explicit ScopedJobsEnv(const char* value) {
+    if (const char* old = std::getenv("LMAS_JOBS")) {
+      old_ = old;
+      had_ = true;
+    }
+    if (value) {
+      ::setenv("LMAS_JOBS", value, 1);
+    } else {
+      ::unsetenv("LMAS_JOBS");
+    }
+  }
+  ~ScopedJobsEnv() {
+    if (had_) {
+      ::setenv("LMAS_JOBS", old_.c_str(), 1);
+    } else {
+      ::unsetenv("LMAS_JOBS");
+    }
+  }
+
+ private:
+  std::string old_;
+  bool had_ = false;
+};
+
+TEST(ParExecutor, DefaultJobsReadsEnv) {
+  {
+    ScopedJobsEnv env("3");
+    EXPECT_EQ(par::default_jobs(), 3u);
+  }
+  {
+    ScopedJobsEnv env("1");
+    EXPECT_EQ(par::default_jobs(), 1u);
+  }
+  // Invalid values fall back to hardware concurrency (>= 1).
+  for (const char* bad : {"0", "-2", "abc", "4x", ""}) {
+    ScopedJobsEnv env(bad);
+    EXPECT_GE(par::default_jobs(), 1u) << "LMAS_JOBS=" << bad;
+  }
+  {
+    ScopedJobsEnv env(nullptr);
+    EXPECT_GE(par::default_jobs(), 1u);
+  }
+}
+
+TEST(ParExecutor, MapOrderedPreservesSubmissionOrder) {
+  // Uneven per-cell work makes out-of-order completion overwhelmingly
+  // likely at jobs > 1; the result vector must be index-ordered anyway.
+  for (unsigned jobs = 1; jobs <= 8; ++jobs) {
+    par::Executor ex(jobs);
+    EXPECT_EQ(ex.jobs(), jobs);
+    const std::size_t n = 64;
+    auto out = par::map_ordered<std::size_t>(ex, n, [](std::size_t i) {
+      if (i % 7 == 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+      return i * i;
+    });
+    ASSERT_EQ(out.size(), n) << "jobs=" << jobs;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(out[i], i * i) << "jobs=" << jobs << " i=" << i;
+    }
+  }
+}
+
+TEST(ParExecutor, RunsEveryIndexExactlyOnce) {
+  par::Executor ex(4);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  ex.for_each_index(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "i=" << i;
+  }
+}
+
+TEST(ParExecutor, HandlesEmptyAndTinyBatches) {
+  par::Executor ex(8);
+  int calls = 0;
+  ex.for_each_index(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  // Fewer cells than workers: everything still runs once.
+  std::atomic<int> ran{0};
+  ex.for_each_index(3, [&](std::size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(ParExecutor, ReusableAcrossBatches) {
+  par::Executor ex(4);
+  for (int round = 0; round < 20; ++round) {
+    auto out = par::map_ordered<int>(
+        ex, 16, [round](std::size_t i) { return int(i) + round; });
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      ASSERT_EQ(out[i], int(i) + round);
+    }
+  }
+}
+
+TEST(ParExecutor, PropagatesExceptions) {
+  for (unsigned jobs : {1u, 4u}) {
+    par::Executor ex(jobs);
+    EXPECT_THROW(
+        ex.for_each_index(32,
+                          [](std::size_t i) {
+                            if (i == 13) {
+                              throw std::runtime_error("cell 13 failed");
+                            }
+                          }),
+        std::runtime_error)
+        << "jobs=" << jobs;
+    // Executor stays usable after a throwing batch.
+    std::atomic<int> ran{0};
+    ex.for_each_index(8, [&](std::size_t) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 8);
+  }
+}
+
+/// The determinism gate for the whole PR: every pinned golden
+/// configuration, run as an executor cell, must reproduce the exact
+/// digest / metrics fingerprint the committed golden file pins — and a
+/// serial run of the same cells must agree field-for-field. Covers
+/// jobs 1..8 (the benches' supported range).
+TEST(ParExecutor, GoldenConfigsDigestEqualSerialVsParallel) {
+  const auto pinned = check::load_goldens(check::default_golden_path());
+  ASSERT_TRUE(pinned.has_value())
+      << "missing golden file: " << check::default_golden_path();
+  const auto& cases = check::golden_cases();
+  ASSERT_EQ(pinned->size(), cases.size());
+
+  // Serial reference, computed once.
+  std::vector<check::GoldenResult> serial;
+  for (const auto& c : cases) serial.push_back(check::run_golden_case(c));
+  EXPECT_TRUE(check::compare_goldens(*pinned, serial).empty());
+
+  for (unsigned jobs : {2u, 8u}) {
+    par::Executor ex(jobs);
+    auto parallel = par::map_ordered<check::GoldenResult>(
+        ex, cases.size(),
+        [&](std::size_t i) { return check::run_golden_case(cases[i]); });
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+      EXPECT_EQ(parallel[i], serial[i])
+          << "jobs=" << jobs << " case=" << cases[i].name;
+      EXPECT_EQ(parallel[i].digest, (*pinned)[i].digest)
+          << "jobs=" << jobs << " case=" << cases[i].name;
+    }
+    const auto mismatches = check::compare_goldens(*pinned, parallel);
+    for (const auto& m : mismatches) {
+      ADD_FAILURE() << "jobs=" << jobs << " " << m.name << ": " << m.detail;
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,123 @@
+/// FourAryHeap: the engine's event queue. The contract that matters is
+/// exact pop order under the strict-weak (time, seq) order — the golden
+/// digests pin the engine's event sequence, so the heap must agree with
+/// a reference priority queue on every input, including duplicate times.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "sim/event_heap.hpp"
+#include "sim/random.hpp"
+
+namespace sim = lmas::sim;
+
+namespace {
+
+struct Ev {
+  double t = 0;
+  std::uint64_t seq = 0;
+  friend bool operator==(const Ev&, const Ev&) = default;
+};
+
+struct Before {
+  bool operator()(const Ev& a, const Ev& b) const noexcept {
+    if (a.t != b.t) return a.t < b.t;
+    return a.seq < b.seq;
+  }
+};
+
+using Heap = sim::FourAryHeap<Ev, Before>;
+
+std::vector<Ev> random_events(std::size_t n, std::uint64_t seed,
+                              int distinct_times) {
+  sim::Rng rng(seed);
+  std::vector<Ev> evs;
+  evs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Coarse time grid forces plenty of duplicate times, exercising the
+    // seq tiebreak — the case a digest regression would come from.
+    const double t = double(rng.below(distinct_times)) * 0.125;
+    evs.push_back(Ev{t, i});
+  }
+  return evs;
+}
+
+TEST(EventHeap, PopsInSortedOrder) {
+  auto evs = random_events(1000, 0xe1, 50);
+  Heap h;
+  for (const auto& e : evs) h.push(e);
+  ASSERT_EQ(h.size(), evs.size());
+
+  std::sort(evs.begin(), evs.end(), Before{});
+  for (const auto& want : evs) {
+    ASSERT_FALSE(h.empty());
+    EXPECT_EQ(h.top(), want);
+    EXPECT_EQ(h.pop_min(), want);
+  }
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(EventHeap, MatchesPriorityQueueUnderChurn) {
+  // Interleaved push/pop against std::priority_queue — the structure the
+  // heap replaced. Any divergence here is a digest regression waiting to
+  // happen.
+  struct After {
+    bool operator()(const Ev& a, const Ev& b) const {
+      return Before{}(b, a);
+    }
+  };
+  std::priority_queue<Ev, std::vector<Ev>, After> ref;
+  Heap h;
+  sim::Rng rng(0xc4);
+  std::uint64_t seq = 0;
+  double now = 0;
+  for (int step = 0; step < 5000; ++step) {
+    const bool push = h.empty() || rng.uniform() < 0.55;
+    if (push) {
+      const Ev e{now + double(rng.below(16)) * 0.25, seq++};
+      h.push(e);
+      ref.push(e);
+    } else {
+      const Ev got = h.pop_min();
+      const Ev want = ref.top();
+      ref.pop();
+      ASSERT_EQ(got, want) << "step " << step;
+      now = got.t;
+    }
+  }
+  while (!h.empty()) {
+    ASSERT_EQ(h.pop_min(), ref.top());
+    ref.pop();
+  }
+  EXPECT_TRUE(ref.empty());
+}
+
+TEST(EventHeap, SingleAndDuplicateElements) {
+  Heap h;
+  h.push(Ev{1.0, 0});
+  EXPECT_EQ(h.pop_min(), (Ev{1.0, 0}));
+  EXPECT_TRUE(h.empty());
+
+  // All-equal times: pure seq order.
+  for (std::uint64_t s = 0; s < 20; ++s) h.push(Ev{3.0, 19 - s});
+  for (std::uint64_t s = 0; s < 20; ++s) {
+    EXPECT_EQ(h.pop_min(), (Ev{3.0, s}));
+  }
+}
+
+TEST(EventHeap, ClearAndReserve) {
+  Heap h;
+  h.reserve(64);
+  for (std::uint64_t s = 0; s < 10; ++s) h.push(Ev{double(s), s});
+  EXPECT_EQ(h.size(), 10u);
+  h.clear();
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.size(), 0u);
+  h.push(Ev{7.0, 1});
+  EXPECT_EQ(h.top(), (Ev{7.0, 1}));
+}
+
+}  // namespace

@@ -20,6 +20,7 @@
 #include "check/golden.hpp"
 #include "check/suites.hpp"
 #include "obs/report.hpp"
+#include "par/executor.hpp"
 
 namespace {
 
@@ -45,10 +46,13 @@ int cmd_golden() {
                  path.c_str());
     return 1;
   }
-  std::vector<check::GoldenResult> fresh;
-  for (const auto& c : check::golden_cases()) {
-    fresh.push_back(check::run_golden_case(c));
-  }
+  // Golden cases are independent engines, so they sweep in parallel
+  // (LMAS_JOBS, like the benches); map_ordered keeps the pinned order.
+  const auto& cases = check::golden_cases();
+  par::Executor ex;
+  const std::vector<check::GoldenResult> fresh =
+      par::map_ordered<check::GoldenResult>(ex, cases.size(), [&](
+          std::size_t i) { return check::run_golden_case(cases[i]); });
   const auto mismatches = check::compare_goldens(*pinned, fresh);
   if (mismatches.empty()) {
     std::printf("golden: %zu cases conformant (%s)\n", fresh.size(),
