@@ -34,11 +34,14 @@ echo "== [4/7] tier-1 tests under ASan/UBSan"
 UBSAN_OPTIONS="halt_on_error=1" ASAN_OPTIONS="detect_leaks=1" \
   ctest --test-dir "${SAN_BUILD}" -L tier1 --output-on-failure
 
-echo "== [5/7] fault property suites under ASan/UBSan (reduced cases)"
-UBSAN_OPTIONS="halt_on_error=1" ASAN_OPTIONS="detect_leaks=1" \
-  "${SAN_BUILD}/tools/lmas_check" property --suite fault-conservation --cases 20
-UBSAN_OPTIONS="halt_on_error=1" ASAN_OPTIONS="detect_leaks=1" \
-  "${SAN_BUILD}/tools/lmas_check" property --suite fault-routing --cases 20
+echo "== [5/7] fault + load-manager property suites under ASan/UBSan (reduced cases)"
+# Degraded-mode delivery (crash/retry/park) and mid-run reconfiguration
+# (router hot-swap, functor migration re-pinning live endpoints) are the
+# two places lifetime bugs would hide.
+for suite in fault-conservation fault-routing lm-switch lm-migration; do
+  UBSAN_OPTIONS="halt_on_error=1" ASAN_OPTIONS="detect_leaks=1" \
+    "${SAN_BUILD}/tools/lmas_check" property --suite "${suite}" --cases 20
+done
 
 echo "== [6/7] build executor tests under TSan (${TSAN_BUILD})"
 cmake -S . -B "${TSAN_BUILD}" -DCMAKE_BUILD_TYPE=RelWithDebInfo \

@@ -6,6 +6,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -590,6 +591,281 @@ std::optional<std::string> prop_fault_routing(sim::Rng& rng, unsigned size) {
   return std::nullopt;
 }
 
+// ---- load-manager router hot-swap ----------------------------------
+
+sim::Task<> switch_controller(sim::Engine& eng, core::SwitchableRouter* sw,
+                              std::vector<double> delays) {
+  bool promote = true;
+  for (double d : delays) {
+    co_await eng.sleep(d);
+    if (promote) {
+      sw->promote();
+    } else {
+      sw->demote();
+    }
+    promote = !promote;
+  }
+}
+
+struct SwitchedRun {
+  std::vector<std::vector<core::Packet>> got;  // per target
+  std::uint64_t digest = 0;
+  std::size_t unfinished = 0;
+};
+
+SwitchedRun run_switched_plan(const PacketPlan& plan,
+                              core::RouterKind baseline,
+                              core::RouterKind dynamic,
+                              sim::Rng base_rng, sim::Rng dyn_rng,
+                              const std::vector<double>& toggles) {
+  asu::MachineParams mp;
+  mp.num_hosts = plan.targets;
+  mp.num_asus = plan.producers;
+  sim::Engine eng;
+  asu::Cluster cluster(eng, mp);
+
+  core::StageInboxes inboxes(eng, plan.targets, /*capacity_packets=*/4);
+  std::vector<asu::Node*> nodes;
+  for (unsigned t = 0; t < plan.targets; ++t) {
+    nodes.push_back(&cluster.host(t));
+  }
+  // The production composition: metrics wrapper outside, hot-swap
+  // decorator inside, concrete policies innermost.
+  auto sw = std::make_unique<core::SwitchableRouter>(
+      core::make_router(baseline, base_rng, plan.subsets),
+      core::make_router(dynamic, dyn_rng, plan.subsets));
+  core::SwitchableRouter* sw_raw = sw.get();
+  core::StageOutput out(
+      eng, cluster.network(),
+      core::StageSpec{
+          .record_bytes = mp.record_bytes,
+          .endpoints = inboxes.endpoints(nodes),
+          .router = std::make_unique<core::InstrumentedRouter>(
+              std::move(sw), eng, "lmswitch"),
+          .producers = plan.producers,
+          .window_per_producer = 4,
+          .name = "prop.lmswitch"});
+
+  SwitchedRun res;
+  res.got.resize(plan.targets);
+  for (unsigned p = 0; p < plan.producers; ++p) {
+    eng.spawn(plan_producer(out, cluster.asu(p), plan.per_producer[p]));
+  }
+  for (unsigned t = 0; t < plan.targets; ++t) {
+    eng.spawn(plan_consumer(inboxes.inbox(t), res.got[t]));
+  }
+  eng.spawn(switch_controller(eng, sw_raw, toggles));
+  eng.run();
+  res.digest = eng.digest();
+  res.unfinished = eng.unfinished_tasks();
+  return res;
+}
+
+std::optional<std::string> prop_lm_switch(sim::Rng& rng, unsigned size) {
+  PacketPlan plan = gen_packet_plan(rng, size);
+  constexpr core::RouterKind kRouters[] = {
+      core::RouterKind::Static, core::RouterKind::RoundRobin,
+      core::RouterKind::SimpleRandomization, core::RouterKind::LeastLoaded};
+  const core::RouterKind baseline = kRouters[rng.below(std::size(kRouters))];
+  const core::RouterKind dynamic = kRouters[rng.below(std::size(kRouters))];
+  const sim::Rng base_rng = rng.split();
+  const sim::Rng dyn_rng = rng.split();
+  // Promote/demote at random instants spanning microseconds to
+  // milliseconds, so swaps land before, inside, and after the burst of
+  // traffic.
+  std::vector<double> toggles(1 + rng.below(8));
+  for (double& d : toggles) d = double(1 + rng.below(1000)) * 1e-5;
+
+  std::size_t packets_sent = 0;
+  for (const auto& pp : plan.per_producer) packets_sent += pp.size();
+
+  const SwitchedRun run =
+      run_switched_plan(plan, baseline, dynamic, base_rng, dyn_rng, toggles);
+  if (run.unfinished != 0) {
+    return fmt("%zu tasks still blocked after hot-swapped run",
+               run.unfinished);
+  }
+  // Hot-swapping the policy mid-run must not weaken the set contract at
+  // all: every per-(producer, subset) stream still arrives seq-ordered at
+  // every instance, packets stay intact, nothing is lost.
+  std::size_t packets_got = 0, records_got = 0;
+  for (unsigned t = 0; t < plan.targets; ++t) {
+    std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint32_t> last;
+    for (const auto& p : run.got[t]) {
+      ++packets_got;
+      records_got += p.records.size();
+      const auto key = std::make_pair(p.run_id, p.subset);
+      auto [it, fresh] = last.try_emplace(key, p.seq);
+      if (!fresh) {
+        if (p.seq <= it->second) {
+          return fmt("instance %u saw producer %u subset %u seq %u after "
+                     "seq %u across a router swap (%s -> %s)",
+                     t, p.run_id, p.subset, p.seq, it->second,
+                     core::router_kind_name(baseline),
+                     core::router_kind_name(dynamic));
+        }
+        it->second = p.seq;
+      }
+      for (std::size_t r = 0; r < p.records.size(); ++r) {
+        if (p.records[r].id != std::uint32_t(r)) {
+          return fmt("packet records reordered at instance %u under swap",
+                     t);
+        }
+      }
+    }
+  }
+  if (packets_got != packets_sent || records_got != plan.total_records) {
+    return fmt("lost traffic across router swaps: %zu/%zu packets, "
+               "%zu/%zu records (%zu toggles)",
+               packets_got, packets_sent, records_got, plan.total_records,
+               toggles.size());
+  }
+  // Same plan + same toggle schedule replays bit-identically.
+  const SwitchedRun again =
+      run_switched_plan(plan, baseline, dynamic, base_rng, dyn_rng, toggles);
+  if (again.digest != run.digest) {
+    return fmt("same toggle schedule, different digests (%s -> %s)",
+               core::router_kind_name(baseline),
+               core::router_kind_name(dynamic));
+  }
+  return std::nullopt;
+}
+
+// ---- load-manager migration ----------------------------------------
+
+struct MigrationMove {
+  double delay = 0;       // sleep before this move
+  std::size_t instance = 0;
+  std::size_t node = 0;   // index into the host list
+};
+
+sim::Task<> migration_controller(sim::Engine& eng, core::StageOutput& out,
+                                 std::vector<asu::Node*> hosts,
+                                 std::vector<MigrationMove> moves) {
+  for (const auto& m : moves) {
+    co_await eng.sleep(m.delay);
+    out.set_target_node(m.instance, *hosts[m.node]);
+  }
+}
+
+struct MigratedRun {
+  std::vector<std::vector<core::Packet>> got;  // per target
+  std::uint64_t digest = 0;
+  std::size_t unfinished = 0;
+};
+
+MigratedRun run_migrated_plan(const PacketPlan& plan, core::RouterKind kind,
+                              sim::Rng router_rng,
+                              const std::vector<MigrationMove>& moves) {
+  asu::MachineParams mp;
+  // One spare host beyond the consumers: a legal migration target that
+  // never hosted an instance, so re-pins also exercise "fresh" nodes.
+  mp.num_hosts = plan.targets + 1;
+  mp.num_asus = plan.producers;
+  sim::Engine eng;
+  asu::Cluster cluster(eng, mp);
+
+  core::StageInboxes inboxes(eng, plan.targets, /*capacity_packets=*/4);
+  std::vector<asu::Node*> nodes;
+  for (unsigned t = 0; t < plan.targets; ++t) {
+    nodes.push_back(&cluster.host(t));
+  }
+  std::vector<asu::Node*> hosts = nodes;
+  hosts.push_back(&cluster.host(plan.targets));
+  core::StageOutput out(
+      eng, cluster.network(),
+      core::StageSpec{
+          .record_bytes = mp.record_bytes,
+          .endpoints = inboxes.endpoints(nodes),
+          .router = core::make_router(kind, router_rng, plan.subsets),
+          .producers = plan.producers,
+          .window_per_producer = 4,
+          .name = "prop.lmmigrate"});
+
+  MigratedRun res;
+  res.got.resize(plan.targets);
+  for (unsigned p = 0; p < plan.producers; ++p) {
+    eng.spawn(plan_producer(out, cluster.asu(p), plan.per_producer[p]));
+  }
+  for (unsigned t = 0; t < plan.targets; ++t) {
+    eng.spawn(plan_consumer(inboxes.inbox(t), res.got[t]));
+  }
+  eng.spawn(migration_controller(eng, out, hosts, moves));
+  eng.run();
+  res.digest = eng.digest();
+  res.unfinished = eng.unfinished_tasks();
+  return res;
+}
+
+std::optional<std::string> prop_lm_migration(sim::Rng& rng, unsigned size) {
+  PacketPlan plan = gen_packet_plan(rng, size);
+  constexpr core::RouterKind kRouters[] = {
+      core::RouterKind::Static, core::RouterKind::RoundRobin,
+      core::RouterKind::SimpleRandomization, core::RouterKind::LeastLoaded};
+  const core::RouterKind kind = kRouters[rng.below(std::size(kRouters))];
+  const sim::Rng router_rng = rng.split();
+
+  std::vector<MigrationMove> moves(1 + rng.below(8));
+  for (auto& m : moves) {
+    m.delay = double(1 + rng.below(1000)) * 1e-5;
+    m.instance = rng.below(plan.targets);
+    m.node = rng.below(plan.targets + 1);  // incl. the spare host
+  }
+
+  // The emitted multiset, keyed (producer, subset, seq) — unique per
+  // packet by construction.
+  std::vector<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>> want;
+  for (const auto& pp : plan.per_producer) {
+    for (const auto& p : pp) want.emplace_back(p.run_id, p.subset, p.seq);
+  }
+  std::sort(want.begin(), want.end());
+
+  const MigratedRun run = run_migrated_plan(plan, kind, router_rng, moves);
+  if (run.unfinished != 0) {
+    return fmt("%zu tasks still blocked after migrated run",
+               run.unfinished);
+  }
+  // Migration deliberately weakens the ordering half of the set contract:
+  // re-pinning an endpoint changes the delivery path, so a later packet
+  // can overtake an earlier one still in flight to the old location. What
+  // must survive is conservation — the delivered multiset equals the
+  // emitted multiset — and intra-packet record integrity.
+  std::vector<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>> got;
+  std::size_t records_got = 0;
+  for (unsigned t = 0; t < plan.targets; ++t) {
+    for (const auto& p : run.got[t]) {
+      got.emplace_back(p.run_id, p.subset, p.seq);
+      records_got += p.records.size();
+      for (std::size_t r = 0; r < p.records.size(); ++r) {
+        if (p.records[r].id != std::uint32_t(r)) {
+          return fmt("packet records reordered at instance %u under "
+                     "migration (router=%s)",
+                     t, core::router_kind_name(kind));
+        }
+      }
+    }
+  }
+  std::sort(got.begin(), got.end());
+  if (got != want) {
+    return fmt("delivered packet multiset differs from emitted under "
+               "migration: %zu/%zu packets (%zu moves, router=%s)",
+               got.size(), want.size(), moves.size(),
+               core::router_kind_name(kind));
+  }
+  if (records_got != plan.total_records) {
+    return fmt("lost records under migration: %zu/%zu (router=%s)",
+               records_got, plan.total_records,
+               core::router_kind_name(kind));
+  }
+  // Same plan + same move schedule replays bit-identically.
+  const MigratedRun again = run_migrated_plan(plan, kind, router_rng, moves);
+  if (again.digest != run.digest) {
+    return fmt("same migration schedule, different digests (router=%s)",
+               core::router_kind_name(kind));
+  }
+  return std::nullopt;
+}
+
 std::optional<Failure> run_suite(const char* name, std::size_t cases,
                                  std::uint64_t seed, unsigned min_size,
                                  unsigned max_size, const Property& prop) {
@@ -646,6 +922,16 @@ std::optional<Failure> suite_fault_routing(std::size_t cases,
   return run_suite("fault-routing", cases, seed, 1, 8, prop_fault_routing);
 }
 
+std::optional<Failure> suite_lm_switch(std::size_t cases,
+                                       std::uint64_t seed) {
+  return run_suite("lm-switch", cases, seed, 1, 8, prop_lm_switch);
+}
+
+std::optional<Failure> suite_lm_migration(std::size_t cases,
+                                          std::uint64_t seed) {
+  return run_suite("lm-migration", cases, seed, 1, 8, prop_lm_migration);
+}
+
 const std::vector<SuiteInfo>& all_suites() {
   static const std::vector<SuiteInfo> kSuites = {
       {"permutation", &suite_permutation, 100},
@@ -656,6 +942,8 @@ const std::vector<SuiteInfo>& all_suites() {
       {"digest", &suite_digest, 100},
       {"fault-conservation", &suite_fault_conservation, 100},
       {"fault-routing", &suite_fault_routing, 100},
+      {"lm-switch", &suite_lm_switch, 100},
+      {"lm-migration", &suite_lm_migration, 100},
   };
   return kSuites;
 }

@@ -45,6 +45,18 @@ namespace lmas::check {
 ///                  (retry-with-timeout re-routes it), packets stay
 ///                  intact, SR balance survives crash-free perturbation,
 ///                  and faulted runs replay bit-identically.
+///  - lm-switch:    router hot-swap neutrality — promoting/demoting a
+///                  SwitchableRouter at random instants mid-run preserves
+///                  the full set contract (per-(producer, subset) seq
+///                  order at every instance, packet integrity, no loss)
+///                  and replays bit-identically.
+///  - lm-migration: functor migration conservation — re-pinning instances
+///                  to random nodes at random instants may let packets
+///                  overtake (the ordering half of the contract is
+///                  deliberately forfeit), but the delivered
+///                  (producer, subset, seq) multiset must equal the
+///                  emitted one, records stay intact within packets, and
+///                  the run replays bit-identically.
 std::optional<Failure> suite_permutation(std::size_t cases,
                                          std::uint64_t seed);
 std::optional<Failure> suite_packet_order(std::size_t cases,
@@ -60,6 +72,10 @@ std::optional<Failure> suite_fault_conservation(std::size_t cases,
                                                 std::uint64_t seed);
 std::optional<Failure> suite_fault_routing(std::size_t cases,
                                            std::uint64_t seed);
+std::optional<Failure> suite_lm_switch(std::size_t cases,
+                                       std::uint64_t seed);
+std::optional<Failure> suite_lm_migration(std::size_t cases,
+                                          std::uint64_t seed);
 
 struct SuiteInfo {
   std::string_view name;

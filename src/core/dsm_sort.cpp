@@ -83,6 +83,15 @@ class DsmSortSim {
       eng_.metrics().gauge("dsm.pass2_seconds").set(rep.pass2_seconds);
     }
     rep.makespan = eng_.now();
+    if (monitor_) {
+      rep.peak_host_imbalance = monitor_->peak_host_imbalance();
+      rep.mean_host_imbalance = monitor_->mean_host_imbalance();
+    }
+    if (manager_) {
+      rep.lm_migrations = manager_->migrations();
+      rep.lm_router_switches = manager_->router_switches();
+      rep.lm_events = manager_->events();
+    }
     collect_utilization(rep);
     rep.metrics = eng_.metrics().snapshot();
     rep.sim_events = eng_.events_processed();
@@ -113,20 +122,37 @@ class DsmSortSim {
     for (unsigned i = 0; i < d_; ++i) asu_nodes.push_back(&cluster_.asu(i));
 
     // Passive baseline has no subsets, so spread packets round-robin; the
-    // active configurations route per the configured policy.
+    // active configurations route per the configured policy. Under the
+    // load manager the baseline policy sits inside a SwitchableRouter
+    // whose dynamic alternative is SR — not least-loaded: SR keeps every
+    // instance fed, so the recv-side migration consult points keep
+    // firing even on the host being drained. The decorator order is
+    // Instrumented(Switchable(...)): route counters then attribute picks
+    // to whichever regime made them.
     const RouterKind sort_kind =
         cfg_.distribute_on_asus ? cfg_.sort_router : RouterKind::RoundRobin;
+    auto sort_stream = sim::Rng(cfg_.seed).stream(sim::stream_id("routing.sort"));
+    std::unique_ptr<RoutingPolicy> sort_router;
+    if (cfg_.load_manager.mode == LoadManagerMode::Manage &&
+        cfg_.load_manager.router_swap && cfg_.distribute_on_asus) {
+      auto switchable = std::make_unique<SwitchableRouter>(
+          make_router(sort_kind, sort_stream, alpha_),
+          std::make_unique<SimpleRandomizationRouter>(
+              sim::Rng(cfg_.seed)
+                  .stream(sim::stream_id("routing.sort.dynamic"))));
+      switch_router_ = switchable.get();
+      sort_router = std::make_unique<InstrumentedRouter>(
+          std::move(switchable), eng_, "sort");
+    } else {
+      sort_router = make_router(sort_kind, sort_stream, alpha_, &eng_, "sort");
+    }
     to_sort_ = std::make_unique<StageOutput>(
         eng_, cluster_.network(),
-        StageSpec{
-            .record_bytes = mp_.record_bytes,
-            .endpoints = sort_in_->endpoints(host_nodes),
-            .router = make_router(
-                sort_kind,
-                sim::Rng(cfg_.seed).stream(sim::stream_id("routing.sort")),
-                alpha_, &eng_, "sort"),
-            .producers = d_,
-            .name = "to_sort"});
+        StageSpec{.record_bytes = mp_.record_bytes,
+                  .endpoints = sort_in_->endpoints(host_nodes),
+                  .router = std::move(sort_router),
+                  .producers = d_,
+                  .name = "to_sort"});
     // Runs are striped across ASUs at packet granularity (Section 4.3:
     // merged/sorted runs are stored striped across the ASUs).
     to_store_ = std::make_unique<StageOutput>(
@@ -153,6 +179,28 @@ class DsmSortSim {
           cluster_, cfg_.faults,
           sim::Rng(cfg_.seed).stream(sim::stream_id("faults")));
       eng_.spawn(injector_->run(), "fault-injector");
+    }
+
+    // Load-management layer: like the fault layer, constructed only when
+    // asked for, so Off-mode runs schedule no sampling events and
+    // register no lm metrics (digest neutrality for the pinned goldens).
+    if (cfg_.load_manager.mode != LoadManagerMode::Off) {
+      monitor_ =
+          std::make_unique<LoadMonitor>(cluster_, cfg_.load_manager.period);
+      if (cfg_.load_manager.mode == LoadManagerMode::Manage) {
+        manager_ = std::make_unique<LoadManager>(eng_, cfg_.load_manager);
+        if (switch_router_ != nullptr) {
+          manager_->manage_router(switch_router_);
+        }
+        if (cfg_.load_manager.migration) {
+          // Sort instances (one per host) may migrate; any host is a
+          // candidate destination.
+          manager_->manage_instances(host_nodes, host_nodes);
+        }
+        monitor_->set_observer(
+            [this](const LoadSample& s) { manager_->on_sample(s); });
+      }
+      monitor_->start(cfg_.load_manager.max_samples);
     }
 
     for (unsigned a = 0; a < d_; ++a) {
@@ -308,7 +356,9 @@ class DsmSortSim {
   }
 
   sim::Task<> sort_instance(unsigned hh) {
-    asu_ns::Node& node = cluster_.host(hh);
+    // The instance's location is mutable state: the load manager may
+    // re-pin it to another host mid-stream (functor migration).
+    asu_ns::Node* node = &cluster_.host(hh);
     auto& in = sort_in_->inbox(hh);
     const std::size_t run_len = cfg_.host_run_length();
     std::unordered_map<std::uint32_t, std::vector<em::KeyRecord>> staging;
@@ -319,7 +369,24 @@ class DsmSortSim {
       if (!p) break;
       // Accepted packets stay queued across a crash window; processing
       // pauses here and resumes on recovery (nothing is lost).
-      while (!node.running()) co_await node.health_wait();
+      while (!node->running()) co_await node->health_wait();
+      // Migration consult point: between packets, the functor's state is
+      // exactly its staged records, so that is what the move ships (plus
+      // the fixed control/context overhead). Packets already in flight
+      // complete against the old location's accounting.
+      if (manager_ != nullptr) {
+        if (asu_ns::Node* target = manager_->migration_target(hh);
+            target != nullptr && target != node) {
+          std::size_t staged = 0;
+          for (const auto& [s, buf] : staging) staged += buf.size();
+          co_await cluster_.network().transfer(
+              *node, *target,
+              staged * mp_.record_bytes + kMigrationOverheadBytes);
+          node = target;
+          to_sort_->set_target_node(hh, *target);
+          manager_->migration_performed(hh, *target);
+        }
+      }
       auto& buf = staging[p->subset];
       buf.insert(buf.end(), p->records.begin(), p->records.end());
       to_sort_->pool().release(std::move(p->records));
@@ -327,14 +394,14 @@ class DsmSortSim {
         std::vector<em::KeyRecord> block(buf.begin(),
                                          buf.begin() + std::ptrdiff_t(run_len));
         buf.erase(buf.begin(), buf.begin() + std::ptrdiff_t(run_len));
-        co_await emit_run(node, hh, p->subset, std::move(block),
+        co_await emit_run(*node, hh, p->subset, std::move(block),
                           next_run_id++);
       }
     }
     // Input closed: flush partial blocks as short runs.
     for (auto& [subset, buf] : staging) {
       if (!buf.empty()) {
-        co_await emit_run(node, hh, subset, std::move(buf), next_run_id++);
+        co_await emit_run(*node, hh, subset, std::move(buf), next_run_id++);
       }
     }
     to_store_->producer_done();
@@ -828,6 +895,9 @@ class DsmSortSim {
   bool final_sorted_ok_ = true;
   std::uint32_t dsm_track_ = 0;
   std::unique_ptr<fault::FaultInjector> injector_;
+  std::unique_ptr<LoadMonitor> monitor_;
+  std::unique_ptr<LoadManager> manager_;
+  SwitchableRouter* switch_router_ = nullptr;  // owned by to_sort_'s router
 };
 
 }  // namespace
@@ -852,6 +922,18 @@ obs::Json dsm_report_to_json(const DsmSortReport& rep) {
   j["digest"] = obs::digest_to_string(rep.digest);
   j["records_sorted_per_host"] =
       obs::Json::array_of(rep.records_sorted_per_host);
+  j["peak_host_imbalance"] = rep.peak_host_imbalance;
+  j["mean_host_imbalance"] = rep.mean_host_imbalance;
+  j["lm_migrations"] = rep.lm_migrations;
+  j["lm_router_switches"] = rep.lm_router_switches;
+  obs::Json lm_events = obs::Json::array();
+  for (const auto& e : rep.lm_events) {
+    obs::Json entry = obs::Json::object();
+    entry["time"] = e.time;
+    entry["what"] = e.what;
+    lm_events.push_back(std::move(entry));
+  }
+  j["lm_events"] = std::move(lm_events);
   obs::Json util = obs::Json::object();
   const auto add_nodes = [&](const std::vector<NodeUtilization>& nodes) {
     for (const auto& n : nodes) {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "asu/params.hpp"
+#include "core/load_manager.hpp"
 #include "core/routing.hpp"
 #include "core/workload.hpp"
 #include "fault/plan.hpp"
@@ -73,6 +74,17 @@ struct DsmSortConfig {
   /// fault-free runs stay bit-identical to pre-fault-layer builds.
   fault::FaultPlan faults;
 
+  /// Online load management for pass 1 (Section 3.3). Off (the default)
+  /// constructs neither monitor nor manager: zero extra events, zero
+  /// extra metrics, pinned golden digests stay bit-for-bit intact.
+  /// Monitor samples backlogs (peak_host_imbalance in the report) but
+  /// never acts — sampling occupies no resources, so pass timings match
+  /// Off exactly. Manage additionally hot-swaps the sort router between
+  /// the configured `sort_router` baseline and SR, and migrates sort
+  /// instances between hosts, paying state transfer plus
+  /// kMigrationOverheadBytes per move.
+  LoadManagerConfig load_manager;
+
   /// When non-empty, enable sim-time tracing for this run and export the
   /// Chrome trace-event file here (loadable in chrome://tracing or
   /// Perfetto). Benches wire this to the LMAS_TRACE environment variable.
@@ -117,6 +129,17 @@ struct DsmSortReport {
 
   /// Records sorted per host (skew visibility for Fig. 10).
   std::vector<std::size_t> records_sorted_per_host;
+
+  /// Load-management observations (zero when load_manager.mode == Off):
+  /// the monitor's peak and actionable-window-mean host imbalance, and
+  /// the manager's action counts plus its decision journal. The peak
+  /// saturates on any lone-straggler window; the mean is the
+  /// managed-vs-unmanaged figure of merit.
+  double peak_host_imbalance = 0;
+  double mean_host_imbalance = 0;
+  std::uint64_t lm_migrations = 0;
+  std::uint64_t lm_router_switches = 0;
+  std::vector<LoadManagerEvent> lm_events;
 
   double util_bin_seconds = 0;
 

@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <functional>
 #include <numeric>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "asu/network.hpp"
+#include "core/routing.hpp"
 #include "sim/engine.hpp"
 #include "sim/task.hpp"
 
@@ -15,13 +19,46 @@ namespace lmas::core {
 /// One utilization sample across the cluster.
 struct LoadSample {
   double time = 0;
+  double period = 0;                 // sampling window this sample covers
   std::vector<double> host_backlog;  // queued CPU seconds per host
   std::vector<double> asu_backlog;
+  /// CPU service-seconds *accepted* during the sampling window (the delta
+  /// of Resource::total_service between ticks). Instantaneous backlog
+  /// alone under-observes bursty stages: a sort charge of a few hundred
+  /// microseconds is almost never in flight at a sample instant, so a
+  /// heavily skewed host can read as idle at every tick. The offered-work
+  /// delta integrates over the whole window and cannot miss bursts.
+  std::vector<double> host_offered;
+  std::vector<double> asu_offered;
+  /// Effective work-drain rate per node (relative speed times the current
+  /// fault rate-scale), published for diagnosis. Charges are already
+  /// expressed in wall-seconds on each node's own CPU — a slow or
+  /// degraded node accrues proportionally more backlog/offered seconds
+  /// for the same records — so load comparisons need no rate division.
+  std::vector<double> host_rate;
+  std::vector<double> asu_rate;
 
-  [[nodiscard]] double host_imbalance() const {
-    return imbalance(host_backlog);
+  /// The decision signal: queued work plus work accepted this window, in
+  /// wall-seconds per node. Offered entries are optional (hand-built
+  /// samples in tests may carry backlogs only).
+  [[nodiscard]] std::vector<double> host_load() const {
+    return combine(host_backlog, host_offered);
   }
-  [[nodiscard]] double asu_imbalance() const { return imbalance(asu_backlog); }
+  [[nodiscard]] std::vector<double> asu_load() const {
+    return combine(asu_backlog, asu_offered);
+  }
+
+  [[nodiscard]] double host_imbalance() const { return imbalance(host_load()); }
+  [[nodiscard]] double asu_imbalance() const { return imbalance(asu_load()); }
+
+  static std::vector<double> combine(const std::vector<double>& backlog,
+                                     const std::vector<double>& offered) {
+    std::vector<double> v = backlog;
+    for (std::size_t i = 0; i < v.size() && i < offered.size(); ++i) {
+      v[i] += offered[i];
+    }
+    return v;
+  }
 
   static double imbalance(const std::vector<double>& v) {
     if (v.size() < 2) return 0;
@@ -34,8 +71,9 @@ struct LoadSample {
   }
 };
 
-/// The monitoring half of the load manager: a simulated process that
-/// samples every node's CPU backlog on a fixed period. Dynamic policies
+/// The monitoring half of the load manager: a simulated process that, on
+/// a fixed period, samples every node's queued CPU backlog plus the
+/// service it accepted during the window. Dynamic policies
 /// (LeastLoadedRouter, migration callbacks, adaptive reconfiguration)
 /// consume exactly this kind of information; the monitor makes it
 /// observable and testable on its own.
@@ -56,11 +94,45 @@ class LoadMonitor {
     return samples_;
   }
 
-  /// Peak observed host imbalance (0 = always even).
+  /// Deliver every sample, as it is taken, to one downstream consumer —
+  /// the LoadManager's decision loop plugs in here. Called after the
+  /// sample is published to metrics/traces, so the observer sees exactly
+  /// what the instruments recorded.
+  void set_observer(std::function<void(const LoadSample&)> observer) {
+    observer_ = std::move(observer);
+  }
+
+  /// Peak observed host imbalance (0 = always even). A max statistic
+  /// saturates easily — one window where a single host drains the last
+  /// run while the others sit idle reads as imbalance 1.0 — so pair it
+  /// with mean_host_imbalance when comparing runs.
   [[nodiscard]] double peak_host_imbalance() const {
     double peak = 0;
     for (const auto& s : samples_) peak = std::max(peak, s.host_imbalance());
     return peak;
+  }
+
+  /// Mean host imbalance over *actionable* windows: samples where the
+  /// busiest host's load is at least `min_load_factor` of the sampling
+  /// window (the same floor the manager applies — imbalance ratios over
+  /// a near-idle cluster are noise). This is the figure of merit for
+  /// managed-vs-unmanaged comparisons: the manager cannot avoid the
+  /// short hot streaks that *trigger* its actions (so the peak stays
+  /// high in both runs), but it shrinks how long they last.
+  [[nodiscard]] double mean_host_imbalance(
+      double min_load_factor = 0.05) const {
+    double sum = 0;
+    std::size_t n = 0;
+    for (const auto& s : samples_) {
+      const auto load = s.host_load();
+      if (load.empty()) continue;
+      const double w = s.period > 0 ? s.period : period_;
+      const double peak = *std::max_element(load.begin(), load.end());
+      if (peak / (w > 0 ? w : 1.0) < min_load_factor) continue;
+      sum += s.host_imbalance();
+      ++n;
+    }
+    return n == 0 ? 0 : sum / double(n);
   }
 
  private:
@@ -83,18 +155,39 @@ class LoadMonitor {
         eng.metrics().gauge("load.host_imbalance");
     const std::uint32_t track = eng.tracer().track("load-monitor");
 
+    // Offered-work baselines: total_service at the start of the current
+    // window, per node. The first window's baseline is taken at spawn.
+    std::vector<double> host_service_base, asu_service_base;
+    for (unsigned h = 0; h < cluster_->num_hosts(); ++h) {
+      host_service_base.push_back(cluster_->host(h).cpu().total_service());
+    }
+    for (unsigned a = 0; a < cluster_->num_asus(); ++a) {
+      asu_service_base.push_back(cluster_->asu(a).cpu().total_service());
+    }
+
     for (std::size_t i = 0; i < max_samples; ++i) {
       co_await eng.sleep(period_);
       LoadSample s;
       s.time = eng.now();
+      s.period = period_;
       for (unsigned h = 0; h < cluster_->num_hosts(); ++h) {
-        const double b = cluster_->host(h).cpu().backlog();
+        const asu::Node& n = cluster_->host(h);
+        const double b = n.cpu().backlog();
+        const double total = n.cpu().total_service();
         s.host_backlog.push_back(b);
+        s.host_offered.push_back(total - host_service_base[h]);
+        host_service_base[h] = total;
+        s.host_rate.push_back(n.speed() * n.cpu().rate_scale());
         host_gauges[h]->set(b);
       }
       for (unsigned a = 0; a < cluster_->num_asus(); ++a) {
-        const double b = cluster_->asu(a).cpu().backlog();
+        const asu::Node& n = cluster_->asu(a);
+        const double b = n.cpu().backlog();
+        const double total = n.cpu().total_service();
         s.asu_backlog.push_back(b);
+        s.asu_offered.push_back(total - asu_service_base[a]);
+        asu_service_base[a] = total;
+        s.asu_rate.push_back(n.speed() * n.cpu().rate_scale());
         asu_gauges[a]->set(b);
       }
       imbalance_gauge.set(s.host_imbalance());
@@ -108,12 +201,15 @@ class LoadMonitor {
                                s.time, s.asu_backlog[a]);
         }
       }
-      const bool all_idle =
-          std::all_of(s.host_backlog.begin(), s.host_backlog.end(),
-                      [](double b) { return b <= 0; }) &&
-          std::all_of(s.asu_backlog.begin(), s.asu_backlog.end(),
-                      [](double b) { return b <= 0; });
+      // Idle = no queued work AND nothing accepted this whole window;
+      // checking backlog alone would call a bursty-but-busy cluster idle.
+      const auto idle = [](const std::vector<double>& v) {
+        return std::all_of(v.begin(), v.end(),
+                           [](double x) { return x <= 0; });
+      };
+      const bool all_idle = idle(s.host_load()) && idle(s.asu_load());
       samples_.push_back(std::move(s));
+      if (observer_) observer_(samples_.back());
       // Two consecutive all-idle samples after any work: the workload has
       // drained; stop so the monitor does not keep the event queue alive
       // forever. A single idle sample is not enough — DSM-Sort-style
@@ -131,8 +227,269 @@ class LoadMonitor {
   asu::Cluster* cluster_;
   double period_;
   std::vector<LoadSample> samples_;
+  std::function<void(const LoadSample&)> observer_;
   bool saw_work_ = false;
   std::size_t idle_streak_ = 0;
+};
+
+/// How aggressively the online manager acts. Off is the digest-neutral
+/// default: no monitor process, no manager, no extra metrics — byte-for-
+/// byte the unmanaged execution. Monitor samples (for peak-imbalance
+/// reporting) but never acts; Manage acts.
+enum class LoadManagerMode { Off, Monitor, Manage };
+
+/// Tuning for the control loop. The defaults follow the hysteresis /
+/// cooldown discipline of Section 3.3's reconfiguration discussion: act
+/// only on a *sustained* signal, then hold still long enough for the last
+/// action's effect to show up in the signal before acting again.
+struct LoadManagerConfig {
+  LoadManagerMode mode = LoadManagerMode::Off;
+
+  /// Monitor sampling period (simulated seconds) and sample budget.
+  double period = 0.05;
+  std::size_t max_samples = 10000;
+
+  /// Router hot-swap thresholds on host imbalance (0 = even, 1 = all on
+  /// one node). Promote static -> dynamic when imbalance holds at or
+  /// above `promote_imbalance` for `promote_hysteresis` consecutive
+  /// samples; demote back when it holds at or below `demote_imbalance`.
+  /// The gap between the two watermarks prevents threshold chatter.
+  bool router_swap = true;
+  double promote_imbalance = 0.25;
+  double demote_imbalance = 0.10;
+  std::size_t promote_hysteresis = 2;
+  std::size_t demote_hysteresis = 4;
+
+  /// Ignore imbalance while the busiest host's load (queued + offered
+  /// this window) is under this fraction of the sampling window: ratios
+  /// over near-zero loads are noise (a drained cluster with one 1ms
+  /// straggler reads as imbalance 1.0). Expressed in utilization units so
+  /// one floor works across sampling periods.
+  double min_actionable_load = 0.05;
+
+  /// Functor migration: move an instance only when its node's projected
+  /// drain time exceeds the best candidate's post-move drain time by
+  /// `migrate_factor`, sustained for `migrate_hysteresis` samples. The
+  /// factor absorbs both the migration overhead and estimation error —
+  /// near-even moves never pay for themselves.
+  bool migration = true;
+  double migrate_factor = 2.0;
+  std::size_t migrate_hysteresis = 2;
+
+  /// After any action: samples to hold still before the next action.
+  std::size_t cooldown_samples = 4;
+  /// Per-instance lockout after its own migration (anti-ping-pong).
+  std::size_t dwell_samples = 8;
+};
+
+/// One journaled control decision (also emitted as a trace instant on the
+/// `load-manager` track when tracing is on).
+struct LoadManagerEvent {
+  double time = 0;
+  std::string what;
+};
+
+/// The acting half of the load manager: a control process consuming the
+/// LoadMonitor's load signal and steering the computation two ways —
+/// hot-swapping a stage's router between its static baseline and a
+/// dynamic policy (SwitchableRouter), and re-pinning replicated functor
+/// instances onto less-loaded nodes (the paper's functor migration,
+/// Section 3.3).
+///
+/// Division of labor for migration: the manager only *plans* a move (it
+/// runs off the sampling tick and cannot touch functor state); the stage
+/// coroutine that owns the instance consults migration_target() between
+/// packets, pays the state transfer itself, re-pins the instance's inbox
+/// via StageOutput::set_target_node, and then confirms with
+/// migration_performed(). Until confirmation the plan stays pending and
+/// no further plan is issued for that instance.
+class LoadManager {
+ public:
+  LoadManager(sim::Engine& eng, LoadManagerConfig cfg)
+      : eng_(&eng),
+        cfg_(cfg),
+        migrations_counter_(&eng.metrics().counter("lm.migrations")),
+        switches_counter_(&eng.metrics().counter("lm.router_switches")),
+        track_(eng.tracer().track("load-manager")) {}
+
+  /// Attach the stage router to hot-swap (optional; may be wrapped in an
+  /// InstrumentedRouter — pass the inner SwitchableRouter).
+  void manage_router(SwitchableRouter* router) { router_ = router; }
+
+  /// Attach the replicated instances eligible for migration: their
+  /// current placement (indexed like the stage's instances) and the
+  /// candidate node set moves may target.
+  void manage_instances(std::vector<asu::Node*> placement,
+                        std::vector<asu::Node*> candidates) {
+    placement_ = std::move(placement);
+    candidates_ = std::move(candidates);
+    pending_.assign(placement_.size(), nullptr);
+    dwell_left_.assign(placement_.size(), 0);
+    cand_service_.clear();
+    for (const asu::Node* n : candidates_) {
+      cand_service_.push_back(n->cpu().total_service());
+    }
+  }
+
+  /// The decision tick; plug into LoadMonitor::set_observer.
+  void on_sample(const LoadSample& s) {
+    if (cooldown_left_ > 0) --cooldown_left_;
+    for (auto& d : dwell_left_) {
+      if (d > 0) --d;
+    }
+    maybe_switch_router(s);
+    maybe_plan_migration(s);
+  }
+
+  /// Stage-side consult point: the planned destination for instance `i`,
+  /// or nullptr. The plan stays up until migration_performed() confirms
+  /// it (the stage may be blocked in recv and pick it up late).
+  [[nodiscard]] asu::Node* migration_target(std::size_t i) const {
+    return i < pending_.size() ? pending_[i] : nullptr;
+  }
+
+  /// Confirm that instance `i` now runs on `to` (the stage already paid
+  /// the transfer and re-pinned its inbox).
+  void migration_performed(std::size_t i, asu::Node& to) {
+    placement_.at(i) = &to;
+    pending_.at(i) = nullptr;
+    dwell_left_.at(i) = cfg_.dwell_samples;
+    migrations_counter_->inc();
+    journal(eng_->now(),
+            "migrated i" + std::to_string(i) + " -> " + to.name());
+  }
+
+  [[nodiscard]] std::uint64_t migrations() const noexcept {
+    return migrations_counter_->value();
+  }
+  [[nodiscard]] std::uint64_t router_switches() const noexcept {
+    return switches_counter_->value();
+  }
+  [[nodiscard]] const std::vector<LoadManagerEvent>& events() const noexcept {
+    return journal_;
+  }
+
+ private:
+  void maybe_switch_router(const LoadSample& s) {
+    if (router_ == nullptr || !cfg_.router_swap) return;
+    const auto load = s.host_load();
+    const double imb = LoadSample::imbalance(load);
+    const double peak_util =
+        load.empty()
+            ? 0
+            : *std::max_element(load.begin(), load.end()) / window(s);
+    if (!router_->dynamic_active()) {
+      const bool hot = imb >= cfg_.promote_imbalance &&
+                       peak_util >= cfg_.min_actionable_load;
+      promote_streak_ = hot ? promote_streak_ + 1 : 0;
+      if (promote_streak_ >= cfg_.promote_hysteresis && cooldown_left_ == 0) {
+        router_->promote();
+        switches_counter_->inc();
+        cooldown_left_ = cfg_.cooldown_samples;
+        promote_streak_ = demote_streak_ = 0;
+        journal(s.time, "promote router -> dynamic (imbalance " +
+                            std::to_string(imb) + ")");
+      }
+    } else {
+      // No backlog floor on the way down: an idle cluster is even.
+      demote_streak_ = imb <= cfg_.demote_imbalance ? demote_streak_ + 1 : 0;
+      if (demote_streak_ >= cfg_.demote_hysteresis && cooldown_left_ == 0) {
+        router_->demote();
+        switches_counter_->inc();
+        cooldown_left_ = cfg_.cooldown_samples;
+        promote_streak_ = demote_streak_ = 0;
+        journal(s.time, "demote router -> baseline (imbalance " +
+                            std::to_string(imb) + ")");
+      }
+    }
+  }
+
+  /// Plan at most one move per tick: the instance whose projected gain is
+  /// largest, and only when the gain is sustained. Per-node load is read
+  /// directly off the candidate nodes at the sampling tick: queued
+  /// backlog plus the service accepted since the previous tick, both in
+  /// wall-seconds on that node's own CPU (speed ratio and fault
+  /// degradation already folded in, so no rate division). Work already
+  /// queued at a node does NOT move with the functor (the CPU queue is
+  /// the node's, not the instance's); what moves is the instance's
+  /// future arrivals, which will wait behind the destination's current
+  /// queue. Hence the comparison is load-here vs load-there, and the
+  /// factor + dwell absorb the transient where the old node is still
+  /// draining work the instance left behind.
+  void maybe_plan_migration(const LoadSample& s) {
+    if (placement_.empty() || !cfg_.migration) return;
+    std::vector<double> load(candidates_.size(), 0);
+    for (std::size_t j = 0; j < candidates_.size(); ++j) {
+      const double total = candidates_[j]->cpu().total_service();
+      load[j] = candidates_[j]->cpu().backlog() + (total - cand_service_[j]);
+      cand_service_[j] = total;
+    }
+    std::size_t best_i = 0;
+    asu::Node* best_to = nullptr;
+    double best_gain = 0;
+    for (std::size_t i = 0; i < placement_.size(); ++i) {
+      if (dwell_left_[i] > 0 || pending_[i] != nullptr) continue;
+      asu::Node* from = placement_[i];
+      const auto from_it =
+          std::find(candidates_.begin(), candidates_.end(), from);
+      if (from_it == candidates_.end()) continue;
+      const double load_here = load[std::size_t(from_it -
+                                                candidates_.begin())];
+      if (load_here / window(s) < cfg_.min_actionable_load) continue;
+      for (std::size_t j = 0; j < candidates_.size(); ++j) {
+        asu::Node* to = candidates_[j];
+        if (to == from || !to->running()) continue;
+        if (load_here >= cfg_.migrate_factor * load[j] &&
+            load_here - load[j] > best_gain) {
+          best_i = i;
+          best_to = to;
+          best_gain = load_here - load[j];
+        }
+      }
+    }
+    migrate_streak_ = best_to != nullptr ? migrate_streak_ + 1 : 0;
+    if (best_to != nullptr && migrate_streak_ >= cfg_.migrate_hysteresis &&
+        cooldown_left_ == 0) {
+      pending_[best_i] = best_to;
+      cooldown_left_ = cfg_.cooldown_samples;
+      migrate_streak_ = 0;
+      journal(eng_->now(), "plan migrate i" + std::to_string(best_i) +
+                               " " + placement_[best_i]->name() + " -> " +
+                               best_to->name());
+    }
+  }
+
+  /// Normalizing window for the actionability floor: the sample's own
+  /// period when it carries one, the configured period otherwise
+  /// (hand-built samples in unit tests).
+  [[nodiscard]] double window(const LoadSample& s) const {
+    const double w = s.period > 0 ? s.period : cfg_.period;
+    return w > 0 ? w : 1.0;
+  }
+
+  void journal(double t, std::string what) {
+    if (eng_->tracer().enabled()) {
+      eng_->tracer().instant(track_, what, t);
+    }
+    journal_.push_back({t, std::move(what)});
+  }
+
+  sim::Engine* eng_;
+  LoadManagerConfig cfg_;
+  SwitchableRouter* router_ = nullptr;
+  std::vector<asu::Node*> placement_;
+  std::vector<asu::Node*> candidates_;
+  std::vector<asu::Node*> pending_;
+  std::vector<std::size_t> dwell_left_;
+  std::vector<double> cand_service_;  // offered-work baselines, per candidate
+  std::size_t promote_streak_ = 0;
+  std::size_t demote_streak_ = 0;
+  std::size_t migrate_streak_ = 0;
+  std::size_t cooldown_left_ = 0;
+  std::vector<LoadManagerEvent> journal_;
+  obs::Counter* migrations_counter_;
+  obs::Counter* switches_counter_;
+  std::uint32_t track_;
 };
 
 }  // namespace lmas::core

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstddef>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -29,6 +31,13 @@ struct FunctorCost {
     return per_packet + per_record * double(records);
   }
 };
+
+/// Fixed overhead charged when a functor instance migrates between nodes,
+/// on top of its declared state bytes: control messages plus the
+/// execution context that moves with the functor (Section 3.3). Shared by
+/// Program's migrate hook and the online LoadManager wiring so both
+/// charge the paper's migration cost identically.
+inline constexpr std::size_t kMigrationOverheadBytes = 4096;
 
 /// One instance of a (possibly replicated) downstream functor: its inbox
 /// and the node it is pinned to.
@@ -61,6 +70,11 @@ struct StageSpec {
   std::unique_ptr<RoutingPolicy> router;
 
   /// Number of upstream producers that will call producer_done().
+  /// Must be >= 1: the in-flight window is per-producer, so zero
+  /// producers would grant a zero window and the first emit would block
+  /// forever. StageOutput validates this at construction. The default
+  /// stays 0 so forgetting the field is a loud construction-time error,
+  /// not a silently single-producer stage.
   unsigned producers = 0;
 
   /// In-flight packet window granted per producer (backpressure bound).
@@ -95,6 +109,15 @@ class StageOutput {
         slot_free_(eng),
         drained_(eng),
         name_(std::move(spec.name)) {
+    // producers == 0 would make window_ zero and the first emit_to spin
+    // on `inflight_ >= window_` forever; catch the misconfiguration here.
+    // A throw, not an assert: the default build defines NDEBUG, where an
+    // assert-only guard degrades back into the silent hang.
+    if (spec.producers == 0) {
+      throw std::invalid_argument("StageOutput '" + name_ +
+                                  "': StageSpec.producers must be >= 1 "
+                                  "(the in-flight window is per-producer)");
+    }
     targets_.reserve(endpoints_.size());
     for (const auto& ep : endpoints_) targets_.push_back({ep.node});
     // Per-channel instruments: total traffic, batch-size shape, and one
@@ -162,8 +185,16 @@ class StageOutput {
   [[nodiscard]] sim::Task<> emit(asu::Node& from, Packet p) {
     refresh_active();
     while (active_.empty()) {
-      assert(net_->health_board() &&
-             "all targets crashed and no health board to wait on");
+      // Without a health board there is no recovery signal to park on:
+      // waiting would be an unbounded spin through the event queue. This
+      // must stay a throw, not an assert — under NDEBUG an assert-only
+      // guard degrades into a silent infinite loop.
+      if (net_->health_board() == nullptr) {
+        throw std::logic_error(
+            "StageOutput '" + name_ +
+            "': every target is down and the network has no health board "
+            "to wait on");
+      }
       co_await net_->health_board()->wait();
       refresh_active();
     }
@@ -263,7 +294,18 @@ class StageOutput {
         while (!ep.node->running()) co_await ep.node->health_wait();
       }
     }
-    co_await endpoints_[idx].ch->send(std::move(p));
+    // A failed send means the inbox closed with this packet in flight —
+    // the records are gone and conservation is silently broken for
+    // whoever closed early. Surface it: deliver() runs as a spawned root
+    // task, so the throw lands in Engine::run()'s root-failure check.
+    const bool delivered = co_await endpoints_[idx].ch->send(std::move(p));
+    if (!delivered) {
+      throw std::logic_error(
+          "StageOutput '" + name_ +
+          "': packet dropped — target inbox closed while the packet was "
+          "in flight (close the stage via producer_done/close_when_drained"
+          ", not by closing inboxes directly)");
+    }
     --inflight_;
     slot_free_.notify_one();
     if (inflight_ == 0) drained_.notify_all();

@@ -68,8 +68,6 @@ struct Program::Impl {
     auto functor = st.spec.make(i);
     auto& inbox = st.inboxes->inbox(i);
     std::vector<Packet> outs;
-    // Fixed migration overhead: control messages + execution context.
-    constexpr std::size_t kMigrationOverheadBytes = 4096;
 
     while (true) {
       auto p = co_await inbox.recv();

@@ -143,6 +143,44 @@ class LeastLoadedRouter final : public RoutingPolicy {
   [[nodiscard]] std::string name() const override { return "least-loaded"; }
 };
 
+/// Decorator that lets the load manager hot-swap a stage's routing policy
+/// at runtime: packets follow the static `baseline` policy until
+/// promote() engages the `dynamic` policy, and demote() falls back again
+/// when load evens out (Section 3.3's adaptive reconfiguration — the
+/// target set of a set-typed functor admits any per-packet choice, so
+/// swapping policies mid-stream is always safe for correctness; only
+/// placement balance changes). The switch is O(1) and leaves both
+/// policies' internal state (round-robin cursors, SR cycles) intact, so
+/// repeated promote/demote cycles stay deterministic.
+class SwitchableRouter final : public RoutingPolicy {
+ public:
+  SwitchableRouter(std::unique_ptr<RoutingPolicy> baseline,
+                   std::unique_ptr<RoutingPolicy> dynamic)
+      : baseline_(std::move(baseline)), dynamic_(std::move(dynamic)) {}
+
+  std::size_t pick(const Packet& p,
+                   std::span<const RouteTarget> targets) override {
+    return (dynamic_active_ ? dynamic_ : baseline_)->pick(p, targets);
+  }
+
+  void promote() noexcept { dynamic_active_ = true; }
+  void demote() noexcept { dynamic_active_ = false; }
+  [[nodiscard]] bool dynamic_active() const noexcept {
+    return dynamic_active_;
+  }
+
+  /// Reports the *currently engaged* policy so instruments and journals
+  /// show which regime routed a given packet.
+  [[nodiscard]] std::string name() const override {
+    return (dynamic_active_ ? dynamic_ : baseline_)->name() + "(switchable)";
+  }
+
+ private:
+  std::unique_ptr<RoutingPolicy> baseline_;
+  std::unique_ptr<RoutingPolicy> dynamic_;
+  bool dynamic_active_ = false;
+};
+
 /// Decorator that publishes every routing decision of the wrapped policy:
 /// a `route.<label>.target.<i>` counter per chosen instance in the
 /// engine's registry, and — when tracing — an instant event on the

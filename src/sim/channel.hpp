@@ -34,8 +34,17 @@ class Channel {
   [[nodiscard]] bool closed() const noexcept { return closed_; }
 
   /// Close the channel: pending and future recvs observe nullopt once
-  /// the buffered items drain. Blocked senders are woken (their sends
-  /// still complete; late sends into a closed channel are dropped).
+  /// the buffered items drain.
+  ///
+  /// Contract for senders blocked in send() at close time: they are woken
+  /// WITHOUT their value being enqueued — the send completes with
+  /// delivered == false and the value is destroyed. close() cannot enqueue
+  /// them (the channel is at capacity, that is why they were blocked, and
+  /// the receivers are gone). Any caller that closes a channel while
+  /// senders may be in flight therefore owns the resulting delivery
+  /// failures: check send()'s result, or only close after the last send
+  /// has resolved (StageOutput::close_when_drained is the reference
+  /// pattern — it waits for inflight == 0 before closing).
   void close() {
     closed_ = true;
     wake_all_receivers();
@@ -60,7 +69,9 @@ class Channel {
   /// A freed slot is transferred directly to the longest-waiting sender
   /// (its value is enqueued before it even resumes), so concurrent new
   /// senders can never steal the slot and no value is ever dropped while
-  /// the channel stays open.
+  /// the channel stays open. A false result (send into a closed channel,
+  /// or close() arriving while blocked) means the value was destroyed —
+  /// callers tracking conservation must treat it as a loss, not ignore it.
   [[nodiscard]] auto send(T value) {
     struct Awaiter {
       Channel* ch;

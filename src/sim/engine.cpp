@@ -43,7 +43,19 @@ std::size_t Engine::run(SimTime until) {
   const std::size_t processed =
       tracer_.enabled() ? run_traced(until) : run_fast(until);
   events_processed_ += processed;
+  rethrow_root_failure();
   return processed;
+}
+
+void Engine::rethrow_root_failure() const {
+  // Spawn order makes the choice deterministic when several roots failed
+  // in the same run (their failure order is replay-stable anyway, but the
+  // scan must not depend on it).
+  for (const auto& r : roots_) {
+    if (r.task.valid() && r.task.exception()) {
+      std::rethrow_exception(r.task.exception());
+    }
+  }
 }
 
 std::size_t Engine::run_fast(SimTime until) {

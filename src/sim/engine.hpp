@@ -106,6 +106,12 @@ class Engine {
 
   /// Run until the event queue drains or `until` is reached.
   /// Returns the number of events processed by this call.
+  ///
+  /// If any spawned root task exited with an exception, the first such
+  /// exception (in spawn order) is rethrown here once the loop stops.
+  /// Root tasks are never awaited, so without this check a throw inside
+  /// a spawned process would be stored in its promise and silently
+  /// discarded — an invariant violation would look like a clean run.
   std::size_t run(SimTime until = kTimeInfinity);
 
   /// Events processed across all run() calls on this engine.
@@ -184,6 +190,7 @@ class Engine {
 
   std::size_t run_fast(SimTime until);
   std::size_t run_traced(SimTime until);
+  void rethrow_root_failure() const;
 
   MetricsSource* sources_ = nullptr;
   FourAryHeap<Event, EventBefore> events_;

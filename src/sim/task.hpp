@@ -82,6 +82,14 @@ class [[nodiscard]] Task {
   Handle release() noexcept { return std::exchange(handle_, {}); }
   Handle handle() const noexcept { return handle_; }
 
+  /// Exception the coroutine exited with, if any. Awaited tasks rethrow
+  /// through await_resume; root tasks are never awaited, so the Engine
+  /// inspects this after its run loop — otherwise a throw inside a
+  /// spawned process would vanish into the stored exception_ptr.
+  [[nodiscard]] std::exception_ptr exception() const noexcept {
+    return handle_ ? handle_.promise().exception : nullptr;
+  }
+
   auto operator co_await() noexcept {
     struct Awaiter {
       Handle h;

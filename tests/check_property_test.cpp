@@ -54,9 +54,19 @@ TEST(Property, NoPacketIsLostToACrashedReplica) {
   ASSERT_FALSE(f.has_value()) << f->describe();
 }
 
+TEST(Property, RouterHotSwapPreservesPacketOrder) {
+  const auto f = check::suite_lm_switch(kCases, kSeed);
+  ASSERT_FALSE(f.has_value()) << f->describe();
+}
+
+TEST(Property, MigrationConservesPacketMultiset) {
+  const auto f = check::suite_lm_migration(kCases, kSeed);
+  ASSERT_FALSE(f.has_value()) << f->describe();
+}
+
 // The registry the lmas_check driver iterates must cover every suite above.
 TEST(Property, RegistryListsAllSuites) {
-  ASSERT_EQ(check::all_suites().size(), 8u);
+  ASSERT_EQ(check::all_suites().size(), 10u);
   for (const auto& s : check::all_suites()) {
     EXPECT_NE(s.fn, nullptr) << s.name;
     EXPECT_GE(s.default_cases, 100u) << s.name;

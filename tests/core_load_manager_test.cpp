@@ -1,0 +1,286 @@
+/// Online load management: the SwitchableRouter hot-swap decorator, the
+/// LoadManager control loop (hysteresis, cooldown, dwell, projected
+/// drain-time migration planning), and the DSM-Sort pass-1 integration
+/// (skewed input + Manage mode must act, conserve records, and stay
+/// deterministic; Off mode must be digest-identical to no manager).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/core.hpp"
+
+namespace core = lmas::core;
+namespace asu = lmas::asu;
+namespace sim = lmas::sim;
+
+namespace {
+
+core::Packet packet_for_subset(std::uint32_t s) {
+  core::Packet p;
+  p.subset = s;
+  p.records.resize(8);
+  return p;
+}
+
+// ---------- SwitchableRouter ----------
+
+TEST(SwitchableRouter, SwapsBetweenPoliciesAndBack) {
+  // Baseline modulo-static vs round-robin dynamic: their pick sequences
+  // differ visibly, and each policy's internal state survives being
+  // swapped out (the RR cursor resumes where it left off).
+  core::SwitchableRouter r(std::make_unique<core::StaticPartitionRouter>(),
+                           std::make_unique<core::RoundRobinRouter>());
+  std::vector<core::RouteTarget> targets(3);
+  EXPECT_FALSE(r.dynamic_active());
+  EXPECT_EQ(r.pick(packet_for_subset(5), targets), 5u % 3);
+  EXPECT_EQ(r.pick(packet_for_subset(5), targets), 5u % 3);  // static: stable
+  r.promote();
+  EXPECT_TRUE(r.dynamic_active());
+  EXPECT_EQ(r.pick(packet_for_subset(5), targets), 0u);  // RR from 0
+  EXPECT_EQ(r.pick(packet_for_subset(5), targets), 1u);
+  r.demote();
+  EXPECT_EQ(r.pick(packet_for_subset(7), targets), 7u % 3);
+  r.promote();
+  EXPECT_EQ(r.pick(packet_for_subset(5), targets), 2u);  // cursor resumed
+}
+
+TEST(SwitchableRouter, NameReportsEngagedPolicy) {
+  core::SwitchableRouter r(std::make_unique<core::StaticPartitionRouter>(),
+                           std::make_unique<core::RoundRobinRouter>());
+  EXPECT_EQ(r.name(), "static(switchable)");
+  r.promote();
+  EXPECT_EQ(r.name(), "round-robin(switchable)");
+}
+
+TEST(SwitchableRouter, InstrumentedWrapAcrossShrinkingAndGrowingTargets) {
+  // The production composition: InstrumentedRouter(SwitchableRouter(...)).
+  // The target set shrinks (replica failure) and grows back; both
+  // regimes must keep picks in range and the per-target route counters
+  // must account for every pick.
+  sim::Engine eng;
+  auto switchable = std::make_unique<core::SwitchableRouter>(
+      std::make_unique<core::StaticPartitionRouter>(),
+      std::make_unique<core::RoundRobinRouter>());
+  core::SwitchableRouter* sw = switchable.get();
+  core::InstrumentedRouter r(std::move(switchable), eng, "lmtest");
+
+  std::size_t picks = 0;
+  for (std::size_t k : {std::size_t(4), std::size_t(2), std::size_t(1),
+                        std::size_t(5)}) {
+    std::vector<core::RouteTarget> targets(k);
+    for (std::uint32_t s = 0; s < 10; ++s) {
+      const std::size_t idx = r.pick(packet_for_subset(s), targets);
+      EXPECT_LT(idx, k);
+      ++picks;
+    }
+    sw->promote();
+    for (std::uint32_t s = 0; s < 10; ++s) {
+      const std::size_t idx = r.pick(packet_for_subset(s), targets);
+      EXPECT_LT(idx, k);
+      ++picks;
+    }
+    sw->demote();
+  }
+  std::uint64_t counted = 0;
+  for (std::size_t i = 0; i < 5; ++i) {
+    if (const auto* c = eng.metrics().find_counter(
+            "route.lmtest.target." + std::to_string(i))) {
+      counted += c->value();
+    }
+  }
+  EXPECT_EQ(counted, picks);
+}
+
+// ---------- LoadManager decision loop ----------
+
+core::LoadSample sample_at(double t, std::vector<double> host_backlog) {
+  core::LoadSample s;
+  s.time = t;
+  s.host_backlog = std::move(host_backlog);
+  s.host_rate.assign(s.host_backlog.size(), 1.0);
+  return s;
+}
+
+core::LoadManagerConfig manage_cfg() {
+  core::LoadManagerConfig cfg;
+  cfg.mode = core::LoadManagerMode::Manage;
+  cfg.promote_hysteresis = 2;
+  cfg.demote_hysteresis = 2;
+  cfg.cooldown_samples = 4;  // outlasts demote_hysteresis: observably gates
+  cfg.migrate_hysteresis = 2;
+  cfg.dwell_samples = 4;
+  return cfg;
+}
+
+TEST(LoadManager, PromotesOnlyOnSustainedImbalanceThenDemotes) {
+  sim::Engine eng;
+  core::LoadManager lm(eng, manage_cfg());
+  core::SwitchableRouter router(
+      std::make_unique<core::StaticPartitionRouter>(),
+      std::make_unique<core::RoundRobinRouter>());
+  lm.manage_router(&router);
+
+  // One hot sample is not enough (hysteresis = 2)...
+  lm.on_sample(sample_at(0.1, {1.0, 0.0}));
+  EXPECT_FALSE(router.dynamic_active());
+  // ...a second consecutive one is.
+  lm.on_sample(sample_at(0.2, {1.0, 0.0}));
+  EXPECT_TRUE(router.dynamic_active());
+  EXPECT_EQ(lm.router_switches(), 1u);
+
+  // Even load from now on. Demote hysteresis (2) is satisfied at sample
+  // 0.4, but the promote's cooldown (4) gates the action until the
+  // sample where the counter reaches zero.
+  lm.on_sample(sample_at(0.3, {0.5, 0.5}));
+  lm.on_sample(sample_at(0.4, {0.5, 0.5}));
+  lm.on_sample(sample_at(0.5, {0.5, 0.5}));
+  EXPECT_TRUE(router.dynamic_active());  // still cooling down
+  lm.on_sample(sample_at(0.6, {0.5, 0.5}));
+  EXPECT_FALSE(router.dynamic_active());
+  EXPECT_EQ(lm.router_switches(), 2u);
+  ASSERT_EQ(lm.events().size(), 2u);
+}
+
+TEST(LoadManager, TinyBacklogImbalanceIsIgnored) {
+  // A drained cluster with one 1ms straggler reads as imbalance 1.0;
+  // the actionable-backlog floor must mask it.
+  sim::Engine eng;
+  core::LoadManager lm(eng, manage_cfg());
+  core::SwitchableRouter router(
+      std::make_unique<core::StaticPartitionRouter>(),
+      std::make_unique<core::RoundRobinRouter>());
+  lm.manage_router(&router);
+  for (int i = 0; i < 10; ++i) {
+    lm.on_sample(sample_at(0.1 * i, {0.001, 0.0}));
+  }
+  EXPECT_FALSE(router.dynamic_active());
+  EXPECT_EQ(lm.router_switches(), 0u);
+}
+
+TEST(LoadManager, PlansMigrationOffOverloadedNodeWithDwell) {
+  sim::Engine eng;
+  asu::MachineParams mp;
+  mp.num_hosts = 2;
+  mp.num_asus = 1;
+  asu::Cluster cluster(eng, mp);
+  asu::Node* h0 = &cluster.host(0);
+  asu::Node* h1 = &cluster.host(1);
+
+  auto cfg = manage_cfg();
+  cfg.router_swap = false;
+  core::LoadManager lm(eng, cfg);
+  lm.manage_instances({h0, h1}, {h0, h1});
+
+  // h0 drowning, h1 idle: drain_here / drain_there >> migrate_factor.
+  h0->cpu().post(10.0);
+  EXPECT_EQ(lm.migration_target(0), nullptr);
+  lm.on_sample(sample_at(0.1, {10.0, 0.0}));
+  EXPECT_EQ(lm.migration_target(0), nullptr);  // hysteresis not met
+  lm.on_sample(sample_at(0.2, {10.0, 0.0}));
+  EXPECT_EQ(lm.migration_target(0), h1);  // planned
+  EXPECT_EQ(lm.migration_target(1), nullptr);
+
+  // The plan stays pending (and is not re-issued) until the stage
+  // confirms; confirmation flips placement and starts the dwell lockout.
+  lm.on_sample(sample_at(0.3, {10.0, 0.0}));
+  EXPECT_EQ(lm.migration_target(0), h1);
+  lm.migration_performed(0, *h1);
+  EXPECT_EQ(lm.migrations(), 1u);
+  EXPECT_EQ(lm.migration_target(0), nullptr);
+
+  // Still imbalanced on the nodes, but instance 0 is in dwell and
+  // instance 1 has no qualifying move (its node is the idle one) — no
+  // ping-pong plan may appear during the dwell window.
+  for (int i = 0; i < 3; ++i) {
+    lm.on_sample(sample_at(0.4 + 0.1 * i, {10.0, 0.0}));
+    EXPECT_EQ(lm.migration_target(0), nullptr);
+  }
+}
+
+// ---------- DSM-Sort integration ----------
+
+asu::MachineParams dsm_machine() {
+  asu::MachineParams mp;
+  mp.num_hosts = 2;
+  mp.num_asus = 4;
+  mp.c = 8;
+  return mp;
+}
+
+core::DsmSortConfig skewed_cfg() {
+  core::DsmSortConfig cfg;
+  cfg.total_records = std::size_t(1) << 14;
+  cfg.alpha = 8;
+  cfg.log2_alpha_beta = 12;
+  cfg.key_dist = core::KeyDist::Exponential;  // static split -> skew
+  cfg.sort_router = core::RouterKind::Static;
+  cfg.seed = 42;
+  return cfg;
+}
+
+core::LoadManagerConfig dsm_manage_cfg() {
+  core::LoadManagerConfig cfg;
+  cfg.mode = core::LoadManagerMode::Manage;
+  cfg.period = 0.002;
+  cfg.promote_hysteresis = 2;
+  cfg.cooldown_samples = 2;
+  cfg.migrate_hysteresis = 2;
+  return cfg;
+}
+
+TEST(LoadManagedDsm, ManageModeActsAndConservesRecords) {
+  auto cfg = skewed_cfg();
+  cfg.load_manager = dsm_manage_cfg();
+  const auto rep = core::run_dsm_sort(dsm_machine(), cfg);
+  EXPECT_TRUE(rep.ok()) << "conservation/sortedness broken under manager";
+  EXPECT_GE(rep.lm_router_switches + rep.lm_migrations, 1u)
+      << "skewed static split produced no action";
+  EXPECT_EQ(rep.lm_events.size() >= 1, true);
+  EXPECT_GT(rep.peak_host_imbalance, 0.0);
+}
+
+TEST(LoadManagedDsm, ManageModeIsDeterministicPerSeed) {
+  auto cfg = skewed_cfg();
+  cfg.load_manager = dsm_manage_cfg();
+  const auto a = core::run_dsm_sort(dsm_machine(), cfg);
+  const auto b = core::run_dsm_sort(dsm_machine(), cfg);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.lm_migrations, b.lm_migrations);
+  EXPECT_EQ(a.lm_router_switches, b.lm_router_switches);
+  EXPECT_DOUBLE_EQ(a.pass1_seconds, b.pass1_seconds);
+}
+
+TEST(LoadManagedDsm, OffModeIsDigestNeutral) {
+  // mode == Off must not construct monitor or manager at all: the run is
+  // bit-for-bit the pre-load-manager execution (this is what keeps the
+  // six pinned golden digests valid without regoldening).
+  auto plain = skewed_cfg();
+  auto off = skewed_cfg();
+  off.load_manager = dsm_manage_cfg();
+  off.load_manager.mode = core::LoadManagerMode::Off;
+  const auto a = core::run_dsm_sort(dsm_machine(), plain);
+  const auto b = core::run_dsm_sort(dsm_machine(), off);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(b.lm_migrations, 0u);
+  EXPECT_EQ(b.lm_router_switches, 0u);
+  EXPECT_EQ(b.peak_host_imbalance, 0.0);
+}
+
+TEST(LoadManagedDsm, MonitorModeObservesWithoutChangingTimings) {
+  auto plain = skewed_cfg();
+  auto mon = skewed_cfg();
+  mon.load_manager = dsm_manage_cfg();
+  mon.load_manager.mode = core::LoadManagerMode::Monitor;
+  const auto a = core::run_dsm_sort(dsm_machine(), plain);
+  const auto b = core::run_dsm_sort(dsm_machine(), mon);
+  // Sampling occupies no resources: identical pass timing, but the
+  // monitor reports the imbalance the unmanaged static split creates.
+  EXPECT_DOUBLE_EQ(a.pass1_seconds, b.pass1_seconds);
+  EXPECT_GT(b.peak_host_imbalance, 0.0);
+  EXPECT_GT(b.mean_host_imbalance, 0.0);
+  EXPECT_EQ(b.lm_migrations, 0u);
+  EXPECT_EQ(b.lm_router_switches, 0u);
+}
+
+}  // namespace

@@ -391,6 +391,91 @@ TEST(DegradedDelivery, RecoveryReaddsTargetToRoutingSet) {
   EXPECT_GE(got1.size(), 3u);
 }
 
+// ---------- delivery-contract regressions ----------
+// These pin misconfigurations that used to hang or silently drop packets
+// (assert-only guards are compiled out in the default NDEBUG build).
+
+TEST(DeliveryContract, ZeroProducersThrowsAtConstruction) {
+  // Pre-fix: StageSpec.producers defaulted to 0, window_ became 0, and
+  // the first emit_to spun on a zero-slot window forever.
+  sim::Engine eng;
+  auto mp = machine(1, 2);
+  asu::Cluster cluster(eng, mp);
+  core::StageInboxes inboxes(eng, 2, 4);
+  std::vector<asu::Node*> nodes{&cluster.asu(0), &cluster.asu(1)};
+  auto make = [&] {
+    return std::make_unique<core::StageOutput>(
+        eng, cluster.network(),
+        core::StageSpec{.record_bytes = mp.record_bytes,
+                        .endpoints = inboxes.endpoints(nodes),
+                        .router = std::make_unique<core::RoundRobinRouter>(),
+                        .name = "forgot_producers"});  // producers defaulted
+  };
+  EXPECT_THROW(make(), std::invalid_argument);
+}
+
+TEST(DeliveryContract, AllTargetsDownWithoutHealthBoardThrows) {
+  // Pre-fix: an assert-only guard; under NDEBUG emit() spun through the
+  // health-board wait with nothing to wait on. Now it throws, and the
+  // throw surfaces through Engine::run's root-failure check.
+  sim::Engine eng;
+  auto mp = machine(1, 2);
+  asu::Cluster cluster(eng, mp);
+  cluster.network().set_health_board(nullptr);  // no recovery signal
+  core::StageInboxes inboxes(eng, 2, 4);
+  std::vector<asu::Node*> nodes{&cluster.asu(0), &cluster.asu(1)};
+  core::StageOutput out(
+      eng, cluster.network(),
+      core::StageSpec{.record_bytes = mp.record_bytes,
+                      .endpoints = inboxes.endpoints(nodes),
+                      .router = std::make_unique<core::RoundRobinRouter>(),
+                      .producers = 1,
+                      .name = "no_board_stage"});
+  cluster.asu(0).set_crashed();
+  cluster.asu(1).set_crashed();
+  auto producer = [&]() -> sim::Task<> {
+    co_await out.emit(cluster.host(0), make_packet(0, 0));
+    out.producer_done();
+  };
+  eng.spawn(producer());
+  EXPECT_THROW(eng.run(), std::logic_error);
+}
+
+TEST(DeliveryContract, InboxClosedUnderInFlightPacketThrows) {
+  // Pre-fix: deliver() discarded Channel::send's result, so a packet in
+  // flight toward an inbox that someone closed directly vanished without
+  // a trace — conservation silently broken. Now the failed send throws,
+  // and (deliver being a spawned root) Engine::run surfaces it.
+  sim::Engine eng;
+  auto mp = machine(1, 2);
+  mp.link_latency = 0.02;  // wide in-flight window
+  asu::Cluster cluster(eng, mp);
+  core::StageInboxes inboxes(eng, 2, 4);
+  std::vector<asu::Node*> nodes{&cluster.asu(0), &cluster.asu(1)};
+  core::StageOutput out(
+      eng, cluster.network(),
+      core::StageSpec{.record_bytes = mp.record_bytes,
+                      .endpoints = inboxes.endpoints(nodes),
+                      .router = std::make_unique<core::RoundRobinRouter>(),
+                      .producers = 1,
+                      .name = "closed_under_stage"});
+  std::vector<std::pair<double, core::Packet>> got0, got1;
+  eng.spawn(consume(cluster.asu(0), inboxes.inbox(0), got0, eng));
+  eng.spawn(consume(cluster.asu(1), inboxes.inbox(1), got1, eng));
+  auto producer = [&]() -> sim::Task<> {
+    co_await out.emit_to(0, cluster.host(0), make_packet(0, 0));
+    out.producer_done();
+  };
+  auto closer = [&]() -> sim::Task<> {
+    co_await eng.sleep(0.01);  // packet launched, not yet landed
+    inboxes.inbox(0).close();  // wrong: bypasses close_when_drained
+    inboxes.inbox(1).close();
+  };
+  eng.spawn(producer());
+  eng.spawn(closer());
+  EXPECT_THROW(eng.run(), std::logic_error);
+}
+
 // ---------- DSM-Sort integration: digests & conservation ----------
 
 TEST(FaultDsm, FaultedRunIsDeterministicAndDistinct) {

@@ -109,6 +109,39 @@ TEST(Channel, CloseWakesBlockedReceivers) {
   EXPECT_TRUE(got_nullopt);
 }
 
+TEST(Channel, CloseReportsUndeliveredToBlockedSender) {
+  // Contract: a sender blocked on a full channel when close() arrives is
+  // woken WITHOUT its value being enqueued — send resolves delivered ==
+  // false and the value is destroyed. Pre-fix callers that ignored the
+  // result lost the packet silently; this pins the documented behavior
+  // the delivery-checking callers now rely on.
+  sim::Engine eng;
+  sim::Channel<int> ch(eng, 1);
+  ASSERT_TRUE(ch.try_send(1));  // fill the single slot
+  bool first_delivered = false;
+  bool second_delivered = true;
+  auto sender = [](sim::Channel<int>& c, bool& d1, bool& d2) -> sim::Task<> {
+    d1 = co_await c.send(2);  // blocks: channel full
+    d2 = co_await c.send(3);  // post-close send: immediate failure
+  };
+  auto closer = [](sim::Engine& e, sim::Channel<int>& c) -> sim::Task<> {
+    co_await e.sleep(1.0);
+    c.close();
+  };
+  eng.spawn(sender(ch, first_delivered, second_delivered));
+  eng.spawn(closer(eng, ch));
+  eng.run();
+  EXPECT_FALSE(first_delivered);
+  EXPECT_FALSE(second_delivered);
+  EXPECT_EQ(eng.unfinished_tasks(), 0u);
+  // The buffered pre-close value still drains; the dropped ones never
+  // appear.
+  std::vector<int> got;
+  eng.spawn(consume_ints(eng, ch, got));
+  eng.run();
+  EXPECT_EQ(got, (std::vector<int>{1}));
+}
+
 TEST(Channel, DrainsBufferedItemsAfterClose) {
   sim::Engine eng;
   sim::Channel<int> ch(eng);

@@ -133,6 +133,30 @@ TEST(Engine, ChildExceptionPropagatesToAwaiter) {
   EXPECT_TRUE(caught);
 }
 
+sim::Task<> root_throws(sim::Engine& eng) {
+  co_await eng.sleep(1.0);
+  throw Boom{};
+}
+
+sim::Task<> keeps_running(sim::Engine& eng, int& ticks) {
+  for (int i = 0; i < 5; ++i) {
+    co_await eng.sleep(1.0);
+    ++ticks;
+  }
+}
+
+TEST(Engine, RootExceptionRethrownByRun) {
+  // A spawned root task is never awaited, so its stored exception must be
+  // surfaced by run() itself — not silently discarded. Other processes
+  // still complete first: the failure is reported once the loop stops.
+  sim::Engine eng;
+  int ticks = 0;
+  eng.spawn(keeps_running(eng, ticks));
+  eng.spawn(root_throws(eng));
+  EXPECT_THROW(eng.run(), Boom);
+  EXPECT_EQ(ticks, 5);
+}
+
 sim::Task<> never_wakes(sim::Condition& cv) {
   co_await cv.wait();
 }
