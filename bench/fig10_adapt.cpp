@@ -156,6 +156,14 @@ int main() {
     core::DsmSortConfig c = base_config();
     c.load_manager = manager_cfg(H, cell.managed);
     if (cell.perturbed) c.faults = window;
+    // Telemetry on every cell: per-stage latency quantiles answer the
+    // tail question the mean imbalance hides (does management shorten
+    // the p99 packet service time, not just the average?), and the
+    // host-load series is the managed-vs-unmanaged picture itself.
+    // Digest-neutral, so the reference digest above is unaffected.
+    c.telemetry.histograms = true;
+    c.telemetry.sampler = true;
+    c.telemetry.sample_period = H / 64.0;  // aligned with the manager
     if (trace_requested()) {
       c.trace_file = std::string("trace_fig10_adapt_") + cell.key + ".json";
     }
@@ -190,6 +198,27 @@ int main() {
                 static_cast<unsigned long long>(r.lm_migrations),
                 r.ok() ? "ok" : "FAIL");
   }
+  // Tail latencies per cell: sort-stage packet service time quantiles
+  // from the run's latency histograms (the managed cells should pull the
+  // p99 in, since migration/SR stop packets from queueing behind a hot
+  // host). Values are sim seconds.
+  const auto hist_q = [](const core::DsmSortReport& r, const char* name,
+                         const char* q) {
+    const obs::Json* h = r.histograms.find(name);
+    const obs::Json* v = h != nullptr ? h->find(q) : nullptr;
+    return v != nullptr ? v->as_double() : 0.0;
+  };
+  std::printf("\n%-20s %12s %12s %12s %12s\n", "cell", "sort.p50(s)",
+              "sort.p99(s)", "wait.p50(s)", "wait.p99(s)");
+  for (std::size_t run = 0; run < cells.size(); ++run) {
+    const auto& r = cells[run];
+    std::printf("%-20s %12.5f %12.5f %12.5f %12.5f\n", sweep.cells[run].key,
+                hist_q(r, "sort.packet_seconds", "p50"),
+                hist_q(r, "sort.packet_seconds", "p99"),
+                hist_q(r, "to_sort.queue_wait_seconds", "p50"),
+                hist_q(r, "to_sort.queue_wait_seconds", "p99"));
+  }
+
   std::printf("\n# decision journals:\n");
   for (std::size_t run = 0; run < cells.size(); ++run) {
     for (const auto& e : cells[run].lm_events) {

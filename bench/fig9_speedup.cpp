@@ -69,6 +69,13 @@ core::DsmSortReport run_cell(const Cell& cell) {
   cfg.distribute_on_asus = cell.kind != Kind::kBaseline;
   if (cell.kind != Kind::kBaseline) cfg.alpha = cell.alpha;
   if (cell.trace) cfg.trace_file = "trace_fig9_adaptive.json";
+  // The detailed (largest adaptive) cell additionally carries latency
+  // quantiles and a host/ASU load time series into the artifact.
+  // Digest-neutral: its pinned digest is unaffected.
+  if (cell.detailed) {
+    cfg.telemetry.histograms = true;
+    cfg.telemetry.sampler = true;
+  }
   return core::run_dsm_sort(mp, cfg);
 }
 
@@ -177,6 +184,8 @@ int main() {
         report.add_utilization(a.node, a.mean, ad.util_bin_seconds, a.series);
       }
       report.root()["metrics"] = ad.metrics;
+      report.root()["histograms"] = ad.histograms;
+      report.root()["time_series"] = ad.time_series;
       row["sim_events"] = double(ad.sim_events);
     }
     report.results().push_back(std::move(row));

@@ -1,6 +1,7 @@
 #include "check/suites.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
 #include <map>
@@ -18,6 +19,7 @@
 #include "extmem/sort.hpp"
 #include "fault/fault.hpp"
 #include "extmem/stream.hpp"
+#include "obs/latency.hpp"
 #include "sim/sim.hpp"
 
 namespace lmas::check {
@@ -866,6 +868,94 @@ std::optional<std::string> prop_lm_migration(sim::Rng& rng, unsigned size) {
   return std::nullopt;
 }
 
+// ---- histogram -----------------------------------------------------
+
+// The telemetry pipeline's accuracy contract: a log-bucketed
+// LatencyHistogram's streamed nearest-rank quantile lands in the same
+// bucket as the exact nearest-rank sample, so its midpoint answer is
+// within the documented per-bucket relative error of the truth; and
+// merging per-shard histograms is order- and grouping-independent in
+// everything quantiles depend on (bucket counts, count, min, max).
+std::optional<std::string> prop_histogram(sim::Rng& rng, unsigned size) {
+  const std::size_t n = 1 + rng.below(std::size_t(512) * size);
+
+  // Log-uniform samples spanning ~28 octaves, kept strictly inside the
+  // bucketed range so neither the underflow nor overflow bucket (whose
+  // answers are exact-min / exact-max, not midpoints) absorbs them.
+  // A quarter of the draws repeat the previous value to exercise ties.
+  std::vector<double> samples;
+  samples.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!samples.empty() && rng.below(4) == 0) {
+      samples.push_back(samples.back());
+    } else {
+      samples.push_back(std::exp2(rng.uniform(-20.0, 8.0)));
+    }
+  }
+
+  obs::LatencyHistogram pooled;
+  for (const double v : samples) pooled.observe(v);
+  if (pooled.count() != n) {
+    return fmt("pooled count %llu != n %zu",
+               static_cast<unsigned long long>(pooled.count()), n);
+  }
+
+  // Streamed vs exact nearest-rank quantiles, within the documented
+  // bound: both land in the same bucket, and the midpoint is at most
+  // half a bucket width (<= kRelativeError, relative) from the sample.
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  for (const double q : {0.5, 0.9, 0.99, 1.0}) {
+    const std::size_t rank = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::ceil(q * double(n))));
+    const double exact = sorted[std::min(rank, n) - 1];
+    const double streamed = pooled.quantile(q);
+    const double tol =
+        exact * obs::LatencyHistogram::kRelativeError * (1 + 1e-9) + 1e-12;
+    if (std::abs(streamed - exact) > tol) {
+      return fmt("q=%.2f streamed %.9g vs exact %.9g exceeds bound %.3g "
+                 "(n=%zu)",
+                 q, streamed, exact, tol, n);
+    }
+  }
+
+  // Shard the samples round-robin, then merge the shards in two
+  // different permutations and one nested grouping. Quantiles depend
+  // only on bucket counts + min/max, all of which merge exactly, so
+  // every merge order must agree with the pooled histogram bit-for-bit
+  // on those — and therefore on every quantile.
+  const std::size_t shards = 2 + rng.below(5);
+  std::vector<obs::LatencyHistogram> parts(shards);
+  for (std::size_t i = 0; i < n; ++i) parts[i % shards].observe(samples[i]);
+
+  obs::LatencyHistogram fwd;
+  for (const auto& p : parts) fwd.merge(p);
+  obs::LatencyHistogram rev;
+  for (std::size_t i = shards; i-- > 0;) rev.merge(parts[i]);
+  obs::LatencyHistogram nested;  // (last..k) merged first, then (0..k)
+  const std::size_t cut = rng.below(shards);
+  obs::LatencyHistogram tail;
+  for (std::size_t i = cut; i < shards; ++i) tail.merge(parts[i]);
+  for (std::size_t i = 0; i < cut; ++i) nested.merge(parts[i]);
+  nested.merge(tail);
+
+  for (const obs::LatencyHistogram* m : {&fwd, &rev, &nested}) {
+    if (m->count() != pooled.count() ||
+        m->bucket_counts() != pooled.bucket_counts() ||
+        m->min() != pooled.min() || m->max() != pooled.max()) {
+      return fmt("merge order changed counts/min/max (shards=%zu n=%zu)",
+                 shards, n);
+    }
+    for (const double q : {0.5, 0.9, 0.99}) {
+      if (m->quantile(q) != pooled.quantile(q)) {
+        return fmt("merge order changed q=%.2f (shards=%zu n=%zu)", q,
+                   shards, n);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
 std::optional<Failure> run_suite(const char* name, std::size_t cases,
                                  std::uint64_t seed, unsigned min_size,
                                  unsigned max_size, const Property& prop) {
@@ -932,6 +1022,11 @@ std::optional<Failure> suite_lm_migration(std::size_t cases,
   return run_suite("lm-migration", cases, seed, 1, 8, prop_lm_migration);
 }
 
+std::optional<Failure> suite_histogram(std::size_t cases,
+                                       std::uint64_t seed) {
+  return run_suite("histogram", cases, seed, 1, 16, prop_histogram);
+}
+
 const std::vector<SuiteInfo>& all_suites() {
   static const std::vector<SuiteInfo> kSuites = {
       {"permutation", &suite_permutation, 100},
@@ -944,6 +1039,7 @@ const std::vector<SuiteInfo>& all_suites() {
       {"fault-routing", &suite_fault_routing, 100},
       {"lm-switch", &suite_lm_switch, 100},
       {"lm-migration", &suite_lm_migration, 100},
+      {"histogram", &suite_histogram, 100},
   };
   return kSuites;
 }

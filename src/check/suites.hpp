@@ -57,6 +57,11 @@ namespace lmas::check {
 ///                  (producer, subset, seq) multiset must equal the
 ///                  emitted one, records stay intact within packets, and
 ///                  the run replays bit-identically.
+///  - histogram:    the telemetry pipeline's accuracy contract — a
+///                  LatencyHistogram's streamed nearest-rank quantiles
+///                  stay within the documented per-bucket relative error
+///                  of exact sorted-sample quantiles, and merging shard
+///                  histograms is order- and grouping-independent.
 std::optional<Failure> suite_permutation(std::size_t cases,
                                          std::uint64_t seed);
 std::optional<Failure> suite_packet_order(std::size_t cases,
@@ -76,6 +81,8 @@ std::optional<Failure> suite_lm_switch(std::size_t cases,
                                        std::uint64_t seed);
 std::optional<Failure> suite_lm_migration(std::size_t cases,
                                           std::uint64_t seed);
+std::optional<Failure> suite_histogram(std::size_t cases,
+                                       std::uint64_t seed);
 
 struct SuiteInfo {
   std::string_view name;

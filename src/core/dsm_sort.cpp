@@ -11,6 +11,7 @@
 #include "core/pipeline.hpp"
 #include "fault/fault.hpp"
 #include "obs/report.hpp"
+#include "obs/sampler.hpp"
 #include "core/splitters.hpp"
 #include "extmem/distribute.hpp"
 #include "extmem/merge.hpp"
@@ -75,14 +76,17 @@ class DsmSortSim {
     rep.pass1_seconds = pass1_end_;
     eng_.tracer().complete(dsm_track_, "pass1", 0.0, pass1_end_);
     eng_.metrics().gauge("dsm.pass1_seconds").set(pass1_end_);
+    if (phase_hist_ != nullptr) phase_hist_->observe(pass1_end_);
     validate_pass1(rep);
     if (cfg_.run_merge_pass) {
       run_pass2(rep);
       eng_.tracer().complete(dsm_track_, "pass2", pass1_end_,
                              pass1_end_ + rep.pass2_seconds);
       eng_.metrics().gauge("dsm.pass2_seconds").set(rep.pass2_seconds);
+      if (phase_hist_ != nullptr) phase_hist_->observe(rep.pass2_seconds);
     }
     rep.makespan = eng_.now();
+    if (job_hist_ != nullptr) job_hist_->observe(rep.makespan);
     if (monitor_) {
       rep.peak_host_imbalance = monitor_->peak_host_imbalance();
       rep.mean_host_imbalance = monitor_->mean_host_imbalance();
@@ -94,6 +98,10 @@ class DsmSortSim {
     }
     collect_utilization(rep);
     rep.metrics = eng_.metrics().snapshot();
+    if (cfg_.telemetry.histograms) {
+      rep.histograms = eng_.metrics().latency_summaries();
+    }
+    if (sampler_ != nullptr) rep.time_series = sampler_->to_json();
     rep.sim_events = eng_.events_processed();
     rep.digest = eng_.digest();
     if (!cfg_.trace_file.empty()) {
@@ -152,7 +160,8 @@ class DsmSortSim {
                   .endpoints = sort_in_->endpoints(host_nodes),
                   .router = std::move(sort_router),
                   .producers = d_,
-                  .name = "to_sort"});
+                  .name = "to_sort",
+                  .telemetry = cfg_.telemetry.histograms});
     // Runs are striped across ASUs at packet granularity (Section 4.3:
     // merged/sorted runs are stored striped across the ASUs).
     to_store_ = std::make_unique<StageOutput>(
@@ -161,7 +170,25 @@ class DsmSortSim {
                   .endpoints = store_in_->endpoints(asu_nodes),
                   .router = std::make_unique<RoundRobinRouter>(),
                   .producers = h_,
-                  .name = "to_store"});
+                  .name = "to_store",
+                  .telemetry = cfg_.telemetry.histograms});
+
+    // Functor-level latency histograms (the per-packet delivery and
+    // queue-wait instruments live inside the StageOutputs above). All
+    // push-model: registered only on opt-in, fed from control flow that
+    // runs anyway, so the digest and — when off — the metrics
+    // fingerprint are untouched.
+    if (cfg_.telemetry.histograms) {
+      auto& reg = eng_.metrics();
+      sort_hist_ = &reg.latency("sort.packet_seconds");
+      store_hist_ = &reg.latency("store.packet_seconds");
+      phase_hist_ = &reg.latency("dsm.phase_seconds");
+      job_hist_ = &reg.latency("dsm.job_seconds");
+      if (cfg_.load_manager.mode == LoadManagerMode::Manage &&
+          cfg_.load_manager.migration) {
+        migration_hist_ = &reg.latency("lm.migration_seconds");
+      }
+    }
 
     stored_.assign(d_, {});
     records_sorted_per_host_.assign(h_, 0);
@@ -201,6 +228,59 @@ class DsmSortSim {
             [this](const LoadSample& s) { manager_->on_sample(s); });
       }
       monitor_->start(cfg_.load_manager.max_samples);
+    }
+
+    // Sim-time series: a passive sampler driven from the engine's run
+    // loop (see Engine::set_sampler), NOT a scheduled process — a
+    // sampling coroutine would add events and move the digest. Probe
+    // order is fixed by configuration, so serial and parallel sweeps
+    // emit identical time_series blocks.
+    if (cfg_.telemetry.sampler) {
+      const double period = cfg_.telemetry.sample_period > 0
+                                ? cfg_.telemetry.sample_period
+                                : mp_.util_bin;
+      sampler_ = std::make_unique<obs::Sampler>(
+          period, cfg_.telemetry.sample_capacity);
+      for (unsigned i = 0; i < h_; ++i) {
+        sampler_->add_probe(
+            "host.load." + std::to_string(i),
+            [n = &cluster_.host(i)] { return n->cpu().backlog(); });
+      }
+      for (unsigned a = 0; a < d_; ++a) {
+        sampler_->add_probe(
+            "asu.backlog." + std::to_string(a),
+            [n = &cluster_.asu(a)] { return n->cpu().backlog(); });
+      }
+      if (injector_ != nullptr) {
+        sampler_->add_probe("fault.nodes_impaired", [this] {
+          double n = 0;
+          for (unsigned i = 0; i < h_; ++i) {
+            if (cluster_.host(i).health() != asu_ns::NodeHealth::Healthy) {
+              ++n;
+            }
+          }
+          for (unsigned a = 0; a < d_; ++a) {
+            if (cluster_.asu(a).health() != asu_ns::NodeHealth::Healthy) {
+              ++n;
+            }
+          }
+          return n;
+        });
+      }
+      if (manager_ != nullptr) {
+        sampler_->add_probe("lm.migrations", [this] {
+          return double(manager_->migrations());
+        });
+        sampler_->add_probe("lm.router_switches", [this] {
+          return double(manager_->router_switches());
+        });
+        if (switch_router_ != nullptr) {
+          sampler_->add_probe("lm.router_dynamic", [this] {
+            return switch_router_->dynamic_active() ? 1.0 : 0.0;
+          });
+        }
+      }
+      eng_.set_sampler(sampler_.get());
     }
 
     for (unsigned a = 0; a < d_; ++a) {
@@ -360,6 +440,8 @@ class DsmSortSim {
     // re-pin it to another host mid-stream (functor migration).
     asu_ns::Node* node = &cluster_.host(hh);
     auto& in = sort_in_->inbox(hh);
+    const std::uint32_t track =
+        eng_.tracer().track("sort" + std::to_string(hh));
     const std::size_t run_len = cfg_.host_run_length();
     std::unordered_map<std::uint32_t, std::vector<em::KeyRecord>> staging;
     std::uint32_t next_run_id = hh * 0x100000u;
@@ -367,6 +449,8 @@ class DsmSortSim {
     while (true) {
       auto p = co_await in.recv();
       if (!p) break;
+      to_sort_->consumed(*p, track);
+      const double t_take = eng_.now();
       // Accepted packets stay queued across a crash window; processing
       // pauses here and resumes on recovery (nothing is lost).
       while (!node->running()) co_await node->health_wait();
@@ -379,14 +463,26 @@ class DsmSortSim {
             target != nullptr && target != node) {
           std::size_t staged = 0;
           for (const auto& [s, buf] : staging) staged += buf.size();
+          const double t_move = eng_.now();
           co_await cluster_.network().transfer(
               *node, *target,
               staged * mp_.record_bytes + kMigrationOverheadBytes);
+          if (migration_hist_ != nullptr) {
+            migration_hist_->observe(eng_.now() - t_move);
+          }
+          if (p->trace_id != 0 && eng_.tracer().enabled()) {
+            // The re-pin shows up in the packet's flow lane: the packet
+            // that triggered the consult carries the move.
+            eng_.tracer().flow_step(track,
+                                    "migrate->" + target->cpu().name(),
+                                    eng_.now(), p->trace_id);
+          }
           node = target;
           to_sort_->set_target_node(hh, *target);
           manager_->migration_performed(hh, *target);
         }
       }
+      const std::uint64_t parent_flow = p->trace_id;
       auto& buf = staging[p->subset];
       buf.insert(buf.end(), p->records.begin(), p->records.end());
       to_sort_->pool().release(std::move(p->records));
@@ -395,13 +491,15 @@ class DsmSortSim {
                                          buf.begin() + std::ptrdiff_t(run_len));
         buf.erase(buf.begin(), buf.begin() + std::ptrdiff_t(run_len));
         co_await emit_run(*node, hh, p->subset, std::move(block),
-                          next_run_id++);
+                          next_run_id++, parent_flow);
       }
+      if (sort_hist_ != nullptr) sort_hist_->observe(eng_.now() - t_take);
     }
     // Input closed: flush partial blocks as short runs.
     for (auto& [subset, buf] : staging) {
       if (!buf.empty()) {
-        co_await emit_run(*node, hh, subset, std::move(buf), next_run_id++);
+        co_await emit_run(*node, hh, subset, std::move(buf), next_run_id++,
+                          /*parent_flow=*/0);
       }
     }
     to_store_->producer_done();
@@ -409,7 +507,7 @@ class DsmSortSim {
 
   sim::Task<> emit_run(asu_ns::Node& node, unsigned hh, std::uint32_t subset,
                        std::vector<em::KeyRecord> block,
-                       std::uint32_t run_id) {
+                       std::uint32_t run_id, std::uint64_t parent_flow) {
     const double w0 = wall_seconds();
     std::sort(block.begin(), block.end());
     const double wall = wall_seconds() - w0;
@@ -435,6 +533,9 @@ class DsmSortSim {
       out.run_id = run_id;
       out.seq = seq++;
       out.sorted = true;
+      // Derived flow: the sorted-run packet's lane links back to the
+      // distribute packet whose arrival completed the run.
+      out.parent_id = parent_flow;
       out.records = to_store_->pool().acquire(n);
       out.records.assign(block.begin() + std::ptrdiff_t(off),
                          block.begin() + std::ptrdiff_t(off + n));
@@ -448,6 +549,8 @@ class DsmSortSim {
     obs::Counter& records_done =
         eng_.metrics().counter("functor.store" + std::to_string(a) +
                                ".records");
+    const std::uint32_t track =
+        eng_.tracer().track("store" + std::to_string(a));
     auto& in = store_in_->inbox(a);
     // Chunks are keyed by (run_id, seq) rather than appended in arrival
     // order: fault re-routing (retry-with-timeout) can let a later chunk
@@ -463,9 +566,12 @@ class DsmSortSim {
     while (true) {
       auto p = co_await in.recv();
       if (!p) break;
+      to_store_->consumed(*p, track);
+      const double t_take = eng_.now();
       while (!node.running()) co_await node.health_wait();
       records_done.inc(p->records.size());
       co_await node.disk().write(p->wire_bytes(mp_.record_bytes));
+      if (store_hist_ != nullptr) store_hist_->observe(eng_.now() - t_take);
       OpenRun& run = open[p->run_id];
       run.subset = p->subset;
       auto& chunk = run.chunks[p->seq];
@@ -536,14 +642,16 @@ class DsmSortSim {
                   .endpoints = merge_in_->endpoints(host_nodes),
                   .router = std::make_unique<StaticPartitionRouter>(),
                   .producers = d_,
-                  .name = "to_host_merge"});
+                  .name = "to_host_merge",
+                  .telemetry = cfg_.telemetry.histograms});
     to_final_store_ = std::make_unique<StageOutput>(
         eng_, cluster_.network(),
         StageSpec{.record_bytes = mp_.record_bytes,
                   .endpoints = final_in_->endpoints(asu_nodes),
                   .router = std::make_unique<RoundRobinRouter>(),
                   .producers = h_,
-                  .name = "to_final_store"});
+                  .name = "to_final_store",
+                  .telemetry = cfg_.telemetry.histograms});
 
     final_end_.assign(d_, pass1_end_);
     subset_bounds_.assign(alpha_, {});
@@ -671,6 +779,8 @@ class DsmSortSim {
   sim::Task<> host_merge_instance(unsigned hh) {
     asu_ns::Node& node = cluster_.host(hh);
     auto& in = merge_in_->inbox(hh);
+    const std::uint32_t track =
+        eng_.tracer().track("host_merge" + std::to_string(hh));
     std::map<std::uint32_t, std::map<std::uint32_t, std::vector<em::KeyRecord>>>
         pending;  // subset -> run_id -> records
     std::vector<unsigned> done_markers(alpha_, 0);
@@ -678,6 +788,7 @@ class DsmSortSim {
     while (true) {
       auto p = co_await in.recv();
       if (!p) break;
+      to_host_merge_->consumed(*p, track);
       if (p->run_id == kSubsetDoneMarker) {
         if (++done_markers[p->subset] == d_) {
           co_await merge_subset(node, p->subset, pending[p->subset]);
@@ -794,9 +905,12 @@ class DsmSortSim {
   sim::Task<> final_store_instance(unsigned a) {
     asu_ns::Node& node = cluster_.asu(a);
     auto& in = final_in_->inbox(a);
+    const std::uint32_t track =
+        eng_.tracer().track("final_store" + std::to_string(a));
     while (true) {
       auto p = co_await in.recv();
       if (!p) break;
+      to_final_store_->consumed(*p, track);
       co_await node.disk().write(p->wire_bytes(mp_.record_bytes));
       records_final_ += p->records.size();
       to_final_store_->pool().release(std::move(p->records));
@@ -897,6 +1011,12 @@ class DsmSortSim {
   std::unique_ptr<fault::FaultInjector> injector_;
   std::unique_ptr<LoadMonitor> monitor_;
   std::unique_ptr<LoadManager> manager_;
+  std::unique_ptr<obs::Sampler> sampler_;
+  obs::LatencyHistogram* sort_hist_ = nullptr;
+  obs::LatencyHistogram* store_hist_ = nullptr;
+  obs::LatencyHistogram* migration_hist_ = nullptr;
+  obs::LatencyHistogram* phase_hist_ = nullptr;
+  obs::LatencyHistogram* job_hist_ = nullptr;
   SwitchableRouter* switch_router_ = nullptr;  // owned by to_sort_'s router
 };
 
@@ -947,6 +1067,11 @@ obs::Json dsm_report_to_json(const DsmSortReport& rep) {
   add_nodes(rep.hosts);
   add_nodes(rep.asus);
   j["utilization"] = std::move(util);
+  // Telemetry blocks are config-driven (present iff the run opted in),
+  // so serial and parallel sweeps of the same cells emit bit-identical
+  // artifacts — presence never depends on runtime state.
+  if (!rep.histograms.is_null()) j["histograms"] = rep.histograms;
+  if (!rep.time_series.is_null()) j["time_series"] = rep.time_series;
   j["metrics"] = rep.metrics;
   return j;
 }

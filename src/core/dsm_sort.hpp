@@ -14,6 +14,37 @@
 
 namespace lmas::core {
 
+/// Distribution-level telemetry for a DSM-Sort run (ISSUE: the registry's
+/// scalar counters/gauges cannot answer tail questions). Everything here
+/// defaults OFF and is digest-neutral when on: histograms are push-model
+/// instruments fed from existing control flow, and the sampler is driven
+/// by the engine's run loop at period boundaries rather than by a
+/// scheduled process — no extra events, no RNG draws, no resource use,
+/// so the pinned golden digests are bit-identical either way (only the
+/// metrics snapshot grows, which is why the default stays off: the
+/// goldens also pin a metrics fingerprint).
+struct TelemetryConfig {
+  /// Latency histograms: per-stage packet service time, per-packet queue
+  /// wait and delivery time (StageSpec.telemetry on every stage),
+  /// migration duration, and job/phase completion time. Quantile
+  /// summaries land in DsmSortReport::histograms.
+  bool histograms = false;
+
+  /// Sim-time series: periodic snapshots of host/ASU CPU backlog, fault
+  /// state (when a plan is active) and lm.* decisions (when managed)
+  /// into bounded rings, emitted as DsmSortReport::time_series.
+  bool sampler = false;
+
+  /// Sampling period in sim seconds; 0 derives it from the machine's
+  /// utilization bin so the series lines up with the utilization block.
+  double sample_period = 0;
+
+  /// Ring capacity per probe (oldest samples evicted beyond this).
+  std::size_t sample_capacity = 4096;
+
+  [[nodiscard]] bool any() const noexcept { return histograms || sampler; }
+};
+
 /// Configuration of the hybrid distribute/sort/merge program (Section 4.3).
 /// DSM-Sort partitions records into alpha buckets, forms sorted runs of
 /// beta records per bucket, and gamma-way merges the runs, with
@@ -90,6 +121,10 @@ struct DsmSortConfig {
   /// Perfetto). Benches wire this to the LMAS_TRACE environment variable.
   std::string trace_file;
 
+  /// Latency histograms + sim-time series (see TelemetryConfig). Both
+  /// default off; enabling them does not move the execution digest.
+  TelemetryConfig telemetry;
+
   [[nodiscard]] std::size_t beta() const {
     const std::size_t k = std::size_t(1) << log2_alpha_beta;
     const std::size_t b = k / std::max(1u, alpha);
@@ -147,6 +182,15 @@ struct DsmSortReport {
   /// seconds / requests, per-channel bytes, per-functor record counts,
   /// routing choices, pass gauges) — everything a bench artifact needs.
   obs::Json metrics;
+
+  /// Quantile summaries ({name: {count, mean, p50, p90, p99, max}}) of
+  /// every latency histogram, when telemetry.histograms was on; null
+  /// otherwise (and then absent from the serialized artifact).
+  obs::Json histograms;
+
+  /// The sampler's time-series block ({period, samples, times, series:
+  /// {probe: [...]}}), when telemetry.sampler was on; null otherwise.
+  obs::Json time_series;
 
   /// Events the engine processed for this run (simulator work metric).
   std::uint64_t sim_events = 0;

@@ -33,6 +33,25 @@ struct Packet {
 
   std::vector<em::KeyRecord> records;
 
+  // ---- telemetry context (never folded into the execution digest) ----
+
+  /// Causal span id: assigned by StageOutput at first emit while tracing
+  /// is enabled (0 otherwise), carried through channel delivery to the
+  /// consuming stage so one packet's path — including retry-park loops
+  /// and migration re-pins — renders as a single flow lane.
+  std::uint64_t trace_id = 0;
+
+  /// Flow id of the upstream packet whose records fed this one (e.g. a
+  /// sorted-run packet derived from distribute packets); 0 = root flow.
+  std::uint64_t parent_id = 0;
+
+  /// Sim time the producer handed the packet to StageOutput::emit, and
+  /// sim time delivery enqueued it at the consumer inbox — the stamps
+  /// behind the <stage>.delivery_seconds / .queue_wait_seconds latency
+  /// histograms. Untouched (0) when stage telemetry is off.
+  double t_emit = 0;
+  double t_enqueue = 0;
+
   [[nodiscard]] std::size_t size() const noexcept { return records.size(); }
 
   /// Modeled wire/storage footprint: the evaluation's records are

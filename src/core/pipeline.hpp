@@ -82,6 +82,14 @@ struct StageSpec {
 
   /// Metric/trace prefix for this stage's instruments.
   std::string name = "stage";
+
+  /// Distribution-level telemetry: registers `<name>.delivery_seconds`
+  /// (emit → consumer-inbox arrival) and `<name>.queue_wait_seconds`
+  /// (inbox arrival → consumption, via consumed()) latency histograms
+  /// and stamps packet timestamps. Off by default: the pinned golden
+  /// metrics fingerprints require that no instruments appear unless a
+  /// run opts in.
+  bool telemetry = false;
 };
 
 /// The outbound side of a functor stage: routes packets across the
@@ -132,6 +140,10 @@ class StageOutput {
     for (std::size_t i = 0; i < endpoints_.size(); ++i) {
       routed_.push_back(
           &reg.counter(name_ + ".routed." + std::to_string(i)));
+    }
+    if (spec.telemetry) {
+      delivery_hist_ = &reg.latency(name_ + ".delivery_seconds");
+      queue_wait_hist_ = &reg.latency(name_ + ".queue_wait_seconds");
     }
     track_ = eng.tracer().track(name_);
   }
@@ -217,11 +229,17 @@ class StageOutput {
     bytes_counter_->inc(bytes);
     batch_hist_->observe(double(p.records.size()));
     routed_[idx]->inc();
+    if (delivery_hist_ != nullptr) p.t_emit = eng_->now();
     if (eng_->tracer().enabled()) {
-      eng_->tracer().instant(track_,
-                             "pkt s" + std::to_string(p.subset) + "->" +
-                                 std::to_string(idx),
-                             eng_->now());
+      // Open (or continue) the packet's causal flow lane. Packets that
+      // already carry a flow id — e.g. re-emitted after a retry — keep
+      // it; fresh packets get a new id, parented to whatever upstream
+      // flow fed them (parent_id set by the producer, 0 = root).
+      if (p.trace_id == 0) p.trace_id = eng_->next_trace_id();
+      eng_->tracer().flow_begin(track_,
+                                "pkt s" + std::to_string(p.subset) + "->" +
+                                    std::to_string(idx),
+                                eng_->now(), p.trace_id, p.parent_id);
     }
     // Sender occupancy: its own NIC only.
     co_await from.nic_transfer(bytes);
@@ -232,6 +250,22 @@ class StageOutput {
     assert(producers_left_ > 0);
     if (--producers_left_ == 0) {
       eng_->spawn(close_when_drained());
+    }
+  }
+
+  /// Consumer-side bookkeeping: call once per packet received from this
+  /// stage's inboxes, as close to the recv as possible. Closes the
+  /// packet's queue-wait measurement (inbox arrival → here, including
+  /// any time the channel was full) and terminates its causal flow lane
+  /// on the consumer's track. Free when telemetry and tracing are off.
+  void consumed(const Packet& p, std::uint32_t consumer_track) {
+    if (queue_wait_hist_ != nullptr) {
+      queue_wait_hist_->observe(eng_->now() - p.t_enqueue);
+    }
+    if (p.trace_id != 0 && eng_->tracer().enabled()) {
+      eng_->tracer().flow_end(consumer_track,
+                              "consume s" + std::to_string(p.subset),
+                              eng_->now(), p.trace_id);
     }
   }
 
@@ -285,14 +319,34 @@ class StageOutput {
       if (tries < max_retries_) {
         ++tries;
         fault_retries().inc();
+        if (p.trace_id != 0 && eng_->tracer().enabled()) {
+          eng_->tracer().flow_step(track_, "retry i" + std::to_string(idx),
+                                   eng_->now(), p.trace_id);
+        }
         co_await eng_->sleep(retry_timeout_);
         refresh_active();
         if (!active_.empty()) {
           idx = active_index_[router_->pick(p, active_)];
         }
       } else {
+        if (p.trace_id != 0 && eng_->tracer().enabled()) {
+          eng_->tracer().flow_step(track_, "park i" + std::to_string(idx),
+                                   eng_->now(), p.trace_id);
+        }
         while (!ep.node->running()) co_await ep.node->health_wait();
       }
+    }
+    if (delivery_hist_ != nullptr) {
+      // Arrival at the inbox boundary. Queue wait (measured at
+      // consumed()) starts here, so time blocked on a full channel
+      // counts as queueing, not delivery — backpressure is a property
+      // of the consumer side.
+      p.t_enqueue = eng_->now();
+      delivery_hist_->observe(p.t_enqueue - p.t_emit);
+    }
+    if (p.trace_id != 0 && eng_->tracer().enabled()) {
+      eng_->tracer().flow_step(track_, "deliver i" + std::to_string(idx),
+                               eng_->now(), p.trace_id);
     }
     // A failed send means the inbox closed with this packet in flight —
     // the records are gone and conservation is silently broken for
@@ -347,6 +401,8 @@ class StageOutput {
   obs::Counter* records_counter_ = nullptr;
   obs::Counter* bytes_counter_ = nullptr;
   obs::Histogram* batch_hist_ = nullptr;
+  obs::LatencyHistogram* delivery_hist_ = nullptr;
+  obs::LatencyHistogram* queue_wait_hist_ = nullptr;
   obs::Counter* retries_counter_ = nullptr;
   std::vector<obs::Counter*> routed_;
   std::uint32_t track_ = 0;

@@ -1,0 +1,85 @@
+#include "obs/latency.hpp"
+
+#include <algorithm>
+
+namespace lmas::obs {
+
+void LatencyHistogram::merge(const LatencyHistogram& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (count_ == 0 || other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+}
+
+double LatencyHistogram::bucket_lower(std::size_t idx) noexcept {
+  const std::size_t fin = idx - 1;  // finite buckets start at index 1
+  const int octave = kMinOctave + int(fin / kSubBuckets);
+  const int sub = int(fin % kSubBuckets);
+  return std::ldexp(1.0 + double(sub) / kSubBuckets, octave);
+}
+
+double LatencyHistogram::bucket_upper(std::size_t idx) noexcept {
+  const std::size_t fin = idx - 1;
+  const int octave = kMinOctave + int(fin / kSubBuckets);
+  const int sub = int(fin % kSubBuckets);
+  return std::ldexp(1.0 + double(sub + 1) / kSubBuckets, octave);
+}
+
+double LatencyHistogram::quantile(double q) const noexcept {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank: the smallest bucket whose cumulative count reaches
+  // ceil(q * N), with rank 1 as the floor so q=0 answers the minimum.
+  const std::uint64_t rank =
+      std::max<std::uint64_t>(1, std::uint64_t(std::ceil(q * double(count_))));
+  if (rank >= count_) return max_;  // the top rank is tracked exactly
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    cum += buckets_[i];
+    if (cum >= rank) {
+      if (i == 0) return 0.0;                    // underflow
+      if (i == kBucketCount - 1) return max_;    // overflow
+      const double mid = 0.5 * (bucket_lower(i) + bucket_upper(i));
+      return std::clamp(mid, min_, max_);
+    }
+  }
+  return max_;  // unreachable: cum == count_ >= rank by the last bucket
+}
+
+Json LatencyHistogram::to_json() const {
+  Json j = Json::object();
+  j["count"] = Json(count_);
+  j["sum"] = Json(sum_);
+  j["min"] = Json(min());
+  j["max"] = Json(max());
+  j["p50"] = Json(quantile(0.50));
+  j["p90"] = Json(quantile(0.90));
+  j["p99"] = Json(quantile(0.99));
+  Json buckets = Json::array();
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    if (buckets_[i] == 0) continue;
+    Json pair = Json::array();
+    pair.push_back(Json(i));
+    pair.push_back(Json(buckets_[i]));
+    buckets.push_back(std::move(pair));
+  }
+  j["buckets"] = std::move(buckets);
+  return j;
+}
+
+Json LatencyHistogram::summary_json() const {
+  Json j = Json::object();
+  j["count"] = Json(count_);
+  j["mean"] = Json(mean());
+  j["p50"] = Json(quantile(0.50));
+  j["p90"] = Json(quantile(0.90));
+  j["p99"] = Json(quantile(0.99));
+  j["max"] = Json(max());
+  return j;
+}
+
+}  // namespace lmas::obs

@@ -1,0 +1,118 @@
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace lmas::obs {
+
+/// Log-bucketed streaming histogram for latency-like quantities
+/// (HDR-histogram style). The bucket layout is FIXED at compile time —
+/// every instance shares it — which is what makes merges and quantile
+/// queries deterministic and order-independent: merging shard histograms
+/// is element-wise addition of counts, so any merge order (and any
+/// serial-vs-parallel shard assignment) produces bit-identical state.
+///
+/// Layout: each power-of-two octave [2^o, 2^(o+1)) is split into
+/// K = 2^kSubBits equal-width sub-buckets, for octaves o in
+/// [kMinOctave, kMaxOctave]. Values below 2^kMinOctave (including zero)
+/// land in a dedicated underflow bucket; values at or above
+/// 2^(kMaxOctave+1) land in an overflow bucket. With K = 32 the relative
+/// width of every finite bucket is 1/K ≈ 3.1%, so any quantile estimate
+/// taken at a bucket midpoint is within 1/(2K) ≈ 1.6% of the true value
+/// — the documented error bound the property suite checks against.
+///
+/// In sim-seconds terms the finite range is [2^-30, 2^11) ≈ [0.93 ns,
+/// 2048 s): below any modeled device time, above any modeled run length.
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBits = 5;
+  static constexpr int kSubBuckets = 1 << kSubBits;  // K = 32
+  static constexpr int kMinOctave = -30;
+  static constexpr int kMaxOctave = 10;
+  static constexpr int kOctaves = kMaxOctave - kMinOctave + 1;
+  /// [0] underflow | [1 .. kOctaves*K] finite | [last] overflow.
+  static constexpr std::size_t kBucketCount =
+      1 + std::size_t(kOctaves) * kSubBuckets + 1;
+  /// Documented per-bucket relative half-width of a midpoint estimate.
+  static constexpr double kRelativeError = 1.0 / (2 * kSubBuckets);
+
+  LatencyHistogram() : buckets_(kBucketCount, 0) {}
+
+  void observe(double v) noexcept {
+    ++count_;
+    sum_ += v;
+    if (count_ == 1 || v < min_) min_ = v;
+    if (v > max_) max_ = v;
+    ++buckets_[bucket_of(v)];
+  }
+
+  /// Element-wise count addition: commutative and associative by
+  /// construction (the property suite pins this across shard orders).
+  void merge(const LatencyHistogram& other) noexcept;
+
+  /// Nearest-rank quantile estimate, q in [0, 1]. Finite buckets answer
+  /// with their midpoint clamped to the observed [min, max] (so a
+  /// single-valued histogram is exact); the underflow bucket answers 0,
+  /// and the top rank (q = 1, or any q whose rank reaches the count)
+  /// answers the exactly-tracked max. Returns 0 when empty.
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ ? sum_ / double(count_) : 0.0;
+  }
+  [[nodiscard]] double min() const noexcept { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count_ ? max_ : 0.0; }
+  [[nodiscard]] const std::vector<std::uint64_t>& bucket_counts()
+      const noexcept {
+    return buckets_;
+  }
+
+  /// Lower edge of finite bucket `idx` (idx in [1, kOctaves*K]).
+  [[nodiscard]] static double bucket_lower(std::size_t idx) noexcept;
+  [[nodiscard]] static double bucket_upper(std::size_t idx) noexcept;
+
+  [[nodiscard]] static std::size_t bucket_of(double v) noexcept {
+    // NaN and negatives compare false here and fall into underflow,
+    // keeping observe() total without a branch per pathological input.
+    if (!(v >= kMinValue())) return 0;
+    if (v >= kMaxValue()) return kBucketCount - 1;
+    int exp = 0;
+    const double m = std::frexp(v, &exp);  // v = m * 2^exp, m in [0.5, 1)
+    const int octave = exp - 1;            // v in [2^octave, 2^(octave+1))
+    const int sub = int((m - 0.5) * (2 * kSubBuckets));
+    return 1 +
+           std::size_t(octave - kMinOctave) * kSubBuckets +
+           std::size_t(sub < kSubBuckets - 1 ? sub : kSubBuckets - 1);
+  }
+
+  /// {"count", "sum", "min", "max", "p50", "p90", "p99", "buckets":
+  ///  [[index, count], ...]} — buckets sparse and index-sorted, so two
+  /// identical histograms always serialize identically.
+  [[nodiscard]] Json to_json() const;
+
+  /// The quantile summary alone ({count, mean, p50, p90, p99, max}) —
+  /// what bench artifacts embed per metric.
+  [[nodiscard]] Json summary_json() const;
+
+ private:
+  [[nodiscard]] static double kMinValue() noexcept {
+    return std::ldexp(1.0, kMinOctave);
+  }
+  [[nodiscard]] static double kMaxValue() noexcept {
+    return std::ldexp(1.0, kMaxOctave + 1);
+  }
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+}  // namespace lmas::obs

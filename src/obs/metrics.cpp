@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace lmas::obs {
 
@@ -40,17 +41,63 @@ sorted_entries(
 
 }  // namespace
 
+void MetricsRegistry::ensure_name_free(std::string_view name,
+                                       const void* self) const {
+  const std::string key(name);
+  const char* kind = nullptr;
+  if (static_cast<const void*>(&counters_) != self &&
+      counters_.contains(key)) {
+    kind = "counter";
+  } else if (static_cast<const void*>(&gauges_) != self &&
+             gauges_.contains(key)) {
+    kind = "gauge";
+  } else if (static_cast<const void*>(&histograms_) != self &&
+             histograms_.contains(key)) {
+    kind = "histogram";
+  } else if (static_cast<const void*>(&latencies_) != self &&
+             latencies_.contains(key)) {
+    kind = "latency histogram";
+  }
+  if (kind != nullptr) {
+    throw std::invalid_argument(
+        "MetricsRegistry: metric name '" + key +
+        "' is already registered as a " + kind +
+        " — one name maps to one instrument kind (duplicate names would "
+        "emit ambiguous snapshot keys)");
+  }
+}
+
 Counter& MetricsRegistry::counter(std::string_view name) {
+  if (const Counter* c = find_in(counters_, name)) {
+    return const_cast<Counter&>(*c);
+  }
+  ensure_name_free(name, &counters_);
   return find_or_create(counters_, name);
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
+  if (const Gauge* g = find_in(gauges_, name)) {
+    return const_cast<Gauge&>(*g);
+  }
+  ensure_name_free(name, &gauges_);
   return find_or_create(gauges_, name);
 }
 
 Histogram& MetricsRegistry::histogram(std::string_view name,
                                       std::vector<double> upper_bounds) {
+  if (const Histogram* h = find_in(histograms_, name)) {
+    return const_cast<Histogram&>(*h);
+  }
+  ensure_name_free(name, &histograms_);
   return find_or_create(histograms_, name, std::move(upper_bounds));
+}
+
+LatencyHistogram& MetricsRegistry::latency(std::string_view name) {
+  if (const LatencyHistogram* h = find_in(latencies_, name)) {
+    return const_cast<LatencyHistogram&>(*h);
+  }
+  ensure_name_free(name, &latencies_);
+  return find_or_create(latencies_, name);
 }
 
 const Counter* MetricsRegistry::find_counter(std::string_view name) const {
@@ -64,6 +111,11 @@ const Gauge* MetricsRegistry::find_gauge(std::string_view name) const {
 const Histogram* MetricsRegistry::find_histogram(
     std::string_view name) const {
   return find_in(histograms_, name);
+}
+
+const LatencyHistogram* MetricsRegistry::find_latency(
+    std::string_view name) const {
+  return find_in(latencies_, name);
 }
 
 std::size_t MetricsRegistry::add_collector(std::function<void()> fn) {
@@ -90,7 +142,11 @@ Json MetricsRegistry::snapshot() const {
   for (const auto* e : sorted_entries(gauges_)) {
     gauges[e->first] = Json(e->second->value());
   }
+  // Both histogram kinds share one section, name-sorted across kinds
+  // (names are unique across kinds, so the merge cannot collide).
   Json& hists = out["histograms"] = Json::object();
+  std::vector<std::pair<const std::string*, Json>> merged;
+  merged.reserve(histograms_.size() + latencies_.size());
   for (const auto* e : sorted_entries(histograms_)) {
     const Histogram& h = *e->second;
     Json j = Json::object();
@@ -98,7 +154,21 @@ Json MetricsRegistry::snapshot() const {
     j["sum"] = Json(h.sum());
     j["bounds"] = Json::array_of(h.bounds());
     j["buckets"] = Json::array_of(h.bucket_counts());
-    hists[e->first] = std::move(j);
+    merged.emplace_back(&e->first, std::move(j));
+  }
+  for (const auto* e : sorted_entries(latencies_)) {
+    merged.emplace_back(&e->first, e->second->to_json());
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const auto& a, const auto& b) { return *a.first < *b.first; });
+  for (auto& [name, j] : merged) hists[*name] = std::move(j);
+  return out;
+}
+
+Json MetricsRegistry::latency_summaries() const {
+  Json out = Json::object();
+  for (const auto* e : sorted_entries(latencies_)) {
+    out[e->first] = e->second->summary_json();
   }
   return out;
 }

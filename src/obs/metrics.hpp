@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "obs/json.hpp"
+#include "obs/latency.hpp"
 
 namespace lmas::obs {
 
@@ -83,19 +84,31 @@ class MetricsRegistry {
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
   /// Find-or-create. References remain valid for the registry's lifetime.
+  /// Find-or-create is per kind (resolving the same counter twice is the
+  /// intended hot-path idiom), but a name may exist in only ONE kind:
+  /// re-registering it as a different kind would emit the same JSON key
+  /// under two snapshot sections, so creation throws std::invalid_argument
+  /// instead of silently producing an ambiguous artifact.
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
   /// Find-or-create; `upper_bounds` is used only on first creation and
   /// must be sorted ascending.
   Histogram& histogram(std::string_view name,
                        std::vector<double> upper_bounds);
+  /// Find-or-create a log-bucketed streaming histogram (shared fixed
+  /// layout; see LatencyHistogram). Exported in the snapshot's
+  /// "histograms" section alongside the fixed-bounds kind.
+  LatencyHistogram& latency(std::string_view name);
 
   [[nodiscard]] const Counter* find_counter(std::string_view name) const;
   [[nodiscard]] const Gauge* find_gauge(std::string_view name) const;
   [[nodiscard]] const Histogram* find_histogram(std::string_view name) const;
+  [[nodiscard]] const LatencyHistogram* find_latency(
+      std::string_view name) const;
 
   [[nodiscard]] std::size_t size() const noexcept {
-    return counters_.size() + gauges_.size() + histograms_.size();
+    return counters_.size() + gauges_.size() + histograms_.size() +
+           latencies_.size();
   }
 
   /// Pull-model instruments: a collector runs just before every
@@ -110,15 +123,29 @@ class MetricsRegistry {
 
   /// Point-in-time JSON snapshot, keys sorted for determinism:
   /// {"counters": {name: n}, "gauges": {name: v},
-  ///  "histograms": {name: {count, sum, bounds, buckets}}}
+  ///  "histograms": {name: {count, sum, bounds, buckets}}}.
+  /// Latency histograms appear in the same "histograms" section (merged
+  /// name-sorted with the fixed-bounds kind) with their own shape:
+  /// {count, sum, min, max, p50, p90, p99, buckets: [[idx, n], ...]}.
   [[nodiscard]] Json snapshot() const;
 
+  /// Quantile summaries of every latency histogram, name-sorted:
+  /// {name: {count, mean, p50, p90, p99, max}} — the `histograms` block
+  /// bench artifacts embed. Does not run collectors (latency histograms
+  /// are push-model).
+  [[nodiscard]] Json latency_summaries() const;
+
  private:
+  /// Throws if `name` is already registered under a different kind
+  /// (`self` is the map the caller is about to insert into).
+  void ensure_name_free(std::string_view name, const void* self) const;
+
   template <typename T>
   using Map = std::unordered_map<std::string, std::unique_ptr<T>>;
   Map<Counter> counters_;
   Map<Gauge> gauges_;
   Map<Histogram> histograms_;
+  Map<LatencyHistogram> latencies_;
   // Collectors may create instruments, so snapshot() (const) runs them
   // against mutable state; ids are never reused.
   mutable std::vector<std::pair<std::size_t, std::function<void()>>>

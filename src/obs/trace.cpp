@@ -33,6 +33,18 @@ Json Tracer::to_json() const {
       args["value"] = ev.value;
       e["args"] = std::move(args);
     }
+    if (ev.ph == 's' || ev.ph == 't' || ev.ph == 'f') {
+      e["cat"] = "flow";  // flow events require a category for binding
+      e["id"] = ev.id;
+      // Bind the finish to the enclosing slice so the arrow lands where
+      // the consuming span is, not at the next slice boundary.
+      if (ev.ph == 'f') e["bp"] = "e";
+      if (ev.ph == 's' && ev.parent != 0) {
+        Json args = Json::object();
+        args["parent"] = ev.parent;
+        e["args"] = std::move(args);
+      }
+    }
     out.push_back(std::move(e));
   }
   return out;

@@ -23,11 +23,13 @@ inline constexpr bool kTraceCompiled = LMAS_TRACE_ENABLED != 0;
 struct TraceEvent {
   std::string name;
   char ph = 'i';        // 'B' begin, 'E' end, 'X' complete, 'i' instant,
-                        // 'C' counter
+                        // 'C' counter, 's'/'t'/'f' flow start/step/finish
   double ts = 0;        // microseconds
   double dur = 0;       // microseconds, 'X' only
   std::uint32_t tid = 0;
   double value = 0;     // 'C' only
+  std::uint64_t id = 0;      // flow id ('s'/'t'/'f' only)
+  std::uint64_t parent = 0;  // upstream flow id ('s' only; 0 = root)
 };
 
 /// Records spans / instants / counter samples in *virtual* time and
@@ -62,29 +64,64 @@ class Tracer {
 
   void begin(std::uint32_t tid, std::string_view name, double t_seconds) {
     if (!enabled()) return;
-    events_.push_back({std::string(name), 'B', t_seconds * 1e6, 0, tid, 0});
+    record({std::string(name), 'B', t_seconds * 1e6, 0, tid, 0});
   }
   void end(std::uint32_t tid, std::string_view name, double t_seconds) {
     if (!enabled()) return;
-    events_.push_back({std::string(name), 'E', t_seconds * 1e6, 0, tid, 0});
+    record({std::string(name), 'E', t_seconds * 1e6, 0, tid, 0});
   }
   /// A closed span [t0, t1] in one event (resource occupancy, disk I/O).
   void complete(std::uint32_t tid, std::string_view name, double t0_seconds,
                 double t1_seconds) {
     if (!enabled()) return;
-    events_.push_back({std::string(name), 'X', t0_seconds * 1e6,
-                       (t1_seconds - t0_seconds) * 1e6, tid, 0});
+    record({std::string(name), 'X', t0_seconds * 1e6,
+            (t1_seconds - t0_seconds) * 1e6, tid, 0});
   }
   void instant(std::uint32_t tid, std::string_view name, double t_seconds) {
     if (!enabled()) return;
-    events_.push_back({std::string(name), 'i', t_seconds * 1e6, 0, tid, 0});
+    record({std::string(name), 'i', t_seconds * 1e6, 0, tid, 0});
   }
   /// Sampled value series ('C' events graph as counters in the viewer).
   void counter(std::uint32_t tid, std::string_view name, double t_seconds,
                double value) {
     if (!enabled()) return;
-    events_.push_back(
-        {std::string(name), 'C', t_seconds * 1e6, 0, tid, value});
+    record({std::string(name), 'C', t_seconds * 1e6, 0, tid, value});
+  }
+
+  // ---- causal flows --------------------------------------------------
+  // A flow is one connected lane across tracks in the viewer: start it
+  // where a packet is emitted, step it at every hop (delivery, retry,
+  // migration re-pin), finish it where the packet is consumed. `id` must
+  // be unique per flow within the trace (sim::Engine::next_trace_id);
+  // `parent` on the start event links a derived flow (e.g. a sorted-run
+  // packet) back to the flow that produced it.
+  void flow_begin(std::uint32_t tid, std::string_view name, double t_seconds,
+                  std::uint64_t id, std::uint64_t parent = 0) {
+    if (!enabled()) return;
+    record({std::string(name), 's', t_seconds * 1e6, 0, tid, 0, id, parent});
+  }
+  void flow_step(std::uint32_t tid, std::string_view name, double t_seconds,
+                 std::uint64_t id) {
+    if (!enabled()) return;
+    record({std::string(name), 't', t_seconds * 1e6, 0, tid, 0, id});
+  }
+  void flow_end(std::uint32_t tid, std::string_view name, double t_seconds,
+                std::uint64_t id) {
+    if (!enabled()) return;
+    record({std::string(name), 'f', t_seconds * 1e6, 0, tid, 0, id});
+  }
+
+  /// Cap on retained events: once reached, further events are counted in
+  /// dropped_events() and discarded (the retained prefix stays valid
+  /// JSON). The default bounds a long sweep's memory at roughly a few
+  /// hundred MB of event records; benches that want full traces of big
+  /// runs can raise it before the run starts.
+  void set_capacity(std::size_t cap) noexcept {
+    capacity_ = cap == 0 ? 1 : cap;
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint64_t dropped_events() const noexcept {
+    return dropped_;
   }
 
   [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
@@ -96,7 +133,10 @@ class Tracer {
   [[nodiscard]] std::size_t event_count() const noexcept {
     return events_.size();
   }
-  void clear() noexcept { events_.clear(); }
+  void clear() noexcept {
+    events_.clear();
+    dropped_ = 0;
+  }
 
   /// The trace-event array form: thread_name metadata for each track,
   /// then every recorded event as {name, ph, ts, pid, tid, ...}.
@@ -106,7 +146,17 @@ class Tracer {
   bool write_chrome_trace(const std::string& path) const;
 
  private:
+  void record(TraceEvent ev) {
+    if (events_.size() >= capacity_) {
+      ++dropped_;
+      return;
+    }
+    events_.push_back(std::move(ev));
+  }
+
   bool enabled_ = false;
+  std::size_t capacity_ = std::size_t(1) << 20;
+  std::uint64_t dropped_ = 0;
   std::vector<std::string> tracks_;
   std::vector<TraceEvent> events_;
 };

@@ -11,6 +11,12 @@ Engine::Engine() {
   metrics_.add_collector([this] {
     auto& c = metrics_.counter("engine.events");
     c.inc(events_processed_ - c.value());
+    // Lazily registered so runs whose traces fit the cap publish no
+    // drop counter (the golden harness pins the metrics fingerprint).
+    if (tracer_.dropped_events() > 0) {
+      auto& d = metrics_.counter("trace.dropped_events");
+      d.inc(tracer_.dropped_events() - d.value());
+    }
     for (MetricsSource* s = sources_; s != nullptr; s = s->next_) {
       s->publish_metrics(metrics_);
     }
@@ -63,6 +69,16 @@ std::size_t Engine::run_fast(SimTime until) {
   while (!events_.empty()) {
     if (events_.top().t > until) break;
     const Event ev = events_.pop_min();
+    // Sim-time sampling: park the clock on each period boundary the next
+    // event is about to cross, so probes read backlog/state at exact
+    // boundary instants. No events are scheduled or consumed — the
+    // digest fold below sees the identical (t, seq) stream either way.
+    if (sampler_ != nullptr) {
+      while (sampler_->due(ev.t)) {
+        now_ = sampler_->next_time();
+        sampler_->sample(now_);
+      }
+    }
     now_ = ev.t;
     ++processed;
     fold(std::bit_cast<std::uint64_t>(ev.t) ^ std::rotl(ev.seq, 31));
@@ -78,6 +94,12 @@ std::size_t Engine::run_traced(SimTime until) {
   while (!events_.empty()) {
     if (events_.top().t > until) break;
     const Event ev = events_.pop_min();
+    if (sampler_ != nullptr) {  // see run_fast: digest-neutral by design
+      while (sampler_->due(ev.t)) {
+        now_ = sampler_->next_time();
+        sampler_->sample(now_);
+      }
+    }
     now_ = ev.t;
     ++processed;
     fold(std::bit_cast<std::uint64_t>(ev.t) ^ std::rotl(ev.seq, 31));

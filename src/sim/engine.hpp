@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
 #include "obs/trace.hpp"
 #include "sim/event_heap.hpp"
 #include "sim/random.hpp"
@@ -59,6 +60,25 @@ class Engine {
   }
   [[nodiscard]] obs::Tracer& tracer() noexcept { return tracer_; }
   [[nodiscard]] const obs::Tracer& tracer() const noexcept { return tracer_; }
+
+  /// Install (or remove, with nullptr) a sim-time sampler. The run loop
+  /// consults it before committing each event: when the next event lies
+  /// at or past a sampling boundary, the clock parks exactly on the
+  /// boundary and the sampler reads its probes there. Sampling is NOT a
+  /// simulation process — it schedules no events, consumes no sequence
+  /// numbers, draws no randomness, and occupies no resources, so the
+  /// execution digest is bit-identical with or without a sampler (the
+  /// pinned goldens rely on this). Cost when absent: one pointer test
+  /// per event. The sampler must outlive every run() it is installed for.
+  void set_sampler(obs::Sampler* s) noexcept { sampler_ = s; }
+  [[nodiscard]] obs::Sampler* sampler() const noexcept { return sampler_; }
+
+  /// Allocate a trace flow id (causal packet spans). Monotone from 1 per
+  /// engine; 0 stays "no flow". Not part of the digest — ids label trace
+  /// output only, and are allocated only while tracing is enabled.
+  [[nodiscard]] std::uint64_t next_trace_id() noexcept {
+    return ++trace_id_seq_;
+  }
 
   /// Schedule a raw coroutine resume `delay` seconds from now.
   void schedule(std::coroutine_handle<> h, SimTime delay) {
@@ -201,6 +221,8 @@ class Engine {
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
   std::uint64_t digest_ = 0xcbf29ce484222325ULL;  // FNV offset basis
+  obs::Sampler* sampler_ = nullptr;
+  std::uint64_t trace_id_seq_ = 0;
 
   obs::MetricsRegistry metrics_;
   obs::Tracer tracer_;

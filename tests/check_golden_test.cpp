@@ -29,6 +29,32 @@ TEST(Golden, DigestIsDeterministicAcrossReruns) {
   }
 }
 
+// The telemetry pipeline's acceptance gate: every pinned case must
+// execute bit-identically with histograms + sampler + spans enabled —
+// same digest, same timings, same event count. Histograms observe from
+// existing control flow, the sampler rides the run loop without
+// scheduling events, and span ids are only allocated while tracing.
+// The metrics fingerprint is the one field that legitimately grows:
+// opting in registers latency instruments, and the snapshot dumps the
+// whole registry. That is exactly why telemetry defaults OFF — the
+// pinned fingerprints cover the default configuration.
+TEST(Golden, ExecutionUnmovedByTelemetry) {
+  for (const auto& c : check::golden_cases()) {
+    const check::GoldenResult off = check::run_golden_case(c);
+    check::GoldenCase with = c;
+    with.config.telemetry.histograms = true;
+    with.config.telemetry.sampler = true;
+    const check::GoldenResult on = check::run_golden_case(with);
+    EXPECT_EQ(on.digest, off.digest) << c.name;
+    EXPECT_EQ(on.pass1_seconds, off.pass1_seconds) << c.name;
+    EXPECT_EQ(on.sim_events, off.sim_events) << c.name;
+    EXPECT_EQ(on.records_in, off.records_in) << c.name;
+    EXPECT_TRUE(on.ok) << c.name;
+    EXPECT_NE(on.metrics_fingerprint, off.metrics_fingerprint)
+        << c.name << ": opting in should register latency instruments";
+  }
+}
+
 TEST(Golden, FreshRunsMatchPinnedFile) {
   const std::string path = check::default_golden_path();
   const auto pinned = check::load_goldens(path);

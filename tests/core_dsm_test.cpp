@@ -275,6 +275,58 @@ TEST(DsmSort, BitIdenticalReplayAcrossProcessRuns) {
   }
 }
 
+TEST(DsmSort, TelemetryIsDigestNeutralAndFillsReportBlocks) {
+  // The telemetry pipeline's core contract: histograms + sampler observe
+  // the run without perturbing it — same digest, same timings, same
+  // event count as the telemetry-free execution.
+  auto cfg = small_config(1 << 16);
+  cfg.sort_router = core::RouterKind::SimpleRandomization;
+  cfg.load_manager.mode = core::LoadManagerMode::Manage;
+  const auto off = core::run_dsm_sort(machine(2, 6), cfg);
+
+  cfg.telemetry.histograms = true;
+  cfg.telemetry.sampler = true;
+  cfg.telemetry.sample_period = 0;  // derive from the utilization bin
+  const auto on = core::run_dsm_sort(machine(2, 6), cfg);
+
+  EXPECT_EQ(on.digest, off.digest);
+  EXPECT_EQ(on.sim_events, off.sim_events);
+  EXPECT_EQ(on.pass1_seconds, off.pass1_seconds);
+  EXPECT_EQ(on.makespan, off.makespan);
+
+  // Off: the report blocks stay null and absent from the artifact.
+  EXPECT_TRUE(off.histograms.is_null());
+  EXPECT_TRUE(off.time_series.is_null());
+  const auto off_json = core::dsm_report_to_json(off);
+  EXPECT_FALSE(off_json.contains("histograms"));
+  EXPECT_FALSE(off_json.contains("time_series"));
+
+  // On: per-stage + job-level quantile summaries with sane contents.
+  ASSERT_TRUE(on.histograms.is_object());
+  for (const char* name :
+       {"sort.packet_seconds", "store.packet_seconds", "dsm.job_seconds",
+        "to_sort.delivery_seconds", "to_sort.queue_wait_seconds"}) {
+    const lmas::obs::Json* h = on.histograms.find(name);
+    ASSERT_NE(h, nullptr) << name;
+    EXPECT_GT(h->at("count").as_int(), 0) << name;
+    EXPECT_GE(h->at("p99").as_double(), h->at("p50").as_double()) << name;
+    EXPECT_GE(h->at("max").as_double(), h->at("p99").as_double()) << name;
+  }
+  const lmas::obs::Json* job = on.histograms.find("dsm.job_seconds");
+  EXPECT_DOUBLE_EQ(job->at("max").as_double(), on.makespan);
+
+  // On: a host-load series sampled on the derived period.
+  ASSERT_TRUE(on.time_series.is_object());
+  EXPECT_GT(on.time_series.at("samples").as_int(), 0);
+  const lmas::obs::Json& series = on.time_series.at("series");
+  ASSERT_NE(series.find("host.load.0"), nullptr);
+  EXPECT_EQ(series.at("host.load.0").size(),
+            on.time_series.at("times").size());
+  const auto on_json = core::dsm_report_to_json(on);
+  EXPECT_TRUE(on_json.contains("histograms"));
+  EXPECT_TRUE(on_json.contains("time_series"));
+}
+
 TEST(DsmSort, SeedChangesDataButNotCorrectness) {
   auto cfg = small_config(1 << 15);
   const auto a = core::run_dsm_sort(machine(1, 4), cfg);

@@ -1,0 +1,262 @@
+// Telemetry pipeline units: LatencyHistogram bucket math and quantile
+// bounds, MetricsRegistry cross-kind duplicate-name detection, Tracer
+// capacity cap + flow events, and the engine-driven Sampler (boundary
+// sampling, parked clock, digest neutrality).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "obs/latency.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
+#include "obs/trace.hpp"
+#include "sim/sim.hpp"
+
+namespace obs = lmas::obs;
+namespace sim = lmas::sim;
+
+namespace {
+
+// ---- LatencyHistogram ------------------------------------------------
+
+TEST(LatencyHistogram, EmptyAnswersZero) {
+  obs::LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+}
+
+TEST(LatencyHistogram, SingleValueIsExactAtEveryQuantile) {
+  obs::LatencyHistogram h;
+  h.observe(3.7e-3);
+  // Midpoint answers are clamped to [min, max], so a one-value histogram
+  // reports the value itself, not its bucket's midpoint.
+  for (double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.quantile(q), 3.7e-3) << q;
+  }
+}
+
+TEST(LatencyHistogram, QuantileWithinDocumentedRelativeError) {
+  obs::LatencyHistogram h;
+  std::vector<double> vals;
+  for (int i = 1; i <= 1000; ++i) {
+    const double v = 1e-6 * i;  // 1us .. 1ms
+    vals.push_back(v);
+    h.observe(v);
+  }
+  for (double q : {0.5, 0.9, 0.99}) {
+    const auto rank = static_cast<std::size_t>(std::ceil(q * 1000.0));
+    const double exact = vals[rank - 1];
+    EXPECT_NEAR(h.quantile(q), exact,
+                exact * obs::LatencyHistogram::kRelativeError)
+        << q;
+  }
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1e-3);
+}
+
+TEST(LatencyHistogram, UnderflowAndOverflowBucketsCatchExtremes) {
+  obs::LatencyHistogram h;
+  h.observe(0.0);
+  h.observe(-1.0);
+  h.observe(std::nan(""));
+  h.observe(1e9);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.bucket_counts().front(), 3u);
+  EXPECT_EQ(h.bucket_counts().back(), 1u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 0.0);   // underflow answers zero
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1e9);    // overflow answers max
+}
+
+TEST(LatencyHistogram, MergeEqualsPooledObservation) {
+  obs::LatencyHistogram pooled, a, b;
+  for (int i = 1; i <= 64; ++i) {
+    const double v = std::ldexp(1.0 + (i % 7) / 7.0, i % 20 - 10);
+    pooled.observe(v);
+    (i % 2 ? a : b).observe(v);
+  }
+  obs::LatencyHistogram merged;
+  merged.merge(a);
+  merged.merge(b);
+  EXPECT_EQ(merged.count(), pooled.count());
+  EXPECT_EQ(merged.bucket_counts(), pooled.bucket_counts());
+  EXPECT_DOUBLE_EQ(merged.min(), pooled.min());
+  EXPECT_DOUBLE_EQ(merged.max(), pooled.max());
+  for (double q : {0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(merged.quantile(q), pooled.quantile(q)) << q;
+  }
+}
+
+TEST(LatencyHistogram, BucketEdgesBracketTheValue) {
+  for (const double v : {1.5e-9, 3.3e-6, 0.25, 1.0, 17.0, 1999.0}) {
+    const std::size_t idx = obs::LatencyHistogram::bucket_of(v);
+    ASSERT_GT(idx, 0u);
+    ASSERT_LT(idx, obs::LatencyHistogram::kBucketCount - 1);
+    EXPECT_LE(obs::LatencyHistogram::bucket_lower(idx), v) << v;
+    EXPECT_GT(obs::LatencyHistogram::bucket_upper(idx), v) << v;
+  }
+}
+
+TEST(LatencyHistogram, SummaryJsonCarriesQuantiles) {
+  obs::LatencyHistogram h;
+  h.observe(2.0);
+  h.observe(4.0);
+  const obs::Json j = h.summary_json();
+  EXPECT_EQ(j.at("count").as_int(), 2);
+  EXPECT_DOUBLE_EQ(j.at("mean").as_double(), 3.0);
+  EXPECT_DOUBLE_EQ(j.at("max").as_double(), 4.0);
+  ASSERT_TRUE(obs::Json::parse(j.dump()).has_value());
+}
+
+// ---- MetricsRegistry duplicate-name detection ------------------------
+// Regression for the registry accepting the same name for two different
+// instrument kinds, which emitted ambiguous snapshot keys.
+
+TEST(MetricsRegistry, SameKindSameNameIsFindOrCreate) {
+  obs::MetricsRegistry reg;
+  auto& c1 = reg.counter("pkts");
+  auto& c2 = reg.counter("pkts");
+  EXPECT_EQ(&c1, &c2);
+  auto& l1 = reg.latency("lat");
+  auto& l2 = reg.latency("lat");
+  EXPECT_EQ(&l1, &l2);
+}
+
+TEST(MetricsRegistry, CrossKindDuplicateNameThrows) {
+  obs::MetricsRegistry reg;
+  reg.counter("dup.counter");
+  reg.gauge("dup.gauge");
+  reg.histogram("dup.hist", {1.0, 2.0});
+  reg.latency("dup.latency");
+  EXPECT_THROW(reg.gauge("dup.counter"), std::invalid_argument);
+  EXPECT_THROW(reg.latency("dup.counter"), std::invalid_argument);
+  EXPECT_THROW(reg.counter("dup.gauge"), std::invalid_argument);
+  EXPECT_THROW(reg.latency("dup.hist"), std::invalid_argument);
+  EXPECT_THROW(reg.counter("dup.latency"), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("dup.latency", {1.0}), std::invalid_argument);
+  // The failed registrations must not have corrupted the registry.
+  EXPECT_NO_THROW(reg.counter("dup.counter"));
+  EXPECT_NO_THROW(reg.latency("dup.latency"));
+}
+
+TEST(MetricsRegistry, LatencySummariesSortedByName) {
+  obs::MetricsRegistry reg;
+  reg.latency("b.lat").observe(1.0);
+  reg.latency("a.lat").observe(2.0);
+  const obs::Json j = reg.latency_summaries();
+  ASSERT_TRUE(j.is_object());
+  EXPECT_EQ(j.size(), 2u);
+  EXPECT_EQ(j.members().front().first, "a.lat");
+}
+
+// ---- Tracer capacity cap + flows -------------------------------------
+
+TEST(Tracer, CapacityCapCountsDroppedEventsAndKeepsJsonValid) {
+  if (!obs::kTraceCompiled) GTEST_SKIP() << "built with -DLMAS_TRACE=OFF";
+  obs::Tracer tr;
+  tr.enable();
+  tr.set_capacity(8);
+  const std::uint32_t tid = tr.track("t0");
+  for (int i = 0; i < 20; ++i) tr.instant(tid, "ev", i * 1e-3);
+  EXPECT_EQ(tr.event_count(), 8u);
+  EXPECT_EQ(tr.dropped_events(), 12u);
+  const auto parsed = obs::Json::parse(tr.to_json().dump());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->is_array());
+  tr.clear();
+  EXPECT_EQ(tr.dropped_events(), 0u);
+}
+
+TEST(Tracer, FlowEventsCarryIdParentAndBindingPoint) {
+  if (!obs::kTraceCompiled) GTEST_SKIP() << "built with -DLMAS_TRACE=OFF";
+  obs::Tracer tr;
+  tr.enable();
+  const std::uint32_t tid = tr.track("t0");
+  tr.flow_begin(tid, "emit", 0.0, /*id=*/7, /*parent=*/3);
+  tr.flow_step(tid, "deliver", 1.0, 7);
+  tr.flow_end(tid, "consume", 2.0, 7);
+  const obs::Json j = tr.to_json();
+  // [0] is the thread_name metadata record for the track.
+  const obs::Json& s = j.at(1);
+  const obs::Json& t = j.at(2);
+  const obs::Json& f = j.at(3);
+  EXPECT_EQ(s.at("ph").as_string(), "s");
+  EXPECT_EQ(s.at("cat").as_string(), "flow");
+  EXPECT_EQ(s.at("id").as_int(), 7);
+  EXPECT_EQ(s.at("args").at("parent").as_int(), 3);
+  EXPECT_EQ(t.at("ph").as_string(), "t");
+  EXPECT_EQ(f.at("ph").as_string(), "f");
+  EXPECT_EQ(f.at("bp").as_string(), "e");
+}
+
+TEST(Tracer, EngineCollectorPublishesDropCounterOnlyWhenDropping) {
+  sim::Engine eng;
+  // No drops: the counter must NOT appear (pinned goldens fingerprint the
+  // metrics snapshot of trace-free runs).
+  obs::Json snap = eng.metrics().snapshot();
+  EXPECT_TRUE(snap.at("counters").find("trace.dropped_events") == nullptr);
+  if (!obs::kTraceCompiled) GTEST_SKIP() << "built with -DLMAS_TRACE=OFF";
+  eng.tracer().enable();
+  eng.tracer().set_capacity(1);
+  const std::uint32_t tid = eng.tracer().track("t0");
+  eng.tracer().instant(tid, "a", 0.0);
+  eng.tracer().instant(tid, "b", 0.0);
+  snap = eng.metrics().snapshot();
+  const obs::Json* c = snap.at("counters").find("trace.dropped_events");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->as_int(), 1);
+}
+
+// ---- TimeSeries ring + Sampler ---------------------------------------
+
+TEST(TimeSeries, EvictsOldestOnceFull) {
+  obs::TimeSeries ts(3);
+  for (int i = 1; i <= 5; ++i) ts.push(i);
+  EXPECT_EQ(ts.size(), 3u);
+  EXPECT_EQ(ts.dropped(), 2u);
+  EXPECT_EQ(ts.values(), (std::vector<double>{3, 4, 5}));
+}
+
+sim::Task<> three_sleeps(sim::Engine& eng) {
+  co_await eng.sleep(0.4);
+  co_await eng.sleep(0.4);
+  co_await eng.sleep(0.4);
+}
+
+TEST(Sampler, SamplesOnPeriodBoundariesWithParkedClock) {
+  sim::Engine eng;
+  obs::Sampler s(0.25);
+  std::vector<double> seen;
+  s.add_probe("clock", [&] {
+    seen.push_back(eng.now());
+    return eng.now();
+  });
+  eng.set_sampler(&s);
+  eng.spawn(three_sleeps(eng));
+  eng.run();
+  // Events at 0.4/0.8/1.2 cross boundaries 0.25, 0.5+0.75, 1.0; the
+  // probe must observe the clock parked exactly on each boundary.
+  EXPECT_EQ(s.sample_count(), 4u);
+  EXPECT_EQ(seen, (std::vector<double>{0.25, 0.5, 0.75, 1.0}));
+  const obs::Json j = s.to_json();
+  EXPECT_EQ(j.at("samples").as_int(), 4);
+  EXPECT_EQ(j.at("series").at("clock").size(), 4u);
+}
+
+TEST(Sampler, InstallingSamplerDoesNotMoveDigestOrEventCount) {
+  auto run_once = [](bool with_sampler) {
+    sim::Engine eng;
+    obs::Sampler s(0.1);
+    s.add_probe("zero", [] { return 0.0; });
+    if (with_sampler) eng.set_sampler(&s);
+    eng.spawn(three_sleeps(eng));
+    eng.run();
+    return std::pair<std::uint64_t, std::uint64_t>{eng.digest(),
+                                                   eng.events_processed()};
+  };
+  EXPECT_EQ(run_once(false), run_once(true));
+}
+
+}  // namespace

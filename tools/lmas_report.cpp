@@ -1,0 +1,180 @@
+/// lmas_report — render the telemetry blocks of a BENCH_*.json artifact
+/// (schema lmas-bench-v1) as aligned ASCII: latency-quantile tables from
+/// `histograms` blocks and per-probe sparklines from `time_series`
+/// blocks. Reads artifacts produced with DsmSortConfig::telemetry
+/// enabled (fig9_speedup's detailed cell, every fig10_adapt cell).
+///
+///   lmas_report [quantiles|series|all] BENCH_file.json
+///
+/// Blocks are found at the artifact root (fig9 style) and inside each
+/// `results[]` entry (sweep style, labeled by the entry's `cell` key).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace obs = lmas::obs;
+
+namespace {
+
+struct Block {
+  std::string label;      // "" for the artifact root
+  const obs::Json* json;  // the histograms or time_series object
+};
+
+/// Collect a named block from the root and from every results[] entry.
+std::vector<Block> find_blocks(const obs::Json& doc, const char* key) {
+  std::vector<Block> out;
+  if (const obs::Json* b = doc.find(key); b != nullptr && b->is_object()) {
+    out.push_back({"", b});
+  }
+  if (const obs::Json* results = doc.find("results");
+      results != nullptr && results->is_array()) {
+    for (const obs::Json& entry : results->items()) {
+      const obs::Json* b = entry.find(key);
+      if (b == nullptr || !b->is_object()) continue;
+      const obs::Json* cell = entry.find("cell");
+      out.push_back({cell != nullptr ? cell->as_string() : "results[]", b});
+    }
+  }
+  return out;
+}
+
+void print_quantiles(const Block& blk) {
+  if (!blk.label.empty()) std::printf("\n[%s]\n", blk.label.c_str());
+  std::size_t w = std::strlen("metric");
+  for (const auto& [name, h] : blk.json->members()) {
+    w = std::max(w, name.size());
+  }
+  std::printf("%-*s %10s %12s %12s %12s %12s %12s\n", int(w), "metric",
+              "count", "mean(s)", "p50(s)", "p90(s)", "p99(s)", "max(s)");
+  for (const auto& [name, h] : blk.json->members()) {
+    const auto field = [&h = h](const char* k) {
+      const obs::Json* v = h.find(k);
+      return v != nullptr ? v->as_double() : 0.0;
+    };
+    std::printf("%-*s %10lld %12.6f %12.6f %12.6f %12.6f %12.6f\n", int(w),
+                name.c_str(), static_cast<long long>(field("count")),
+                field("mean"), field("p50"), field("p90"), field("p99"),
+                field("max"));
+  }
+}
+
+/// One probe as a fixed-width sparkline: samples are bucketed into 64
+/// columns (mean per column) and scaled to the probe's own max.
+void print_series_line(const std::string& name, std::size_t name_w,
+                       const std::vector<double>& v) {
+  static const char kRamp[] = " .:-=+*#%@";
+  constexpr std::size_t kCols = 64;
+  double lo = 0, hi = 0;
+  for (const double x : v) {
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+  }
+  std::string line;
+  const std::size_t cols = std::min(kCols, v.size());
+  for (std::size_t c = 0; c < cols; ++c) {
+    const std::size_t b0 = c * v.size() / cols;
+    const std::size_t b1 = std::max(b0 + 1, (c + 1) * v.size() / cols);
+    double acc = 0;
+    for (std::size_t i = b0; i < b1; ++i) acc += v[i];
+    const double mean = acc / double(b1 - b0);
+    const double t = hi > 0 ? mean / hi : 0.0;
+    const int r = int(t * (sizeof(kRamp) - 2) + 0.5);
+    line.push_back(kRamp[std::clamp(r, 0, int(sizeof(kRamp) - 2))]);
+  }
+  std::printf("%-*s |%-*s| min %.3f max %.3f\n", int(name_w), name.c_str(),
+              int(kCols), line.c_str(), lo, hi);
+}
+
+void print_series(const Block& blk) {
+  if (!blk.label.empty()) std::printf("\n[%s]\n", blk.label.c_str());
+  const obs::Json* times = blk.json->find("times");
+  const obs::Json* series = blk.json->find("series");
+  const obs::Json* period = blk.json->find("period");
+  if (series == nullptr || !series->is_object()) return;
+  if (times != nullptr && times->size() > 0 && period != nullptr) {
+    std::printf("%zu samples, period %.4fs, t in [%.3f, %.3f]\n",
+                times->size(), period->as_double(),
+                times->at(std::size_t(0)).as_double(),
+                times->at(times->size() - 1).as_double());
+  }
+  std::size_t w = 0;
+  for (const auto& [name, s] : series->members()) w = std::max(w, name.size());
+  for (const auto& [name, s] : series->members()) {
+    std::vector<double> v;
+    v.reserve(s.size());
+    for (const obs::Json& x : s.items()) v.push_back(x.as_double());
+    if (!v.empty()) print_series_line(name, w, v);
+  }
+}
+
+int usage() {
+  std::fprintf(stderr, "usage: lmas_report [quantiles|series|all] "
+                       "BENCH_file.json\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string mode = "all";
+  const char* path = nullptr;
+  if (argc == 2) {
+    path = argv[1];
+  } else if (argc == 3) {
+    mode = argv[1];
+    path = argv[2];
+  } else {
+    return usage();
+  }
+  if (mode != "quantiles" && mode != "series" && mode != "all") {
+    return usage();
+  }
+
+  std::ifstream f(path, std::ios::binary);
+  if (!f) {
+    std::fprintf(stderr, "lmas_report: cannot open %s\n", path);
+    return 1;
+  }
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  const auto doc = obs::Json::parse(ss.str());
+  if (!doc.has_value()) {
+    std::fprintf(stderr, "lmas_report: %s is not valid JSON\n", path);
+    return 1;
+  }
+
+  if (const obs::Json* name = doc->find("bench"); name != nullptr) {
+    std::printf("# %s (%s)\n", name->as_string().c_str(), path);
+  }
+
+  bool any = false;
+  if (mode == "quantiles" || mode == "all") {
+    const auto blocks = find_blocks(*doc, "histograms");
+    if (!blocks.empty()) std::printf("\n== latency quantiles ==\n");
+    for (const Block& b : blocks) {
+      print_quantiles(b);
+      any = true;
+    }
+  }
+  if (mode == "series" || mode == "all") {
+    const auto blocks = find_blocks(*doc, "time_series");
+    if (!blocks.empty()) std::printf("\n== time series ==\n");
+    for (const Block& b : blocks) {
+      print_series(b);
+      any = true;
+    }
+  }
+  if (!any) {
+    std::printf("# no telemetry blocks in %s (run the bench with "
+                "DsmSortConfig::telemetry enabled)\n", path);
+  }
+  return 0;
+}
