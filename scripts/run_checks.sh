@@ -37,8 +37,11 @@ UBSAN_OPTIONS="halt_on_error=1" ASAN_OPTIONS="detect_leaks=1" \
 echo "== [5/7] fault + load-manager property suites under ASan/UBSan (reduced cases)"
 # Degraded-mode delivery (crash/retry/park) and mid-run reconfiguration
 # (router hot-swap, functor migration re-pinning live endpoints) are the
-# two places lifetime bugs would hide.
-for suite in fault-conservation fault-routing lm-switch lm-migration; do
+# two places lifetime bugs would hide; the tenant suites add concurrent
+# jobs sharing one engine (embedded DsmSortJob frames, cross-job manager
+# clients attaching and detaching mid-run).
+for suite in fault-conservation fault-routing lm-switch lm-migration \
+             tenant-conservation tenant-arrival; do
   UBSAN_OPTIONS="halt_on_error=1" ASAN_OPTIONS="detect_leaks=1" \
     "${SAN_BUILD}/tools/lmas_check" property --suite "${suite}" --cases 20
 done

@@ -87,9 +87,13 @@ class Node {
     co_await cpu_.use(host_seconds / speed_);
   }
 
-  /// Charge NIC occupancy for `bytes` (send or receive side).
-  [[nodiscard]] sim::Task<> nic_transfer(std::size_t bytes) {
-    co_await nic_.use(double(bytes) / nic_rate_);
+  /// Charge NIC occupancy for `bytes` (send or receive side). `scale`
+  /// inflates the charge for deprioritized traffic (fair-share weight w
+  /// charges at 1/w); 1.0 multiplies exactly, so default callers are
+  /// bit-identical to the unscaled path.
+  [[nodiscard]] sim::Task<> nic_transfer(std::size_t bytes,
+                                         double scale = 1.0) {
+    co_await nic_.use(scale * double(bytes) / nic_rate_);
   }
 
   [[nodiscard]] sim::Resource& cpu() noexcept { return cpu_; }

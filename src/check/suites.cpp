@@ -21,6 +21,7 @@
 #include "extmem/stream.hpp"
 #include "obs/latency.hpp"
 #include "sim/sim.hpp"
+#include "tenant/tenant.hpp"
 
 namespace lmas::check {
 
@@ -956,6 +957,177 @@ std::optional<std::string> prop_histogram(sim::Rng& rng, unsigned size) {
   return std::nullopt;
 }
 
+// ---- tenant-conservation / tenant-arrival ----------------------------
+
+/// Random multi-tenant serving config: 1-3 tenants with random fair-share
+/// and arrival weights, mixed job shapes, a random admission cap, and
+/// load management on for roughly half the cases (so migration and
+/// router promotion run against concurrent jobs).
+tenant::TenancyConfig gen_tenancy(sim::Rng& rng, unsigned size,
+                                  asu::MachineParams& mp) {
+  mp = asu::MachineParams{};
+  mp.num_hosts = 1 + unsigned(rng.below(2));
+  mp.num_asus = 2 + unsigned(rng.below(3));
+
+  tenant::TenancyConfig cfg;
+  static const char* kNames[] = {"t0", "t1", "t2"};
+  const std::size_t tenants = 1 + rng.below(3);
+  for (std::size_t t = 0; t < tenants; ++t) {
+    tenant::TenantSpec ts;
+    ts.name = kNames[t];
+    ts.fair_share_weight = 0.5 + rng.uniform(0.0, 1.5);
+    ts.arrival_weight = 0.5 + rng.uniform(0.0, 1.5);
+    const std::size_t entries = 1 + rng.below(2);
+    for (std::size_t e = 0; e < entries; ++e) {
+      tenant::JobMixEntry m;
+      switch (rng.below(3)) {
+        case 0: m.kind = tenant::JobKind::DsmSort; break;
+        case 1: m.kind = tenant::JobKind::ActiveScan; break;
+        default: m.kind = tenant::JobKind::RTreeBulkLoad; break;
+      }
+      m.weight = 0.5 + rng.uniform(0.0, 1.5);
+      m.records = 128 * (1 + rng.below(1 + size));
+      ts.mix.push_back(m);
+    }
+    cfg.tenants.push_back(std::move(ts));
+  }
+  cfg.total_jobs = 1 + rng.below(2 + size / 2);
+  cfg.offered_rate = 2.0 + rng.uniform(0.0, 48.0);
+  cfg.seed = rng.next();
+  cfg.max_in_flight = 1 + rng.below(3);
+  cfg.pressure_limit = rng.below(2) == 0 ? 0.0 : 0.02 * (1 + rng.below(8));
+  cfg.job_alpha = 2 + unsigned(rng.below(3));
+  cfg.job_log2_alpha_beta = 7 + unsigned(rng.below(3));
+  if (rng.below(2) == 0) {
+    cfg.load_manager.mode = core::LoadManagerMode::Manage;
+    cfg.load_manager.period = 0.002 + rng.uniform(0.0, 0.01);
+    cfg.load_manager.promote_hysteresis = 1 + rng.below(2);
+    cfg.load_manager.migrate_hysteresis = 1 + rng.below(2);
+  }
+  return cfg;
+}
+
+std::string tenancy_str(const asu::MachineParams& mp,
+                        const tenant::TenancyConfig& cfg) {
+  return fmt("H=%u D=%u tenants=%zu jobs=%zu rate=%.1f cap=%zu plim=%.2f "
+             "mode=%d seed=0x%llx",
+             mp.num_hosts, mp.num_asus, cfg.tenants.size(), cfg.total_jobs,
+             cfg.offered_rate, cfg.max_in_flight, cfg.pressure_limit,
+             int(cfg.load_manager.mode),
+             static_cast<unsigned long long>(cfg.seed));
+}
+
+/// Per-tenant record conservation under concurrent jobs, admission
+/// waits, fair-share charging, and (half the time) cross-job load
+/// management with migration: every admitted job completes, and each
+/// tenant's records-out multiset size equals its records-in.
+std::optional<std::string> prop_tenant_conservation(sim::Rng& rng,
+                                                    unsigned size) {
+  asu::MachineParams mp;
+  const tenant::TenancyConfig cfg = gen_tenancy(rng, size, mp);
+  const tenant::TenancyReport rep = tenant::run_tenancy(mp, cfg);
+
+  if (rep.jobs_submitted != cfg.total_jobs ||
+      rep.jobs_completed != cfg.total_jobs) {
+    return fmt("jobs lost: submitted=%zu completed=%zu of %zu (%s)",
+               rep.jobs_submitted, rep.jobs_completed, cfg.total_jobs,
+               tenancy_str(mp, cfg).c_str());
+  }
+  if (!rep.conservation_ok || !rep.ok()) {
+    return fmt("conservation violated (%s)", tenancy_str(mp, cfg).c_str());
+  }
+  std::size_t tenant_jobs = 0;
+  for (const auto& t : rep.tenants) {
+    tenant_jobs += t.jobs_completed;
+    if (!t.conservation_ok || t.records_in != t.records_out) {
+      return fmt("tenant %s leaked records: in=%zu out=%zu (%s)",
+                 t.name.c_str(), t.records_in, t.records_out,
+                 tenancy_str(mp, cfg).c_str());
+    }
+  }
+  if (tenant_jobs != cfg.total_jobs) {
+    return fmt("per-tenant job counts sum to %zu, want %zu (%s)",
+               tenant_jobs, cfg.total_jobs, tenancy_str(mp, cfg).c_str());
+  }
+  return std::nullopt;
+}
+
+/// The open-arrival determinism contract: the same config reproduces the
+/// same schedule element-for-element (and the same fingerprint, and —
+/// re-running the full sim — the same execution digest), every event is
+/// well-formed against the tenant set, and a different seed moves the
+/// fingerprint.
+std::optional<std::string> prop_tenant_arrival(sim::Rng& rng,
+                                               unsigned size) {
+  asu::MachineParams mp;
+  tenant::TenancyConfig cfg = gen_tenancy(rng, size, mp);
+
+  const tenant::ArrivalProcess a(cfg);
+  const tenant::ArrivalProcess b(cfg);
+  if (a.fingerprint() != b.fingerprint()) {
+    return fmt("same config, different fingerprints (%s)",
+               tenancy_str(mp, cfg).c_str());
+  }
+  if (a.events().size() != cfg.total_jobs ||
+      b.events().size() != cfg.total_jobs) {
+    return fmt("schedule length %zu, want %zu (%s)", a.events().size(),
+               cfg.total_jobs, tenancy_str(mp, cfg).c_str());
+  }
+  double prev = 0;
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    const tenant::ArrivalEvent& ea = a.events()[i];
+    const tenant::ArrivalEvent& eb = b.events()[i];
+    if (ea.time != eb.time || ea.tenant != eb.tenant ||
+        ea.kind != eb.kind || ea.records != eb.records ||
+        ea.job_seed != eb.job_seed) {
+      return fmt("schedules diverge at arrival %zu (%s)", i,
+                 tenancy_str(mp, cfg).c_str());
+    }
+    if (ea.time < prev || ea.tenant >= cfg.tenants.size()) {
+      return fmt("malformed arrival %zu: t=%.9g tenant=%zu (%s)", i,
+                 ea.time, ea.tenant, tenancy_str(mp, cfg).c_str());
+    }
+    prev = ea.time;
+    bool in_mix = false;
+    for (const auto& m : cfg.tenants[ea.tenant].mix) {
+      in_mix = in_mix || (m.kind == ea.kind && m.records == ea.records);
+    }
+    if (!in_mix) {
+      return fmt("arrival %zu not drawn from tenant %zu's mix (%s)", i,
+                 ea.tenant, tenancy_str(mp, cfg).c_str());
+    }
+  }
+
+  const std::uint64_t fp = a.fingerprint();
+  cfg.seed += 1;
+  const tenant::ArrivalProcess c(cfg);
+  if (c.fingerprint() == fp) {
+    return fmt("seed %llu and %llu share a fingerprint (%s)",
+               static_cast<unsigned long long>(cfg.seed - 1),
+               static_cast<unsigned long long>(cfg.seed),
+               tenancy_str(mp, cfg).c_str());
+  }
+  cfg.seed -= 1;
+
+  // Full-run determinism: the schedule contract extends through the sim
+  // (same seed => same digest), with the report's fingerprint matching a
+  // standalone ArrivalProcess of the same config. Kept small: two full
+  // tenancy runs per case.
+  cfg.total_jobs = std::min<std::size_t>(cfg.total_jobs, 3);
+  const tenant::TenancyReport r1 = tenant::run_tenancy(mp, cfg);
+  const tenant::TenancyReport r2 = tenant::run_tenancy(mp, cfg);
+  if (r1.digest != r2.digest || r1.sim_events != r2.sim_events) {
+    return fmt("rerun moved digest/events (%s)",
+               tenancy_str(mp, cfg).c_str());
+  }
+  if (r1.arrival_fingerprint !=
+      tenant::ArrivalProcess(cfg).fingerprint()) {
+    return fmt("report fingerprint disagrees with ArrivalProcess (%s)",
+               tenancy_str(mp, cfg).c_str());
+  }
+  return std::nullopt;
+}
+
 std::optional<Failure> run_suite(const char* name, std::size_t cases,
                                  std::uint64_t seed, unsigned min_size,
                                  unsigned max_size, const Property& prop) {
@@ -1027,6 +1199,20 @@ std::optional<Failure> suite_histogram(std::size_t cases,
   return run_suite("histogram", cases, seed, 1, 16, prop_histogram);
 }
 
+std::optional<Failure> suite_tenant_conservation(std::size_t cases,
+                                                 std::uint64_t seed) {
+  // Each case is a full multi-tenant serving run (several concurrent
+  // jobs); cap size like the other whole-sim suites.
+  return run_suite("tenant-conservation", cases, seed, 1, 8,
+                   prop_tenant_conservation);
+}
+
+std::optional<Failure> suite_tenant_arrival(std::size_t cases,
+                                            std::uint64_t seed) {
+  return run_suite("tenant-arrival", cases, seed, 1, 8,
+                   prop_tenant_arrival);
+}
+
 const std::vector<SuiteInfo>& all_suites() {
   static const std::vector<SuiteInfo> kSuites = {
       {"permutation", &suite_permutation, 100},
@@ -1040,6 +1226,8 @@ const std::vector<SuiteInfo>& all_suites() {
       {"lm-switch", &suite_lm_switch, 100},
       {"lm-migration", &suite_lm_migration, 100},
       {"histogram", &suite_histogram, 100},
+      {"tenant-conservation", &suite_tenant_conservation, 100},
+      {"tenant-arrival", &suite_tenant_arrival, 100},
   };
   return kSuites;
 }

@@ -62,6 +62,17 @@ namespace lmas::check {
 ///                  stay within the documented per-bucket relative error
 ///                  of exact sorted-sample quantiles, and merging shard
 ///                  histograms is order- and grouping-independent.
+///  - tenant-conservation: multi-tenant serving loses no work — every
+///                  admitted job completes and each tenant's record
+///                  counts are conserved end to end, under concurrent
+///                  mixed-shape jobs, admission waits, fair-share
+///                  charging, and cross-job load management (migration
+///                  included).
+///  - tenant-arrival: the seeded open-arrival determinism contract —
+///                  same config reproduces the identical schedule,
+///                  fingerprint, and execution digest; every arrival is
+///                  well-formed against its tenant's mix; a different
+///                  seed moves the fingerprint.
 std::optional<Failure> suite_permutation(std::size_t cases,
                                          std::uint64_t seed);
 std::optional<Failure> suite_packet_order(std::size_t cases,
@@ -83,6 +94,10 @@ std::optional<Failure> suite_lm_migration(std::size_t cases,
                                           std::uint64_t seed);
 std::optional<Failure> suite_histogram(std::size_t cases,
                                        std::uint64_t seed);
+std::optional<Failure> suite_tenant_conservation(std::size_t cases,
+                                                 std::uint64_t seed);
+std::optional<Failure> suite_tenant_arrival(std::size_t cases,
+                                            std::uint64_t seed);
 
 struct SuiteInfo {
   std::string_view name;

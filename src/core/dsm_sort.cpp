@@ -4,6 +4,7 @@
 #include <chrono>
 #include <map>
 #include <memory>
+#include <stdexcept>
 #include <unordered_map>
 #include <utility>
 
@@ -36,11 +37,6 @@ double wall_seconds() {
       .count();
 }
 
-struct StoredRun {
-  std::uint32_t subset = 0;
-  std::vector<em::KeyRecord> records;
-};
-
 std::string join_names(const std::vector<std::string>& names) {
   std::string out;
   for (const auto& n : names) {
@@ -50,39 +46,54 @@ std::string join_names(const std::vector<std::string>& names) {
   return out.empty() ? "<none>" : out;
 }
 
+}  // namespace
+
+/// A stored (sorted) run reassembled on an ASU, tagged with its subset.
+/// External linkage because DsmSortSim (whose definition is TU-local but
+/// whose name is exported for DsmSortJob's pimpl) holds vectors of it.
+struct StoredRun {
+  std::uint32_t subset = 0;
+  std::vector<em::KeyRecord> records;
+};
+
 /// Whole-program state for one emulated DSM-Sort execution. Instance
 /// bodies are member coroutines; the object outlives the engine run.
+///
+/// Two ownership modes share this definition. Standalone (run_dsm_sort):
+/// the sim owns a private engine + cluster, runs the event loop itself,
+/// and may construct the fault/management layers. Embedded (DsmSortJob):
+/// the sim borrows a scheduler's engine + cluster, contributes only its
+/// own pipeline coroutines (wrapped so the job can detect completion),
+/// and leaves injection/monitoring/sampling to the scheduler. Every
+/// instrument, track, and spawn name is routed through pfx(), so an
+/// empty cfg.label reproduces the legacy names byte-for-byte and the
+/// pinned golden digests are untouched.
 class DsmSortSim {
  public:
+  /// Standalone mode: private engine and cluster, full report.
   DsmSortSim(const asu_ns::MachineParams& machine, const DsmSortConfig& cfg)
-      : mp_(machine),
-        cfg_(cfg),
-        cluster_(eng_, machine),
-        d_(machine.num_asus),
-        h_(machine.num_hosts),
-        alpha_(cfg.distribute_on_asus ? cfg.alpha : 1),
-        packet_records_(derive_packet_records()),
-        block_records_(std::max<std::size_t>(
-            1, std::size_t(64 * 1024) / machine.record_bytes)),
-        classifier_(make_classifier()),
-        checksum_in_(d_, 0),
-        count_in_(d_, 0) {}
+      : DsmSortSim(machine, cfg, nullptr, nullptr) {}
+
+  /// Embedded mode: one job on a shared engine/cluster (see DsmSortJob).
+  DsmSortSim(sim::Engine& eng, asu_ns::Cluster& cluster,
+             const DsmSortConfig& cfg)
+      : DsmSortSim(cluster.params(), cfg, &eng, &cluster) {}
 
   DsmSortReport run() {
     if (!cfg_.trace_file.empty()) eng_.tracer().enable();
-    dsm_track_ = eng_.tracer().track("dsm-sort");
+    dsm_track_ = eng_.tracer().track(pfx("dsm-sort"));
     run_pass1();
     DsmSortReport rep;
     rep.pass1_seconds = pass1_end_;
     eng_.tracer().complete(dsm_track_, "pass1", 0.0, pass1_end_);
-    eng_.metrics().gauge("dsm.pass1_seconds").set(pass1_end_);
+    eng_.metrics().gauge(pfx("dsm.pass1_seconds")).set(pass1_end_);
     if (phase_hist_ != nullptr) phase_hist_->observe(pass1_end_);
     validate_pass1(rep);
     if (cfg_.run_merge_pass) {
       run_pass2(rep);
       eng_.tracer().complete(dsm_track_, "pass2", pass1_end_,
                              pass1_end_ + rep.pass2_seconds);
-      eng_.metrics().gauge("dsm.pass2_seconds").set(rep.pass2_seconds);
+      eng_.metrics().gauge(pfx("dsm.pass2_seconds")).set(rep.pass2_seconds);
       if (phase_hist_ != nullptr) phase_hist_->observe(rep.pass2_seconds);
     }
     rep.makespan = eng_.now();
@@ -110,10 +121,118 @@ class DsmSortSim {
     return rep;
   }
 
+  // ------------------------- embedded (job) mode ----------------------
+
+  /// Build the pipeline against the shared cluster without spawning
+  /// anything; DsmSortJob's constructor calls this once.
+  void build_embedded() {
+    if (cfg_.run_merge_pass) {
+      throw std::invalid_argument(
+          "DsmSortJob: run_merge_pass is not supported in embedded mode "
+          "(pass 2 re-runs the engine, which a shared engine forbids)");
+    }
+    embedded_ = true;
+    build_pass1();
+  }
+
+  /// Root coroutine of the embedded job: stamp the start time, launch
+  /// the instances, wait until every one of them drains, then assemble
+  /// the job-relative report. Completion is condition-driven — on a
+  /// shared engine, "the event loop returned" is everyone's signal, not
+  /// this job's.
+  sim::Task<> job_body() {
+    t0_ = eng_.now();
+    total_instances_ = std::size_t(d_) + h_ + d_;
+    spawn_pass1();
+    while (finished_instances_ < total_instances_) {
+      co_await job_done_.wait();
+    }
+    pass1_end_ = *std::max_element(store_end_.begin(), store_end_.end());
+    rep_ = DsmSortReport{};
+    rep_.pass1_seconds = pass1_end_ - t0_;
+    validate_pass1(rep_);
+    rep_.makespan = eng_.now() - t0_;
+    finished_flag_ = true;
+  }
+
+  [[nodiscard]] bool job_finished() const noexcept { return finished_flag_; }
+  [[nodiscard]] const DsmSortReport& job_report() const { return rep_; }
+  [[nodiscard]] SwitchableRouter* job_switch_router() const noexcept {
+    return switch_router_;
+  }
+  [[nodiscard]] std::vector<asu_ns::Node*> job_sort_placement() {
+    return host_nodes_vec();
+  }
+  void set_external_manager(LoadManager* manager, std::size_t client) {
+    ext_manager_ = manager;
+    ext_client_ = client;
+  }
+
  private:
+  /// Delegation target for both modes: null externals means standalone
+  /// (own the engine/cluster), non-null means embedded (borrow them; the
+  /// machine shape comes from the shared cluster, so jobs cannot
+  /// disagree with the substrate they run on).
+  DsmSortSim(const asu_ns::MachineParams& machine, const DsmSortConfig& cfg,
+             sim::Engine* ext_eng, asu_ns::Cluster* ext_cluster)
+      : mp_(machine),
+        cfg_(cfg),
+        owned_eng_(ext_eng != nullptr ? nullptr
+                                      : std::make_unique<sim::Engine>()),
+        owned_cluster_(ext_cluster != nullptr
+                           ? nullptr
+                           : std::make_unique<asu_ns::Cluster>(*owned_eng_,
+                                                               machine)),
+        eng_(ext_eng != nullptr ? *ext_eng : *owned_eng_),
+        cluster_(ext_cluster != nullptr ? *ext_cluster : *owned_cluster_),
+        d_(machine.num_asus),
+        h_(machine.num_hosts),
+        alpha_(cfg.distribute_on_asus ? cfg.alpha : 1),
+        packet_records_(derive_packet_records()),
+        block_records_(std::max<std::size_t>(
+            1, std::size_t(64 * 1024) / machine.record_bytes)),
+        classifier_(make_classifier()),
+        checksum_in_(d_, 0),
+        count_in_(d_, 0) {
+    if (!(cfg.fair_share_weight > 0)) {
+      throw std::invalid_argument(
+          "DsmSortConfig.fair_share_weight must be > 0 (got " +
+          std::to_string(cfg.fair_share_weight) + ")");
+    }
+    charge_scale_ = 1.0 / cfg.fair_share_weight;
+  }
+
+  /// Prefix an instrument/track/spawn name with the job label. Empty
+  /// label returns the legacy name unchanged (golden compatibility).
+  [[nodiscard]] std::string pfx(const char* s) const {
+    return cfg_.label.empty() ? std::string(s) : cfg_.label + "." + s;
+  }
+
+  /// Fair-share scaling for CPU charges. The ==1.0 fast path is not an
+  /// optimization: it guarantees default-weight charges are the very
+  /// same doubles as before this knob existed.
+  [[nodiscard]] double scaled(double x) const {
+    return charge_scale_ == 1.0 ? x : x * charge_scale_;
+  }
+
   // ----------------------------- pass 1 -------------------------------
 
   void run_pass1() {
+    build_pass1();
+    attach_management();
+    spawn_pass1();
+    eng_.run();
+    if (eng_.unfinished_tasks() != 0) {
+      throw std::logic_error("DSM-Sort pass 1 deadlocked; unfinished: " +
+                             join_names(eng_.unfinished_task_names()));
+    }
+    pass1_end_ = *std::max_element(store_end_.begin(), store_end_.end());
+  }
+
+  /// Build the pass-1 pipeline: inboxes, routers, stage outputs,
+  /// histograms, validation state, and (standalone only) the fault
+  /// injector. No coroutines are spawned yet.
+  void build_pass1() {
     // The host-side inbox may buffer generously: hosts have large
     // memories (the model's asymmetry), and smooth pipelining requires
     // roughly K = alpha*beta records of slack to absorb the synchronized
@@ -160,7 +279,8 @@ class DsmSortSim {
                   .endpoints = sort_in_->endpoints(host_nodes),
                   .router = std::move(sort_router),
                   .producers = d_,
-                  .name = "to_sort",
+                  .name = pfx("to_sort"),
+                  .charge_scale = charge_scale_,
                   .telemetry = cfg_.telemetry.histograms});
     // Runs are striped across ASUs at packet granularity (Section 4.3:
     // merged/sorted runs are stored striped across the ASUs).
@@ -170,7 +290,8 @@ class DsmSortSim {
                   .endpoints = store_in_->endpoints(asu_nodes),
                   .router = std::make_unique<RoundRobinRouter>(),
                   .producers = h_,
-                  .name = "to_store",
+                  .name = pfx("to_store"),
+                  .charge_scale = charge_scale_,
                   .telemetry = cfg_.telemetry.histograms});
 
     // Functor-level latency histograms (the per-packet delivery and
@@ -180,13 +301,13 @@ class DsmSortSim {
     // fingerprint are untouched.
     if (cfg_.telemetry.histograms) {
       auto& reg = eng_.metrics();
-      sort_hist_ = &reg.latency("sort.packet_seconds");
-      store_hist_ = &reg.latency("store.packet_seconds");
-      phase_hist_ = &reg.latency("dsm.phase_seconds");
-      job_hist_ = &reg.latency("dsm.job_seconds");
+      sort_hist_ = &reg.latency(pfx("sort.packet_seconds"));
+      store_hist_ = &reg.latency(pfx("store.packet_seconds"));
+      phase_hist_ = &reg.latency(pfx("dsm.phase_seconds"));
+      job_hist_ = &reg.latency(pfx("dsm.job_seconds"));
       if (cfg_.load_manager.mode == LoadManagerMode::Manage &&
           cfg_.load_manager.migration) {
-        migration_hist_ = &reg.latency("lm.migration_seconds");
+        migration_hist_ = &reg.latency(pfx("lm.migration_seconds"));
       }
     }
 
@@ -202,12 +323,22 @@ class DsmSortSim {
                                 cfg_.faults.max_retries);
       to_store_->set_fault_retry(cfg_.faults.retry_timeout,
                                  cfg_.faults.max_retries);
-      injector_ = std::make_unique<fault::FaultInjector>(
-          cluster_, cfg_.faults,
-          sim::Rng(cfg_.seed).stream(sim::stream_id("faults")));
-      eng_.spawn(injector_->run(), "fault-injector");
+      // Embedded jobs configure the retry contract but never inject: the
+      // cluster's fault timeline belongs to the tenant scheduler (one
+      // injector for everyone, not one per job).
+      if (!embedded_) {
+        injector_ = std::make_unique<fault::FaultInjector>(
+            cluster_, cfg_.faults,
+            sim::Rng(cfg_.seed).stream(sim::stream_id("faults")));
+        eng_.spawn(injector_->run(), "fault-injector");
+      }
     }
+  }
 
+  /// Standalone only: the in-sim monitor/manager pair and the passive
+  /// sampler. Embedded jobs skip this whole layer — the scheduler runs
+  /// one shared monitor + cross-job manager for the cluster.
+  void attach_management() {
     // Load-management layer: like the fault layer, constructed only when
     // asked for, so Off-mode runs schedule no sampling events and
     // register no lm metrics (digest neutrality for the pinned goldens).
@@ -222,7 +353,7 @@ class DsmSortSim {
         if (cfg_.load_manager.migration) {
           // Sort instances (one per host) may migrate; any host is a
           // candidate destination.
-          manager_->manage_instances(host_nodes, host_nodes);
+          manager_->manage_instances(host_nodes_vec(), host_nodes_vec());
         }
         monitor_->set_observer(
             [this](const LoadSample& s) { manager_->on_sample(s); });
@@ -282,23 +413,48 @@ class DsmSortSim {
       }
       eng_.set_sampler(sampler_.get());
     }
+  }
 
+  /// Launch the pass-1 instance coroutines. Standalone spawns them bare
+  /// (names and order identical to the pre-refactor code, so the pinned
+  /// digests — which fold spawn names — are untouched); embedded wraps
+  /// each in tracked() so job_body() can detect drain on a shared
+  /// engine, where Engine::run() returning is not this job's signal.
+  void spawn_pass1() {
     for (unsigned a = 0; a < d_; ++a) {
-      eng_.spawn(distribute_instance(a), "distribute" + std::to_string(a));
+      spawn_instance(distribute_instance(a),
+                     pfx("distribute") + std::to_string(a));
     }
     for (unsigned hh = 0; hh < h_; ++hh) {
-      eng_.spawn(sort_instance(hh), "sort" + std::to_string(hh));
+      spawn_instance(sort_instance(hh), pfx("sort") + std::to_string(hh));
     }
     for (unsigned a = 0; a < d_; ++a) {
-      eng_.spawn(store_instance(a), "store" + std::to_string(a));
+      spawn_instance(store_instance(a), pfx("store") + std::to_string(a));
     }
+  }
 
-    eng_.run();
-    if (eng_.unfinished_tasks() != 0) {
-      throw std::logic_error("DSM-Sort pass 1 deadlocked; unfinished: " +
-                             join_names(eng_.unfinished_task_names()));
+  void spawn_instance(sim::Task<> body, std::string name) {
+    if (embedded_) {
+      eng_.spawn(tracked(std::move(body)), std::move(name));
+    } else {
+      eng_.spawn(std::move(body), std::move(name));
     }
-    pass1_end_ = *std::max_element(store_end_.begin(), store_end_.end());
+  }
+
+  /// Completion envelope for embedded instances: run the instance, then
+  /// count it done and wake the job body when the last one drains.
+  sim::Task<> tracked(sim::Task<> inner) {
+    co_await std::move(inner);
+    if (++finished_instances_ == total_instances_) {
+      job_done_.notify_all();
+    }
+  }
+
+  [[nodiscard]] std::vector<asu_ns::Node*> host_nodes_vec() {
+    std::vector<asu_ns::Node*> nodes;
+    nodes.reserve(h_);
+    for (unsigned i = 0; i < h_; ++i) nodes.push_back(&cluster_.host(i));
+    return nodes;
   }
 
   /// Per-ASU workload stream: the splitter pre-pass must regenerate the
@@ -318,8 +474,8 @@ class DsmSortSim {
   sim::Task<> distribute_instance(unsigned a) {
     asu_ns::Node& node = cluster_.asu(a);
     obs::Counter& records_done =
-        eng_.metrics().counter("functor.distribute" + std::to_string(a) +
-                               ".records");
+        eng_.metrics().counter(pfx("functor.distribute") +
+                               std::to_string(a) + ".records");
     const std::size_t n_local = local_share(a);
     if (n_local == 0) {
       to_sort_->producer_done();
@@ -402,7 +558,7 @@ class DsmSortSim {
                 ? wall * mp_.measured_scale +
                       double(blk) * mp_.cost.asu_handling
                 : double(blk) * per_record_cpu;
-        if (charge > 0) co_await node.compute(charge);
+        if (charge > 0) co_await node.compute(scaled(charge));
       }
       for (auto& pkt : ready) {
         co_await to_sort_->emit(node, std::move(pkt));
@@ -441,7 +597,7 @@ class DsmSortSim {
     asu_ns::Node* node = &cluster_.host(hh);
     auto& in = sort_in_->inbox(hh);
     const std::uint32_t track =
-        eng_.tracer().track("sort" + std::to_string(hh));
+        eng_.tracer().track(pfx("sort") + std::to_string(hh));
     const std::size_t run_len = cfg_.host_run_length();
     std::unordered_map<std::uint32_t, std::vector<em::KeyRecord>> staging;
     std::uint32_t next_run_id = hh * 0x100000u;
@@ -458,9 +614,12 @@ class DsmSortSim {
       // exactly its staged records, so that is what the move ships (plus
       // the fixed control/context overhead). Packets already in flight
       // complete against the old location's accounting.
-      if (manager_ != nullptr) {
-        if (asu_ns::Node* target = manager_->migration_target(hh);
-            target != nullptr && target != node) {
+      if (manager_ != nullptr || ext_manager_ != nullptr) {
+        asu_ns::Node* target =
+            manager_ != nullptr
+                ? manager_->migration_target(hh)
+                : ext_manager_->migration_target(ext_client_, hh);
+        if (target != nullptr && target != node) {
           std::size_t staged = 0;
           for (const auto& [s, buf] : staging) staged += buf.size();
           const double t_move = eng_.now();
@@ -479,7 +638,11 @@ class DsmSortSim {
           }
           node = target;
           to_sort_->set_target_node(hh, *target);
-          manager_->migration_performed(hh, *target);
+          if (manager_ != nullptr) {
+            manager_->migration_performed(hh, *target);
+          } else {
+            ext_manager_->migration_performed(ext_client_, hh, *target);
+          }
         }
       }
       const std::uint64_t parent_flow = p->trace_id;
@@ -518,10 +681,10 @@ class DsmSortSim {
             : double(block.size()) *
                   mp_.cost.sort_per_record(cfg_.host_run_length(),
                                            /*on_asu=*/false);
-    co_await node.compute(charge);
+    co_await node.compute(scaled(charge));
     records_sorted_per_host_[hh] += block.size();
     eng_.metrics()
-        .counter("functor.sort" + std::to_string(hh) + ".records")
+        .counter(pfx("functor.sort") + std::to_string(hh) + ".records")
         .inc(block.size());
 
     std::size_t off = 0;
@@ -547,10 +710,10 @@ class DsmSortSim {
   sim::Task<> store_instance(unsigned a) {
     asu_ns::Node& node = cluster_.asu(a);
     obs::Counter& records_done =
-        eng_.metrics().counter("functor.store" + std::to_string(a) +
+        eng_.metrics().counter(pfx("functor.store") + std::to_string(a) +
                                ".records");
     const std::uint32_t track =
-        eng_.tracer().track("store" + std::to_string(a));
+        eng_.tracer().track(pfx("store") + std::to_string(a));
     auto& in = store_in_->inbox(a);
     // Chunks are keyed by (run_id, seq) rather than appended in arrival
     // order: fault re-routing (retry-with-timeout) can let a later chunk
@@ -977,8 +1140,14 @@ class DsmSortSim {
 
   asu_ns::MachineParams mp_;
   DsmSortConfig cfg_;
-  sim::Engine eng_;
-  asu_ns::Cluster cluster_;
+  // Ownership mode (see the class comment): standalone owns, embedded
+  // borrows. The references are what the rest of the class uses, so the
+  // two modes share every line of pipeline code. Declaration order
+  // matters: the owned slots must initialize before the references bind.
+  std::unique_ptr<sim::Engine> owned_eng_;
+  std::unique_ptr<asu_ns::Cluster> owned_cluster_;
+  sim::Engine& eng_;
+  asu_ns::Cluster& cluster_;
   unsigned d_;
   unsigned h_;
   unsigned alpha_;
@@ -1018,14 +1187,56 @@ class DsmSortSim {
   obs::LatencyHistogram* phase_hist_ = nullptr;
   obs::LatencyHistogram* job_hist_ = nullptr;
   SwitchableRouter* switch_router_ = nullptr;  // owned by to_sort_'s router
-};
 
-}  // namespace
+  // Embedded (job) mode state — inert in standalone runs: embedded_
+  // stays false, the condition is constructed but never notified (a
+  // no-event operation), and charge_scale_ is exactly 1.0 at the
+  // default weight, so the standalone event stream is unchanged.
+  bool embedded_ = false;
+  double charge_scale_ = 1.0;  // 1 / cfg.fair_share_weight
+  double t0_ = 0;
+  std::size_t total_instances_ = 0;
+  std::size_t finished_instances_ = 0;
+  sim::Condition job_done_{eng_};
+  LoadManager* ext_manager_ = nullptr;  // shared cross-job arbiter
+  std::size_t ext_client_ = 0;
+  DsmSortReport rep_;
+  bool finished_flag_ = false;
+};
 
 DsmSortReport run_dsm_sort(const asu::MachineParams& machine,
                            const DsmSortConfig& config) {
   DsmSortSim sim(machine, config);
   return sim.run();
+}
+
+DsmSortJob::DsmSortJob(sim::Engine& eng, asu::Cluster& cluster,
+                       const DsmSortConfig& cfg)
+    : sim_(std::make_unique<DsmSortSim>(eng, cluster, cfg)) {
+  sim_->build_embedded();
+}
+
+DsmSortJob::~DsmSortJob() = default;
+
+sim::Task<> DsmSortJob::body() { return sim_->job_body(); }
+
+bool DsmSortJob::finished() const noexcept { return sim_->job_finished(); }
+
+const DsmSortReport& DsmSortJob::report() const {
+  return sim_->job_report();
+}
+
+SwitchableRouter* DsmSortJob::switch_router() const {
+  return sim_->job_switch_router();
+}
+
+std::vector<asu::Node*> DsmSortJob::sort_placement() const {
+  return sim_->job_sort_placement();
+}
+
+void DsmSortJob::set_external_manager(LoadManager* manager,
+                                      std::size_t client) {
+  sim_->set_external_manager(manager, client);
 }
 
 obs::Json dsm_report_to_json(const DsmSortReport& rep) {

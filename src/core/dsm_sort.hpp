@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -98,6 +99,23 @@ struct DsmSortConfig {
   unsigned gamma2_max = 0;
 
   std::uint64_t seed = 42;
+
+  /// Metric/trace/spawn-name prefix for this job ("<label>." prepended
+  /// to every instrument, functor counter, and spawned-task name).
+  /// Empty (the default) keeps every name at its legacy form, so
+  /// single-program runs and their pinned goldens are byte-identical.
+  /// The tenant scheduler assigns a unique label per admitted job so
+  /// concurrent jobs on one engine never collide in the registry.
+  std::string label;
+
+  /// Fair-share weight for multi-tenant charging: this job's CPU and
+  /// wire charges scale at 1/weight, so a weight-2 tenant occupies
+  /// shared resources half as long per unit of work (weighted fair
+  /// sharing approximated at functor granularity; ASU disk time is the
+  /// job's own data and is never scaled). Must be > 0 — rejected at
+  /// construction with std::invalid_argument otherwise. 1.0 multiplies
+  /// exactly, so single-tenant runs stay bit-identical.
+  double fair_share_weight = 1.0;
 
   /// Deterministic fault schedule driven while pass 1 runs (the injector
   /// drains its whole timeline inside the pass-1 event loop). Empty plan
@@ -215,5 +233,55 @@ struct DsmSortReport {
 /// sorted and merged; only time is modeled.
 DsmSortReport run_dsm_sort(const asu::MachineParams& machine,
                            const DsmSortConfig& config);
+
+class DsmSortSim;
+
+/// One DSM-Sort embedded as a *job* on a shared engine/cluster (the
+/// multi-tenant serving path): construction builds the pass-1 pipeline
+/// against the caller's cluster, body() is the root coroutine the
+/// scheduler spawns, and report() is valid once finished(). Embedded
+/// jobs never construct their own monitor/manager, sampler, or fault
+/// injector — the tenant scheduler owns cross-job arbitration (shared
+/// LoadManager clients) and the cluster's fault timeline — and pass 2
+/// is unsupported (std::invalid_argument at construction). Give each
+/// concurrent job a unique cfg.label or their registry instruments
+/// collide.
+class DsmSortJob {
+ public:
+  DsmSortJob(sim::Engine& eng, asu::Cluster& cluster,
+             const DsmSortConfig& cfg);
+  ~DsmSortJob();
+  DsmSortJob(const DsmSortJob&) = delete;
+  DsmSortJob& operator=(const DsmSortJob&) = delete;
+
+  /// The job's root coroutine: spawns the pipeline instances, waits for
+  /// all of them to drain, assembles the report. Spawn exactly once.
+  [[nodiscard]] sim::Task<> body();
+
+  [[nodiscard]] bool finished() const noexcept;
+
+  /// Valid once finished(). Timings are relative to the job's own start
+  /// (body()'s first resume), so pass1_seconds/makespan compose with an
+  /// admission-queue wait measured by the scheduler. Engine-wide blocks
+  /// (metrics/digest/utilization/time_series) are left empty — they
+  /// belong to the shared engine's owner.
+  [[nodiscard]] const DsmSortReport& report() const;
+
+  /// The job's switchable sort router (nullptr unless built with mode
+  /// Manage + router_swap + distribute_on_asus), for registration with
+  /// a shared LoadManager client.
+  [[nodiscard]] SwitchableRouter* switch_router() const;
+
+  /// Initial placement of the sort instances (hosts 0..H-1), matching
+  /// the instance indexing LoadManager::client_instances expects.
+  [[nodiscard]] std::vector<asu::Node*> sort_placement() const;
+
+  /// Wire this job's migration consult points to a shared cross-job
+  /// LoadManager client (plan → consult → confirm, per client).
+  void set_external_manager(LoadManager* manager, std::size_t client);
+
+ private:
+  std::unique_ptr<DsmSortSim> sim_;
+};
 
 }  // namespace lmas::core

@@ -86,9 +86,21 @@ class LoadMonitor {
   /// samples only while other work is pending, so it cannot keep the
   /// simulation alive by itself... which a periodic task would; instead
   /// it stops after `max_samples`).
-  void start(std::size_t max_samples = 10000) {
+  ///
+  /// `stop_when_idle = false` disables the two-consecutive-idle auto-stop
+  /// for open-arrival workloads, where quiescent gaps between job
+  /// arrivals are normal and stopping inside one would blind the manager
+  /// to every later job. Such a monitor keeps the event queue alive, so
+  /// its owner MUST call request_stop() once the workload is known to be
+  /// complete (the multi-tenant scheduler does this after the last job).
+  void start(std::size_t max_samples = 10000, bool stop_when_idle = true) {
+    stop_when_idle_ = stop_when_idle;
     cluster_->engine().spawn(run(max_samples), "load-monitor");
   }
+
+  /// Ask the sampling process to exit at its next tick (open-arrival
+  /// mode; see start()). Safe to call multiple times or before start.
+  void request_stop() noexcept { stop_requested_ = true; }
 
   [[nodiscard]] const std::vector<LoadSample>& samples() const noexcept {
     return samples_;
@@ -167,6 +179,7 @@ class LoadMonitor {
 
     for (std::size_t i = 0; i < max_samples; ++i) {
       co_await eng.sleep(period_);
+      if (stop_requested_) break;
       LoadSample s;
       s.time = eng.now();
       s.period = period_;
@@ -215,7 +228,7 @@ class LoadMonitor {
       // forever. A single idle sample is not enough — DSM-Sort-style
       // programs have quiescent gaps between phases longer than one
       // period, and stopping inside one would miss all later load.
-      if (all_idle && saw_work_) {
+      if (all_idle && saw_work_ && stop_when_idle_) {
         if (++idle_streak_ >= 2) break;
       } else {
         idle_streak_ = 0;
@@ -229,6 +242,8 @@ class LoadMonitor {
   std::vector<LoadSample> samples_;
   std::function<void(const LoadSample&)> observer_;
   bool saw_work_ = false;
+  bool stop_when_idle_ = true;
+  bool stop_requested_ = false;
   std::size_t idle_streak_ = 0;
 };
 
@@ -296,6 +311,19 @@ struct LoadManagerEvent {
 /// instances onto less-loaded nodes (the paper's functor migration,
 /// Section 3.3).
 ///
+/// Multi-tenant arbitration: the manager holds a registry of *clients*
+/// (one per concurrently running program). Client 0 always exists — it
+/// is the anonymous legacy client behind the single-program
+/// manage_router / manage_instances / migration_target(i) API, and it
+/// charges the original `lm.migrations` / `lm.router_switches` counters,
+/// so single-program callers are byte-compatible. add_client() registers
+/// further labeled clients (one per tenant job); their actions charge
+/// both the aggregate counters and per-tenant `lm.<label>.*` counters,
+/// and their journal lines carry the label. Decisions are arbitrated
+/// globally: one shared cooldown, one migration plan per tick across ALL
+/// clients' instances, chosen against aggregate per-node load read
+/// directly off the candidate nodes.
+///
 /// Division of labor for migration: the manager only *plans* a move (it
 /// runs off the sampling tick and cannot touch functor state); the stage
 /// coroutine that owns the instance consults migration_target() between
@@ -310,34 +338,71 @@ class LoadManager {
         cfg_(cfg),
         migrations_counter_(&eng.metrics().counter("lm.migrations")),
         switches_counter_(&eng.metrics().counter("lm.router_switches")),
-        track_(eng.tracer().track("load-manager")) {}
+        track_(eng.tracer().track("load-manager")) {
+    // Client 0: the anonymous legacy client (empty label charges the
+    // aggregate counters directly, so single-program metric names and
+    // counts are unchanged).
+    clients_.push_back(make_client(""));
+  }
+
+  /// Register a labeled client (one per tenant job); returns its id for
+  /// the per-client API below. Empty labels share the aggregate
+  /// counters; non-empty labels additionally charge
+  /// `lm.<label>.migrations` / `lm.<label>.router_switches`.
+  std::size_t add_client(const std::string& label) {
+    clients_.push_back(make_client(label));
+    return clients_.size() - 1;
+  }
+
+  /// Detach a finished client: its router is no longer swapped and its
+  /// instances no longer migrate. Ids are never reused.
+  void remove_client(std::size_t c) {
+    Client& cl = clients_.at(c);
+    if (!cl.active) return;
+    cl.active = false;
+    cl.router = nullptr;
+    cl.placement.clear();
+    cl.pending.clear();
+    cl.dwell_left.clear();
+    if (!cl.label.empty()) journal(eng_->now(), cl.label + ": detached");
+  }
 
   /// Attach the stage router to hot-swap (optional; may be wrapped in an
   /// InstrumentedRouter — pass the inner SwitchableRouter).
-  void manage_router(SwitchableRouter* router) { router_ = router; }
+  void manage_router(SwitchableRouter* router) { client_router(0, router); }
+  void client_router(std::size_t c, SwitchableRouter* router) {
+    clients_.at(c).router = router;
+  }
 
   /// Attach the replicated instances eligible for migration: their
   /// current placement (indexed like the stage's instances) and the
   /// candidate node set moves may target.
   void manage_instances(std::vector<asu::Node*> placement,
                         std::vector<asu::Node*> candidates) {
-    placement_ = std::move(placement);
-    candidates_ = std::move(candidates);
-    pending_.assign(placement_.size(), nullptr);
-    dwell_left_.assign(placement_.size(), 0);
-    cand_service_.clear();
-    for (const asu::Node* n : candidates_) {
-      cand_service_.push_back(n->cpu().total_service());
+    client_instances(0, std::move(placement), std::move(candidates));
+  }
+  void client_instances(std::size_t c, std::vector<asu::Node*> placement,
+                        std::vector<asu::Node*> candidates) {
+    Client& cl = clients_.at(c);
+    cl.placement = std::move(placement);
+    cl.candidates = std::move(candidates);
+    cl.pending.assign(cl.placement.size(), nullptr);
+    cl.dwell_left.assign(cl.placement.size(), 0);
+    cl.cand_service.clear();
+    for (const asu::Node* n : cl.candidates) {
+      cl.cand_service.push_back(n->cpu().total_service());
     }
   }
 
   /// The decision tick; plug into LoadMonitor::set_observer.
   void on_sample(const LoadSample& s) {
     if (cooldown_left_ > 0) --cooldown_left_;
-    for (auto& d : dwell_left_) {
-      if (d > 0) --d;
+    for (auto& cl : clients_) {
+      for (auto& d : cl.dwell_left) {
+        if (d > 0) --d;
+      }
     }
-    maybe_switch_router(s);
+    for (auto& cl : clients_) maybe_switch_router(cl, s);
     maybe_plan_migration(s);
   }
 
@@ -345,18 +410,28 @@ class LoadManager {
   /// or nullptr. The plan stays up until migration_performed() confirms
   /// it (the stage may be blocked in recv and pick it up late).
   [[nodiscard]] asu::Node* migration_target(std::size_t i) const {
-    return i < pending_.size() ? pending_[i] : nullptr;
+    return migration_target(0, i);
+  }
+  [[nodiscard]] asu::Node* migration_target(std::size_t c,
+                                            std::size_t i) const {
+    const Client& cl = clients_.at(c);
+    return i < cl.pending.size() ? cl.pending[i] : nullptr;
   }
 
   /// Confirm that instance `i` now runs on `to` (the stage already paid
   /// the transfer and re-pinned its inbox).
   void migration_performed(std::size_t i, asu::Node& to) {
-    placement_.at(i) = &to;
-    pending_.at(i) = nullptr;
-    dwell_left_.at(i) = cfg_.dwell_samples;
-    migrations_counter_->inc();
+    migration_performed(0, i, to);
+  }
+  void migration_performed(std::size_t c, std::size_t i, asu::Node& to) {
+    Client& cl = clients_.at(c);
+    cl.placement.at(i) = &to;
+    cl.pending.at(i) = nullptr;
+    cl.dwell_left.at(i) = cfg_.dwell_samples;
+    cl.migrations->inc();
+    if (cl.migrations != migrations_counter_) migrations_counter_->inc();
     journal(eng_->now(),
-            "migrated i" + std::to_string(i) + " -> " + to.name());
+            tag(cl) + "migrated i" + std::to_string(i) + " -> " + to.name());
   }
 
   [[nodiscard]] std::uint64_t migrations() const noexcept {
@@ -365,51 +440,102 @@ class LoadManager {
   [[nodiscard]] std::uint64_t router_switches() const noexcept {
     return switches_counter_->value();
   }
+  [[nodiscard]] std::uint64_t client_migrations(std::size_t c) const {
+    return clients_.at(c).migrations->value();
+  }
+  [[nodiscard]] std::uint64_t client_router_switches(std::size_t c) const {
+    return clients_.at(c).switches->value();
+  }
   [[nodiscard]] const std::vector<LoadManagerEvent>& events() const noexcept {
     return journal_;
   }
 
  private:
-  void maybe_switch_router(const LoadSample& s) {
-    if (router_ == nullptr || !cfg_.router_swap) return;
+  /// Per-program decision state. Streaks are per client (each router has
+  /// its own sustained-signal history); cooldown and the one-move-per-
+  /// tick migration plan are global — the whole point of cross-job
+  /// arbitration is that tenants do not act simultaneously on the same
+  /// overload signal.
+  struct Client {
+    std::string label;
+    bool active = true;
+    SwitchableRouter* router = nullptr;
+    std::vector<asu::Node*> placement;
+    std::vector<asu::Node*> candidates;
+    std::vector<asu::Node*> pending;
+    std::vector<std::size_t> dwell_left;
+    std::vector<double> cand_service;  // offered-work baselines
+    std::size_t promote_streak = 0;
+    std::size_t demote_streak = 0;
+    obs::Counter* migrations = nullptr;
+    obs::Counter* switches = nullptr;
+  };
+
+  [[nodiscard]] Client make_client(const std::string& label) {
+    Client cl;
+    cl.label = label;
+    if (label.empty()) {
+      cl.migrations = migrations_counter_;
+      cl.switches = switches_counter_;
+    } else {
+      cl.migrations = &eng_->metrics().counter("lm." + label + ".migrations");
+      cl.switches =
+          &eng_->metrics().counter("lm." + label + ".router_switches");
+    }
+    return cl;
+  }
+
+  [[nodiscard]] static std::string tag(const Client& cl) {
+    return cl.label.empty() ? std::string() : cl.label + ": ";
+  }
+
+  void maybe_switch_router(Client& cl, const LoadSample& s) {
+    if (!cl.active || cl.router == nullptr || !cfg_.router_swap) return;
     const auto load = s.host_load();
     const double imb = LoadSample::imbalance(load);
     const double peak_util =
         load.empty()
             ? 0
             : *std::max_element(load.begin(), load.end()) / window(s);
-    if (!router_->dynamic_active()) {
+    if (!cl.router->dynamic_active()) {
       const bool hot = imb >= cfg_.promote_imbalance &&
                        peak_util >= cfg_.min_actionable_load;
-      promote_streak_ = hot ? promote_streak_ + 1 : 0;
-      if (promote_streak_ >= cfg_.promote_hysteresis && cooldown_left_ == 0) {
-        router_->promote();
-        switches_counter_->inc();
+      cl.promote_streak = hot ? cl.promote_streak + 1 : 0;
+      if (cl.promote_streak >= cfg_.promote_hysteresis &&
+          cooldown_left_ == 0) {
+        cl.router->promote();
+        cl.switches->inc();
+        if (cl.switches != switches_counter_) switches_counter_->inc();
         cooldown_left_ = cfg_.cooldown_samples;
-        promote_streak_ = demote_streak_ = 0;
-        journal(s.time, "promote router -> dynamic (imbalance " +
+        cl.promote_streak = cl.demote_streak = 0;
+        journal(s.time, tag(cl) + "promote router -> dynamic (imbalance " +
                             std::to_string(imb) + ")");
       }
     } else {
       // No backlog floor on the way down: an idle cluster is even.
-      demote_streak_ = imb <= cfg_.demote_imbalance ? demote_streak_ + 1 : 0;
-      if (demote_streak_ >= cfg_.demote_hysteresis && cooldown_left_ == 0) {
-        router_->demote();
-        switches_counter_->inc();
+      cl.demote_streak =
+          imb <= cfg_.demote_imbalance ? cl.demote_streak + 1 : 0;
+      if (cl.demote_streak >= cfg_.demote_hysteresis && cooldown_left_ == 0) {
+        cl.router->demote();
+        cl.switches->inc();
+        if (cl.switches != switches_counter_) switches_counter_->inc();
         cooldown_left_ = cfg_.cooldown_samples;
-        promote_streak_ = demote_streak_ = 0;
-        journal(s.time, "demote router -> baseline (imbalance " +
+        cl.promote_streak = cl.demote_streak = 0;
+        journal(s.time, tag(cl) + "demote router -> baseline (imbalance " +
                             std::to_string(imb) + ")");
       }
     }
   }
 
-  /// Plan at most one move per tick: the instance whose projected gain is
-  /// largest, and only when the gain is sustained. Per-node load is read
-  /// directly off the candidate nodes at the sampling tick: queued
-  /// backlog plus the service accepted since the previous tick, both in
-  /// wall-seconds on that node's own CPU (speed ratio and fault
-  /// degradation already folded in, so no rate division). Work already
+  /// Plan at most one move per tick ACROSS ALL CLIENTS: the instance
+  /// whose projected gain is largest, and only when the gain is
+  /// sustained. Per-node load is read directly off the candidate nodes
+  /// at the sampling tick: queued backlog plus the service accepted
+  /// since the previous tick, both in wall-seconds on that node's own
+  /// CPU (speed ratio and fault degradation already folded in, so no
+  /// rate division). Because the backlog is the node's — every tenant's
+  /// queued work combined — this is aggregate cross-job load, which is
+  /// exactly what a shared-substrate arbiter must balance. Work already
   /// queued at a node does NOT move with the functor (the CPU queue is
   /// the node's, not the instance's); what moves is the instance's
   /// future arrivals, which will wait behind the destination's current
@@ -417,44 +543,54 @@ class LoadManager {
   /// factor + dwell absorb the transient where the old node is still
   /// draining work the instance left behind.
   void maybe_plan_migration(const LoadSample& s) {
-    if (placement_.empty() || !cfg_.migration) return;
-    std::vector<double> load(candidates_.size(), 0);
-    for (std::size_t j = 0; j < candidates_.size(); ++j) {
-      const double total = candidates_[j]->cpu().total_service();
-      load[j] = candidates_[j]->cpu().backlog() + (total - cand_service_[j]);
-      cand_service_[j] = total;
-    }
+    if (!cfg_.migration) return;
+    Client* best_cl = nullptr;
     std::size_t best_i = 0;
     asu::Node* best_to = nullptr;
     double best_gain = 0;
-    for (std::size_t i = 0; i < placement_.size(); ++i) {
-      if (dwell_left_[i] > 0 || pending_[i] != nullptr) continue;
-      asu::Node* from = placement_[i];
-      const auto from_it =
-          std::find(candidates_.begin(), candidates_.end(), from);
-      if (from_it == candidates_.end()) continue;
-      const double load_here = load[std::size_t(from_it -
-                                                candidates_.begin())];
-      if (load_here / window(s) < cfg_.min_actionable_load) continue;
-      for (std::size_t j = 0; j < candidates_.size(); ++j) {
-        asu::Node* to = candidates_[j];
-        if (to == from || !to->running()) continue;
-        if (load_here >= cfg_.migrate_factor * load[j] &&
-            load_here - load[j] > best_gain) {
-          best_i = i;
-          best_to = to;
-          best_gain = load_here - load[j];
+    bool any_candidate = false;
+    for (auto& cl : clients_) {
+      if (!cl.active || cl.placement.empty()) continue;
+      std::vector<double> load(cl.candidates.size(), 0);
+      for (std::size_t j = 0; j < cl.candidates.size(); ++j) {
+        const double total = cl.candidates[j]->cpu().total_service();
+        load[j] =
+            cl.candidates[j]->cpu().backlog() + (total - cl.cand_service[j]);
+        cl.cand_service[j] = total;
+      }
+      for (std::size_t i = 0; i < cl.placement.size(); ++i) {
+        if (cl.dwell_left[i] > 0 || cl.pending[i] != nullptr) continue;
+        asu::Node* from = cl.placement[i];
+        const auto from_it =
+            std::find(cl.candidates.begin(), cl.candidates.end(), from);
+        if (from_it == cl.candidates.end()) continue;
+        const double load_here =
+            load[std::size_t(from_it - cl.candidates.begin())];
+        if (load_here / window(s) < cfg_.min_actionable_load) continue;
+        for (std::size_t j = 0; j < cl.candidates.size(); ++j) {
+          asu::Node* to = cl.candidates[j];
+          if (to == from || !to->running()) continue;
+          if (load_here >= cfg_.migrate_factor * load[j] &&
+              load_here - load[j] > best_gain) {
+            best_cl = &cl;
+            best_i = i;
+            best_to = to;
+            best_gain = load_here - load[j];
+            any_candidate = true;
+          }
         }
       }
     }
+    (void)any_candidate;
     migrate_streak_ = best_to != nullptr ? migrate_streak_ + 1 : 0;
     if (best_to != nullptr && migrate_streak_ >= cfg_.migrate_hysteresis &&
         cooldown_left_ == 0) {
-      pending_[best_i] = best_to;
+      best_cl->pending[best_i] = best_to;
       cooldown_left_ = cfg_.cooldown_samples;
       migrate_streak_ = 0;
-      journal(eng_->now(), "plan migrate i" + std::to_string(best_i) +
-                               " " + placement_[best_i]->name() + " -> " +
+      journal(eng_->now(), tag(*best_cl) + "plan migrate i" +
+                               std::to_string(best_i) + " " +
+                               best_cl->placement[best_i]->name() + " -> " +
                                best_to->name());
     }
   }
@@ -476,14 +612,7 @@ class LoadManager {
 
   sim::Engine* eng_;
   LoadManagerConfig cfg_;
-  SwitchableRouter* router_ = nullptr;
-  std::vector<asu::Node*> placement_;
-  std::vector<asu::Node*> candidates_;
-  std::vector<asu::Node*> pending_;
-  std::vector<std::size_t> dwell_left_;
-  std::vector<double> cand_service_;  // offered-work baselines, per candidate
-  std::size_t promote_streak_ = 0;
-  std::size_t demote_streak_ = 0;
+  std::vector<Client> clients_;
   std::size_t migrate_streak_ = 0;
   std::size_t cooldown_left_ = 0;
   std::vector<LoadManagerEvent> journal_;

@@ -83,6 +83,13 @@ struct StageSpec {
   /// Metric/trace prefix for this stage's instruments.
   std::string name = "stage";
 
+  /// Fair-share charge scaling for this stage's transfers (multi-tenant
+  /// serving): a tenant with fair-share weight w is charged at 1/w for
+  /// NIC serialization and link occupancy, approximating a weighted
+  /// share of the wire. 1.0 (the default) multiplies exactly, so
+  /// single-tenant stages stay bit-identical to the unscaled path.
+  double charge_scale = 1.0;
+
   /// Distribution-level telemetry: registers `<name>.delivery_seconds`
   /// (emit → consumer-inbox arrival) and `<name>.queue_wait_seconds`
   /// (inbox arrival → consumption, via consumed()) latency histograms
@@ -114,6 +121,7 @@ class StageOutput {
         producers_left_(spec.producers),
         window_(std::max<std::size_t>(1, spec.window_per_producer) *
                 spec.producers),
+        charge_scale_(spec.charge_scale),
         slot_free_(eng),
         drained_(eng),
         name_(std::move(spec.name)) {
@@ -242,7 +250,7 @@ class StageOutput {
                                 eng_->now(), p.trace_id, p.parent_id);
     }
     // Sender occupancy: its own NIC only.
-    co_await from.nic_transfer(bytes);
+    co_await from.nic_transfer(bytes, charge_scale_);
     eng_->spawn(deliver(idx, &from, std::move(p), bytes));
   }
 
@@ -305,10 +313,10 @@ class StageOutput {
       if (from != ep.node) {
         if (from->is_asu() != ep.node->is_asu()) {
           co_await net_->link(*from, *ep.node)
-              .use(double(bytes) / link_bandwidth());
+              .use(charge_scale_ * double(bytes) / link_bandwidth());
         }
         co_await eng_->sleep(net_->sample_latency());
-        co_await ep.node->nic_transfer(bytes);
+        co_await ep.node->nic_transfer(bytes, charge_scale_);
       }
       if (ep.node->running()) break;
       // The receiver crashed while this packet was in flight. Retry with
@@ -390,6 +398,7 @@ class StageOutput {
   std::unique_ptr<RoutingPolicy> router_;
   unsigned producers_left_;
   std::size_t window_;
+  double charge_scale_ = 1.0;
   std::size_t inflight_ = 0;
   sim::Condition slot_free_;
   sim::Condition drained_;

@@ -69,9 +69,19 @@ TEST(Property, HistogramQuantilesWithinBoundAndMergeOrderFree) {
   ASSERT_FALSE(f.has_value()) << f->describe();
 }
 
+TEST(Property, TenantServingConservesRecordsAndJobs) {
+  const auto f = check::suite_tenant_conservation(kCases, kSeed);
+  ASSERT_FALSE(f.has_value()) << f->describe();
+}
+
+TEST(Property, TenantArrivalsAreSeedDeterministic) {
+  const auto f = check::suite_tenant_arrival(kCases, kSeed);
+  ASSERT_FALSE(f.has_value()) << f->describe();
+}
+
 // The registry the lmas_check driver iterates must cover every suite above.
 TEST(Property, RegistryListsAllSuites) {
-  ASSERT_EQ(check::all_suites().size(), 11u);
+  ASSERT_EQ(check::all_suites().size(), 13u);
   for (const auto& s : check::all_suites()) {
     EXPECT_NE(s.fn, nullptr) << s.name;
     EXPECT_GE(s.default_cases, 100u) << s.name;

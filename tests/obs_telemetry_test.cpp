@@ -219,6 +219,65 @@ TEST(TimeSeries, EvictsOldestOnceFull) {
   EXPECT_EQ(ts.values(), (std::vector<double>{3, 4, 5}));
 }
 
+TEST(TimeSeries, ExactlyAtCapacityKeepsEverythingAndDropsNothing) {
+  obs::TimeSeries ts(4);
+  for (int i = 1; i <= 4; ++i) ts.push(i);
+  // The boundary push (4th into capacity 4) must fill, not evict.
+  EXPECT_EQ(ts.size(), 4u);
+  EXPECT_EQ(ts.dropped(), 0u);
+  EXPECT_EQ(ts.values(), (std::vector<double>{1, 2, 3, 4}));
+  // The very next push is the first eviction.
+  ts.push(5);
+  EXPECT_EQ(ts.dropped(), 1u);
+  EXPECT_EQ(ts.values(), (std::vector<double>{2, 3, 4, 5}));
+}
+
+TEST(TimeSeries, HeadWrapsAroundAfterFullRingOfEvictions) {
+  obs::TimeSeries ts(3);
+  // 3 fills + 6 evictions: the head walks the ring twice and must land
+  // back at slot 0 with values still reported oldest-first.
+  for (int i = 1; i <= 9; ++i) ts.push(i);
+  EXPECT_EQ(ts.size(), 3u);
+  EXPECT_EQ(ts.dropped(), 6u);
+  EXPECT_EQ(ts.values(), (std::vector<double>{7, 8, 9}));
+  // Capacity 1 degenerates to "latest value wins" without corruption.
+  obs::TimeSeries one(0);  // clamped to 1
+  EXPECT_EQ(one.capacity(), 1u);
+  for (int i = 1; i <= 5; ++i) one.push(i);
+  EXPECT_EQ(one.dropped(), 4u);
+  EXPECT_EQ(one.values(), (std::vector<double>{5}));
+}
+
+TEST(LatencyHistogram, MergeWithEmptyOperandIsIdentity) {
+  obs::LatencyHistogram h, empty;
+  h.observe(1.0);
+  h.observe(3.0);
+  h.merge(empty);  // rhs empty: no-op, min/max untouched
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 3.0);
+  empty.merge(h);  // lhs empty: becomes a copy
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.min(), 1.0);
+  EXPECT_DOUBLE_EQ(empty.max(), 3.0);
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), h.quantile(0.5));
+}
+
+TEST(LatencyHistogram, SelfMergeDoublesCountsButPreservesQuantiles) {
+  obs::LatencyHistogram h;
+  for (int i = 1; i <= 32; ++i) h.observe(1e-3 * i);
+  const double p50 = h.quantile(0.5);
+  const double p99 = h.quantile(0.99);
+  h.merge(h);
+  EXPECT_EQ(h.count(), 64u);
+  EXPECT_DOUBLE_EQ(h.sum(), 2.0 * 1e-3 * (32 * 33 / 2));
+  EXPECT_DOUBLE_EQ(h.min(), 1e-3);
+  EXPECT_DOUBLE_EQ(h.max(), 32e-3);
+  // Doubling every bucket count leaves the distribution alone.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), p50);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), p99);
+}
+
 sim::Task<> three_sleeps(sim::Engine& eng) {
   co_await eng.sleep(0.4);
   co_await eng.sleep(0.4);
@@ -243,6 +302,37 @@ TEST(Sampler, SamplesOnPeriodBoundariesWithParkedClock) {
   const obs::Json j = s.to_json();
   EXPECT_EQ(j.at("samples").as_int(), 4);
   EXPECT_EQ(j.at("series").at("clock").size(), 4u);
+}
+
+TEST(Sampler, NextTimeAdvancesExactlyOnePeriodPerSampleAtHorizonEdge) {
+  obs::Sampler s(0.25);
+  // Before any sample, the first boundary is one full period in: time 0
+  // is NOT due (a run that never advances the clock takes no samples).
+  EXPECT_DOUBLE_EQ(s.next_time(), 0.25);
+  EXPECT_FALSE(s.due(0.0));
+  EXPECT_FALSE(s.due(0.25 - 1e-12));
+  // The boundary itself is due (>=, not >): an event landing exactly on
+  // the horizon edge samples once, and the boundary advances exactly one
+  // period — never skipping ahead past un-crossed boundaries.
+  EXPECT_TRUE(s.due(0.25));
+  s.sample(s.next_time());
+  EXPECT_DOUBLE_EQ(s.next_time(), 0.5);
+  EXPECT_FALSE(s.due(0.25));
+  // A large jump leaves next_time() lagging: the engine drains one
+  // boundary per sample() call until caught up.
+  EXPECT_TRUE(s.due(1.0));
+  s.sample(s.next_time());
+  EXPECT_DOUBLE_EQ(s.next_time(), 0.75);
+  EXPECT_TRUE(s.due(1.0));
+  s.sample(s.next_time());
+  s.sample(s.next_time());
+  EXPECT_DOUBLE_EQ(s.next_time(), 1.25);
+  EXPECT_FALSE(s.due(1.0));
+  EXPECT_EQ(s.sample_count(), 4u);
+  // Non-positive period is clamped to 1s, not an infinite-loop zero.
+  obs::Sampler degenerate(0.0);
+  EXPECT_DOUBLE_EQ(degenerate.period(), 1.0);
+  EXPECT_DOUBLE_EQ(degenerate.next_time(), 1.0);
 }
 
 TEST(Sampler, InstallingSamplerDoesNotMoveDigestOrEventCount) {

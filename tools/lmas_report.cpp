@@ -4,10 +4,13 @@
 /// blocks. Reads artifacts produced with DsmSortConfig::telemetry
 /// enabled (fig9_speedup's detailed cell, every fig10_adapt cell).
 ///
-///   lmas_report [quantiles|series|all] BENCH_file.json
+///   lmas_report [quantiles|series|tenants|all] BENCH_file.json
 ///
 /// Blocks are found at the artifact root (fig9 style) and inside each
 /// `results[]` entry (sweep style, labeled by the entry's `cell` key).
+/// `tenants` groups the job-completion histograms of a multi-tenant
+/// artifact (fig_tenancy) by tenant label: one row per
+/// `dsm.job_seconds.<tenant>` block plus the aggregate.
 
 #include <algorithm>
 #include <cstdio>
@@ -66,6 +69,41 @@ void print_quantiles(const Block& blk) {
   }
 }
 
+/// Per-tenant completion-time table: the `dsm.job_seconds.<tenant>`
+/// histograms of one cell grouped by tenant label, the bare
+/// `dsm.job_seconds` block as the (all) row. Cells without per-tenant
+/// blocks (single-tenant artifacts) print nothing.
+bool print_tenant_quantiles(const Block& blk) {
+  static const std::string kAggregate = "dsm.job_seconds";
+  static const std::string kPrefix = kAggregate + ".";
+  std::vector<std::pair<std::string, const obs::Json*>> rows;
+  for (const auto& [name, h] : blk.json->members()) {
+    if (name.compare(0, kPrefix.size(), kPrefix) == 0) {
+      rows.emplace_back(name.substr(kPrefix.size()), &h);
+    }
+  }
+  if (rows.empty()) return false;
+  if (const obs::Json* agg = blk.json->find(kAggregate); agg != nullptr) {
+    rows.emplace_back("(all)", agg);
+  }
+  if (!blk.label.empty()) std::printf("\n[%s]\n", blk.label.c_str());
+  std::size_t w = std::strlen("tenant");
+  for (const auto& [name, h] : rows) w = std::max(w, name.size());
+  std::printf("%-*s %10s %12s %12s %12s %12s %12s\n", int(w), "tenant",
+              "jobs", "mean(s)", "p50(s)", "p90(s)", "p99(s)", "max(s)");
+  for (const auto& [name, h] : rows) {
+    const auto field = [h = h](const char* k) {
+      const obs::Json* v = h->find(k);
+      return v != nullptr ? v->as_double() : 0.0;
+    };
+    std::printf("%-*s %10lld %12.6f %12.6f %12.6f %12.6f %12.6f\n", int(w),
+                name.c_str(), static_cast<long long>(field("count")),
+                field("mean"), field("p50"), field("p90"), field("p99"),
+                field("max"));
+  }
+  return true;
+}
+
 /// One probe as a fixed-width sparkline: samples are bucketed into 64
 /// columns (mean per column) and scaled to the probe's own max.
 void print_series_line(const std::string& name, std::size_t name_w,
@@ -116,7 +154,7 @@ void print_series(const Block& blk) {
 }
 
 int usage() {
-  std::fprintf(stderr, "usage: lmas_report [quantiles|series|all] "
+  std::fprintf(stderr, "usage: lmas_report [quantiles|series|tenants|all] "
                        "BENCH_file.json\n");
   return 2;
 }
@@ -134,7 +172,8 @@ int main(int argc, char** argv) {
   } else {
     return usage();
   }
-  if (mode != "quantiles" && mode != "series" && mode != "all") {
+  if (mode != "quantiles" && mode != "series" && mode != "tenants" &&
+      mode != "all") {
     return usage();
   }
 
@@ -162,6 +201,22 @@ int main(int argc, char** argv) {
     for (const Block& b : blocks) {
       print_quantiles(b);
       any = true;
+    }
+  }
+  if (mode == "tenants" || mode == "all") {
+    const auto blocks = find_blocks(*doc, "histograms");
+    bool header = false;
+    for (const Block& b : blocks) {
+      if (!header) {
+        bool has = false;
+        for (const auto& [name, h] : b.json->members()) {
+          has = has || name.rfind("dsm.job_seconds.", 0) == 0;
+        }
+        if (!has) continue;
+        std::printf("\n== per-tenant job completion ==\n");
+        header = true;
+      }
+      any = print_tenant_quantiles(b) || any;
     }
   }
   if (mode == "series" || mode == "all") {
