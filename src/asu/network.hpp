@@ -14,6 +14,20 @@
 
 namespace lmas::asu {
 
+/// Conservative lookahead for sharded simulation of a machine with these
+/// parameters (sim::ShardedEngine, DESIGN.md §14): the minimum virtual
+/// time any cross-node message needs to propagate. Every transfer pays at
+/// least `link_latency` (Network::sample_latency returns it as the floor;
+/// fault delay windows only ever add to it), so no node can influence
+/// another sooner than that — which is exactly the window width a
+/// conservative parallel simulation may safely advance without hearing
+/// from other shards. Returns 0 for a degenerate zero-latency topology;
+/// the sharded engine rejects that at shards > 1.
+[[nodiscard]] inline double shard_lookahead(
+    const MachineParams& params) noexcept {
+  return params.link_latency > 0 ? params.link_latency : 0.0;
+}
+
 /// Host<->ASU interconnect: one full-duplex link per (host, ASU) pair,
 /// plus per-node NIC serialization. The paper's network model only uses
 /// host-ASU communication and assumes processors saturate before links;

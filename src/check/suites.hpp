@@ -73,6 +73,11 @@ namespace lmas::check {
 ///                  fingerprint, and execution digest; every arrival is
 ///                  well-formed against its tenant's mix; a different
 ///                  seed moves the fingerprint.
+///  - sharded-digest: the ShardedEngine determinism contract — a random
+///                  PHOLD-style topology produces bit-identical canonical
+///                  digests and event counts at 1, 2 and 4 shards, and a
+///                  zero-lookahead topology is rejected at construction
+///                  instead of deadlocking the window loop.
 std::optional<Failure> suite_permutation(std::size_t cases,
                                          std::uint64_t seed);
 std::optional<Failure> suite_packet_order(std::size_t cases,
@@ -97,6 +102,8 @@ std::optional<Failure> suite_histogram(std::size_t cases,
 std::optional<Failure> suite_tenant_conservation(std::size_t cases,
                                                  std::uint64_t seed);
 std::optional<Failure> suite_tenant_arrival(std::size_t cases,
+                                            std::uint64_t seed);
+std::optional<Failure> suite_sharded_digest(std::size_t cases,
                                             std::uint64_t seed);
 
 struct SuiteInfo {

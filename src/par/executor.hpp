@@ -24,6 +24,9 @@ namespace lmas::par {
 ///    of the same cells produce bit-identical results.
 ///  - jobs=1 runs the batch inline on the calling thread — the serial
 ///    path is literally a for loop, with no thread machinery to trust.
+///  - jobs counts the calling thread: the pool holds jobs-1 threads and
+///    for_each_index's caller claims indices alongside them, so a
+///    batch never oversubscribes the machine with an idle coordinator.
 ///
 /// One batch at a time: for_each_index() is not reentrant and the
 /// executor is not meant to be shared across threads.

@@ -17,6 +17,12 @@ Engine::Engine() {
       auto& d = metrics_.counter("trace.dropped_events");
       d.inc(tracer_.dropped_events() - d.value());
     }
+    // Same lazy registration: a correctly modeled run never clamps, so
+    // the counter must not perturb the pinned fingerprints.
+    if (clamped_schedules_ > 0) {
+      auto& cl = metrics_.counter("engine.clamped_schedules");
+      cl.inc(clamped_schedules_ - cl.value());
+    }
     for (MetricsSource* s = sources_; s != nullptr; s = s->next_) {
       s->publish_metrics(metrics_);
     }
@@ -31,6 +37,10 @@ Engine::Engine() {
 
 void Engine::spawn(Task<> task, std::string name) {
   auto handle = task.handle();
+  // Root tasks are never awaited, so their unhandled_exception must flag
+  // the engine directly — the run loop stops at the failing event instead
+  // of committing (and digesting) everything behind it.
+  handle.promise().root_failure_latch = &root_failed_;
   fold(fnv1a64(name));
   if (!name.empty() && tracer_.enabled()) {
     // Only traces consult the handle->name map, and enablement precedes
@@ -66,7 +76,7 @@ void Engine::rethrow_root_failure() const {
 
 std::size_t Engine::run_fast(SimTime until) {
   std::size_t processed = 0;
-  while (!events_.empty()) {
+  while (!events_.empty() && !root_failed_) {
     if (events_.top().t > until) break;
     const Event ev = events_.pop_min();
     // Sim-time sampling: park the clock on each period boundary the next
@@ -91,7 +101,7 @@ std::size_t Engine::run_fast(SimTime until) {
 
 std::size_t Engine::run_traced(SimTime until) {
   std::size_t processed = 0;
-  while (!events_.empty()) {
+  while (!events_.empty() && !root_failed_) {
     if (events_.top().t > until) break;
     const Event ev = events_.pop_min();
     if (sampler_ != nullptr) {  // see run_fast: digest-neutral by design
@@ -139,9 +149,19 @@ std::vector<std::string> Engine::unfinished_task_names() const {
 void Engine::reap_completed() {
   std::erase_if(roots_, [this](const Root& r) {
     if (!r.task.done()) return false;
+    // The frame is about to be freed and its address recycled by a later
+    // coroutine allocation; a stale entry here would label the newcomer
+    // with the dead task's name in every trace.
     named_roots_.erase(r.task.handle().address());
     return true;
   });
+  // Reaping a failed root is how a caller acknowledges the failure after
+  // run() rethrew it; recompute the latch so the engine resumes only when
+  // no unprocessed root exception remains.
+  root_failed_ = false;
+  for (const auto& r : roots_) {
+    if (r.task.valid() && r.task.exception()) root_failed_ = true;
+  }
 }
 
 }  // namespace lmas::sim

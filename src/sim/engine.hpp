@@ -1,6 +1,7 @@
 #pragma once
 
 #include <bit>
+#include <cassert>
 #include <coroutine>
 #include <cstdint>
 #include <string>
@@ -86,7 +87,19 @@ class Engine {
   }
 
   void schedule_at(std::coroutine_handle<> h, SimTime t) {
-    events_.push(Event{t < now_ ? now_ : t, next_seq_++, h});
+    // Scheduling into the past is a modeling bug (a negative latency or
+    // service time somewhere upstream): committing the event "now" would
+    // silently reorder causality. Debug builds trap it; release builds
+    // still clamp — dropping the event would deadlock the scheduling
+    // process — but count the clamp so the drift is observable
+    // (clamped_schedules(), `engine.clamped_schedules`).
+    assert(t >= now_ && "schedule_at: event time in the past "
+                        "(negative-latency modeling bug?)");
+    if (t < now_) {
+      ++clamped_schedules_;
+      t = now_;
+    }
+    events_.push(Event{t, next_seq_++, h});
   }
 
   /// Take ownership of a root task and schedule its first resume now.
@@ -124,14 +137,22 @@ class Engine {
     return Awaiter{this};
   }
 
-  /// Run until the event queue drains or `until` is reached.
-  /// Returns the number of events processed by this call.
+  /// Run until the event queue drains, `until` is reached, or a spawned
+  /// root task exits with an exception. Returns the number of events
+  /// processed by this call.
   ///
   /// If any spawned root task exited with an exception, the first such
   /// exception (in spawn order) is rethrown here once the loop stops.
   /// Root tasks are never awaited, so without this check a throw inside
   /// a spawned process would be stored in its promise and silently
   /// discarded — an invariant violation would look like a clean run.
+  ///
+  /// The loop stops at the event whose resume killed the root: events
+  /// already committed (including the fatal one) are folded into the
+  /// digest, but nothing past the failure commits — a violated invariant
+  /// must not be buried under millions of post-mortem events. The engine
+  /// stays failed (further run() calls process nothing and rethrow) until
+  /// reap_completed() removes the failed root.
   std::size_t run(SimTime until = kTimeInfinity);
 
   /// Events processed across all run() calls on this engine.
@@ -159,6 +180,14 @@ class Engine {
     digest_ = splitmix64(s);
   }
 
+  /// Past-time schedule_at calls that were clamped to now (see
+  /// schedule_at). Always zero in a correctly modeled run; published
+  /// lazily as `engine.clamped_schedules` so clean runs keep their pinned
+  /// metrics fingerprints.
+  [[nodiscard]] std::uint64_t clamped_schedules() const noexcept {
+    return clamped_schedules_;
+  }
+
   /// Number of spawned root tasks that have not completed. Non-zero after
   /// run() drains the queue means blocked (deadlocked or starved) processes.
   [[nodiscard]] std::size_t unfinished_tasks() const noexcept;
@@ -171,8 +200,18 @@ class Engine {
     return events_.size();
   }
 
-  /// Drop completed root task frames (optional; frees memory in long runs).
+  /// Drop completed root task frames (optional; frees memory in long
+  /// runs). Also erases the frames' trace-name entries — a later spawn
+  /// reusing a freed frame address must not inherit a dead task's name —
+  /// and clears the root-failure latch when the last failed root goes,
+  /// so an engine whose failure was handled can keep running.
   void reap_completed();
+
+  /// Trace-name entries currently held for named roots (diagnostic; the
+  /// reap regression pins that these never outlive their frames).
+  [[nodiscard]] std::size_t traced_root_names() const noexcept {
+    return named_roots_.size();
+  }
 
   /// Link / unlink a pull-model metrics publisher (see MetricsSource).
   /// Allocation-free; sources run in reverse registration order.
@@ -220,6 +259,10 @@ class Engine {
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
+  std::uint64_t clamped_schedules_ = 0;
+  // Latched by a root task's unhandled_exception (via PromiseBase); the
+  // run loops poll it so the queue stops at the first failed root.
+  bool root_failed_ = false;
   std::uint64_t digest_ = 0xcbf29ce484222325ULL;  // FNV offset basis
   obs::Sampler* sampler_ = nullptr;
   std::uint64_t trace_id_seq_ = 0;

@@ -1,0 +1,244 @@
+#include "sim/sharded_engine.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdlib>
+#include <string>
+
+#include "par/executor.hpp"
+
+namespace lmas::sim {
+
+std::uint32_t default_shards() {
+  if (const char* env = std::getenv("LMAS_SHARDS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) {
+      return static_cast<std::uint32_t>(v);
+    }
+  }
+  return 1;
+}
+
+ShardedEngine::ShardedEngine(std::uint32_t num_nodes, ShardedParams params,
+                             ShardHandler handler)
+    : nodes_(num_nodes),
+      lookahead_(params.lookahead),
+      handler_(std::move(handler)) {
+  if (num_nodes == 0) {
+    throw std::invalid_argument("ShardedEngine: num_nodes must be > 0");
+  }
+  if (!handler_) {
+    throw std::invalid_argument("ShardedEngine: handler must be callable");
+  }
+  std::uint32_t shards = params.shards != 0 ? params.shards : default_shards();
+  // A shard with no nodes would only add an idle barrier participant.
+  shards = std::min(shards, num_nodes);
+  if (shards > 1 && !(lookahead_ > 0)) {
+    throw std::invalid_argument(
+        "ShardedEngine: conservative windows require a positive lookahead "
+        "(the minimum cross-shard link latency); a zero-latency topology "
+        "admits no safe window and cannot be sharded");
+  }
+  base_ = num_nodes / shards;
+  rem_ = num_nodes % shards;
+
+  node_state_.resize(num_nodes);
+  const Rng root(params.seed);
+  for (std::uint32_t n = 0; n < num_nodes; ++n) {
+    // stream(): const derivation, so every node's stream depends only on
+    // (seed, node id) — never on shard layout or initialization order.
+    node_state_[n].rng = root.stream(stream_id("shard-node", n));
+  }
+
+  shards_.resize(shards);
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    shards_[s].ctx.eng_ = this;
+    shards_[s].ctx.shard_ = s;
+  }
+
+  if (shards > 1) {
+    workers_ = params.workers != 0
+                   ? params.workers
+                   : std::min(shards, std::uint32_t(par::default_jobs()));
+    workers_ = std::max(workers_, 1u);
+    pool_ = std::make_unique<par::Executor>(workers_);
+  }
+}
+
+ShardedEngine::~ShardedEngine() = default;
+
+void ShardedEngine::validate_send(LogicalNode src, LogicalNode dst,
+                                  SimTime delay) const {
+  if (dst >= nodes_) {
+    throw std::out_of_range("ShardContext::send: destination node " +
+                            std::to_string(dst) + " out of range (" +
+                            std::to_string(nodes_) + " nodes)");
+  }
+  // !(delay > 0) also rejects NaN. The lookahead bound applies at every
+  // shard count — see the header: a send below the topology's declared
+  // minimum latency is a modeling bug whether or not it would also break
+  // a window this run.
+  if (!(delay > 0) || delay < lookahead_) {
+    throw std::invalid_argument(
+        "ShardContext::send: node " + std::to_string(src) + " -> " +
+        std::to_string(dst) + " delay " + std::to_string(delay) +
+        " violates the lookahead contract (delay must be positive and >= " +
+        std::to_string(lookahead_) + ")");
+  }
+}
+
+void ShardedEngine::enqueue(std::uint32_t from_shard, ShardEvent ev) {
+  const std::uint32_t to_shard = shard_of(ev.dst);
+  if (running_ && to_shard != from_shard) {
+    // Worker threads own only their shard; a foreign heap push here would
+    // race. Buffer in the (worker-owned) source outbox; the coordinator
+    // routes it at the window barrier.
+    shards_[from_shard].outbox.push_back(ev);
+    return;
+  }
+  shards_[to_shard].heap.push(ev);
+}
+
+void ShardedEngine::inject(LogicalNode src, LogicalNode dst, SimTime t,
+                           std::uint64_t payload) {
+  if (running_) {
+    throw std::logic_error("ShardedEngine::inject: engine is running");
+  }
+  if (src >= nodes_ || dst >= nodes_) {
+    throw std::out_of_range("ShardedEngine::inject: node out of range");
+  }
+  for (const Shard& sh : shards_) {
+    if (t < sh.now) {
+      throw std::invalid_argument(
+          "ShardedEngine::inject: time is behind the committed horizon");
+    }
+  }
+  if (!(t >= 0)) {
+    throw std::invalid_argument("ShardedEngine::inject: negative time");
+  }
+  auto& st = node_state_[src];
+  shards_[shard_of(dst)].heap.push(
+      ShardEvent{t, dst, src, st.emit_seq++, payload});
+}
+
+void ShardedEngine::commit(Shard& sh, const ShardEvent& ev) {
+  sh.now = ev.t;
+  sh.ctx.now_ = ev.t;
+  sh.ctx.node_ = ev.dst;
+  ++sh.events;
+  auto& st = node_state_[ev.dst];
+  ++st.events;
+  // Per-node chain over the node's committed stream. The word covers the
+  // full event identity (t, src, seq, payload); dst is implicit in which
+  // chain the word lands in, and the merge order (digest()) restores it.
+  std::uint64_t w = std::bit_cast<std::uint64_t>(ev.t);
+  w ^= splitmix64_once((std::uint64_t(ev.src) << 32) ^ ev.seq);
+  w ^= std::rotl(ev.payload, 17);
+  st.digest = splitmix64_once(st.digest ^ w);
+  handler_(sh.ctx, ev);
+}
+
+std::uint64_t ShardedEngine::run(SimTime until) {
+  const std::uint64_t before = events_processed();
+  running_ = true;
+  try {
+    if (shards_.size() == 1) {
+      run_serial(until);
+    } else {
+      run_windowed(until);
+    }
+  } catch (...) {
+    running_ = false;
+    throw;
+  }
+  running_ = false;
+  return events_processed() - before;
+}
+
+void ShardedEngine::run_serial(SimTime until) {
+  // The LMAS_SHARDS=1 fast path: one heap, no windows, no barriers, no
+  // executor — the same pop/commit loop the serial Engine runs.
+  Shard& sh = shards_[0];
+  while (!sh.heap.empty() && sh.heap.top().t <= until) {
+    const ShardEvent ev = sh.heap.pop_min();
+    commit(sh, ev);
+  }
+}
+
+void ShardedEngine::run_windowed(SimTime until) {
+  for (;;) {
+    // Next window starts at the globally earliest pending event; every
+    // window therefore commits at least one event (progress guarantee).
+    SimTime next = kTimeInfinity;
+    for (const Shard& sh : shards_) {
+      if (!sh.heap.empty() && sh.heap.top().t < next) next = sh.heap.top().t;
+    }
+    if (next == kTimeInfinity || next > until) break;
+    const SimTime window_end = next + lookahead_;
+    if (!(window_end > next)) {
+      // double underflow: at huge virtual times a small lookahead can be
+      // absorbed (next + L == next), which would stall the window loop.
+      throw std::runtime_error(
+          "ShardedEngine: lookahead underflows at t=" + std::to_string(next) +
+          " (window would be empty)");
+    }
+    ++windows_;
+    pool_->for_each_index(shards_.size(), [&](std::size_t s) {
+      run_shard_window(shards_[s], window_end, until);
+    });
+    route_outboxes();
+  }
+}
+
+void ShardedEngine::run_shard_window(Shard& sh, SimTime window_end,
+                                     SimTime until) {
+  while (!sh.heap.empty()) {
+    const SimTime t = sh.heap.top().t;
+    if (t >= window_end || t > until) break;
+    const ShardEvent ev = sh.heap.pop_min();
+    commit(sh, ev);
+  }
+}
+
+void ShardedEngine::route_outboxes() {
+  // Coordinator-only, between windows: deterministic (source shard,
+  // emission order) routing. The heap key makes insertion order
+  // irrelevant to pop order, but determinism here keeps memory layout —
+  // and thus any future instrumentation — replay-stable too.
+  for (Shard& sh : shards_) {
+    for (const ShardEvent& ev : sh.outbox) {
+      shards_[shard_of(ev.dst)].heap.push(ev);
+    }
+    cross_messages_ += sh.outbox.size();
+    sh.outbox.clear();
+  }
+}
+
+std::uint64_t ShardedEngine::events_processed() const noexcept {
+  std::uint64_t total = 0;
+  for (const Shard& sh : shards_) total += sh.events;
+  return total;
+}
+
+std::uint64_t ShardedEngine::digest() const noexcept {
+  std::uint64_t d = 0xcbf29ce484222325ULL;  // FNV offset basis
+  for (std::uint32_t n = 0; n < nodes_; ++n) {
+    d = splitmix64_once(d ^ node_state_[n].digest);
+  }
+  return d;
+}
+
+std::uint64_t ShardedEngine::shard_digest(std::uint32_t shard) const {
+  if (shard >= shard_count()) {
+    throw std::out_of_range("ShardedEngine::shard_digest: shard out of range");
+  }
+  const auto [first, last] = nodes_of(shard);
+  std::uint64_t d = 0xcbf29ce484222325ULL;
+  for (LogicalNode n = first; n < last; ++n) {
+    d = splitmix64_once(d ^ node_state_[n].digest);
+  }
+  return d;
+}
+
+}  // namespace lmas::sim

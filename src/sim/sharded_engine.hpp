@@ -1,0 +1,272 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/event_heap.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace lmas::par {
+class Executor;
+}
+
+namespace lmas::sim {
+
+/// Index of a simulated node in a sharded simulation (DESIGN.md §14).
+using LogicalNode = std::uint32_t;
+
+/// Shard count for sharded simulations: the LMAS_SHARDS environment
+/// variable when it parses to a positive integer, otherwise 1 (the serial
+/// fast path). Read once per call so tests can vary the env.
+[[nodiscard]] std::uint32_t default_shards();
+
+/// Configuration for a ShardedEngine. `lookahead` is the conservative
+/// synchronization window width — the minimum cross-node propagation
+/// latency the topology guarantees (asu::shard_lookahead extracts it from
+/// MachineParams). It must be > 0 whenever shards > 1: a zero-lookahead
+/// topology admits no conservative window and the constructor throws
+/// rather than letting the barrier discipline deadlock or deadlock-avoid
+/// itself into nondeterminism.
+struct ShardedParams {
+  std::uint32_t shards = 0;   ///< 0 ⇒ default_shards() (LMAS_SHARDS)
+  std::uint32_t workers = 0;  ///< 0 ⇒ min(shards, par::default_jobs())
+  double lookahead = 0;       ///< seconds; > 0 required when shards > 1
+  std::uint64_t seed = 0x9d2c5680u;  ///< root of every node's RNG stream
+};
+
+/// One committed (or in-flight) node event. Identity is (src, seq): every
+/// emission increments the source node's private counter, so the tuple is
+/// unique and — crucially — independent of how nodes are sharded. The
+/// commit order is the lexicographic key (t, dst, src, seq); see
+/// ShardedEngine for why that makes digests shard-count invariant.
+struct ShardEvent {
+  SimTime t = 0;           ///< delivery (commit) time
+  LogicalNode dst = 0;     ///< node whose handler runs
+  LogicalNode src = 0;     ///< emitting node (== dst for self-posts)
+  std::uint64_t seq = 0;   ///< src's emission counter at send time
+  std::uint64_t payload = 0;  ///< opaque user word
+};
+
+class ShardedEngine;
+
+/// Handler-facing view of the shard executing the current event: virtual
+/// time, the node being delivered to, that node's private RNG stream, and
+/// the two emission primitives. One context per shard; handlers must not
+/// retain it across events.
+class ShardContext {
+ public:
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] LogicalNode node() const noexcept { return node_; }
+  [[nodiscard]] Rng& rng() noexcept;
+  [[nodiscard]] ShardedEngine& engine() noexcept { return *eng_; }
+
+  /// Schedule a new event on the current node `delay >= 0` seconds out.
+  void post(SimTime delay, std::uint64_t payload);
+
+  /// Send to another node. `delay` must be positive and >= the engine's
+  /// lookahead — the physical claim (no signal outruns the slowest-case
+  /// minimum link latency) that makes conservative windows sound. The
+  /// bound is enforced identically on the serial path, so a violation
+  /// can never hide at LMAS_SHARDS=1 and surface as a digest change (or
+  /// causality leak) when sharded.
+  void send(LogicalNode dst, SimTime delay, std::uint64_t payload);
+
+ private:
+  friend class ShardedEngine;
+  ShardedEngine* eng_ = nullptr;
+  std::uint32_t shard_ = 0;
+  LogicalNode node_ = 0;
+  SimTime now_ = 0;
+};
+
+/// Per-event callback: runs the destination node's model logic. Invoked
+/// concurrently from shard worker threads (one shard at a time per
+/// thread), so it must only touch per-node state — the same discipline
+/// that keeps the digest shard-count invariant keeps it race-free.
+using ShardHandler = std::function<void(ShardContext&, const ShardEvent&)>;
+
+/// Sharded discrete-event engine: conservative time-window parallel
+/// simulation over a fixed node set (ROADMAP item 2, DESIGN.md §14).
+///
+/// Nodes are partitioned into `shards` contiguous blocks by a fixed,
+/// deterministic map; each shard owns a private four-ary event heap and
+/// the private RNG streams of its nodes. Shards advance in lockstep
+/// windows [W, W + lookahead): within a window every shard commits its
+/// local events independently (in parallel, via the src/par fixed-pool
+/// executor); cross-shard sends are buffered as timestamped messages and
+/// applied at the window barrier, where the coordinator routes them into
+/// the destination heaps in deterministic (source shard, emission) order.
+/// A message emitted at t ∈ [W, W+L) with delay >= L arrives at or after
+/// W + L — always a later window — so no shard can ever observe an event
+/// out of its (t, dst, src, seq) order. That is the whole correctness
+/// argument, and it is why lookahead must be positive.
+///
+/// Determinism contract: the committed event stream of every NODE —
+/// and therefore its digest chain — is identical for ANY shard count and
+/// ANY worker-thread count, because per-node commit order is fixed by the
+/// key and the key never mentions shards or threads. The engine digest is
+/// the canonical digest-merge: a chained fold of the per-node digests in
+/// node-id order, so serial (shards=1) and sharded runs of the same model
+/// produce bit-identical digests (the sharded-digest property suite and
+/// the golden gate pin this).
+///
+/// shards == 1 is the untouched fast path: one heap, no windows, no
+/// barriers, no executor — a plain pop/dispatch loop.
+class ShardedEngine {
+ public:
+  /// Throws std::invalid_argument if num_nodes == 0, or if shards > 1
+  /// with a non-positive lookahead (a zero cross-shard-latency topology
+  /// cannot be conservatively windowed).
+  ShardedEngine(std::uint32_t num_nodes, ShardedParams params,
+                ShardHandler handler);
+  ~ShardedEngine();
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  [[nodiscard]] std::uint32_t node_count() const noexcept { return nodes_; }
+  [[nodiscard]] std::uint32_t shard_count() const noexcept {
+    return std::uint32_t(shards_.size());
+  }
+  [[nodiscard]] std::uint32_t worker_count() const noexcept {
+    return workers_;
+  }
+  [[nodiscard]] double lookahead() const noexcept { return lookahead_; }
+
+  /// Deterministic node→shard map: contiguous blocks, sizes differing by
+  /// at most one (the first num_nodes % shards blocks are one larger).
+  [[nodiscard]] std::uint32_t shard_of(LogicalNode n) const noexcept {
+    const std::uint32_t wide = rem_ * (base_ + 1);
+    return n < wide ? n / (base_ + 1) : rem_ + (n - wide) / base_;
+  }
+  /// Owned node range of a shard: [first, last).
+  [[nodiscard]] std::pair<LogicalNode, LogicalNode> nodes_of(
+      std::uint32_t shard) const noexcept {
+    const LogicalNode first =
+        shard < rem_ ? shard * (base_ + 1)
+                     : rem_ * (base_ + 1) + (shard - rem_) * base_;
+    return {first, first + base_ + (shard < rem_ ? 1 : 0)};
+  }
+
+  /// Seed the simulation before (or between) run() calls: an external
+  /// event from `src` delivered to `dst` at absolute time `t`. Uses the
+  /// source node's emission counter, so injected feeds are part of the
+  /// same shard-count-invariant identity space as handler emissions.
+  void inject(LogicalNode src, LogicalNode dst, SimTime t,
+              std::uint64_t payload);
+
+  /// Run until every heap drains (or past `until`). Returns events
+  /// committed by this call. Handler exceptions propagate (under the
+  /// executor, the lowest-indexed shard's exception, after the window
+  /// fully drains).
+  std::uint64_t run(SimTime until = kTimeInfinity);
+
+  /// Events committed across all run() calls.
+  [[nodiscard]] std::uint64_t events_processed() const noexcept;
+
+  /// Synchronization windows executed (0 on the serial path).
+  [[nodiscard]] std::uint64_t windows() const noexcept { return windows_; }
+
+  /// Messages routed through a window barrier (0 on the serial path —
+  /// cross-shard sends of a 1-shard engine are ordinary local pushes).
+  [[nodiscard]] std::uint64_t cross_shard_messages() const noexcept {
+    return cross_messages_;
+  }
+
+  /// Canonical digest-merge: per-node digest chains folded in node-id
+  /// order. Bit-identical across shard counts and worker counts (and
+  /// equal to the serial fast path) by the determinism contract above.
+  [[nodiscard]] std::uint64_t digest() const noexcept;
+
+  /// One shard's digest fold (its nodes' chains, in node order) — the
+  /// diagnostic view: shard digests are stable per shard count, and the
+  /// canonical merge over them in node order equals digest().
+  [[nodiscard]] std::uint64_t shard_digest(std::uint32_t shard) const;
+
+  /// A single node's committed-event digest chain (shard-count invariant).
+  [[nodiscard]] std::uint64_t node_digest(LogicalNode n) const {
+    return node_state_.at(n).digest;
+  }
+
+ private:
+  friend class ShardContext;
+
+  struct EventBefore {
+    bool operator()(const ShardEvent& a, const ShardEvent& b) const noexcept {
+      if (a.t != b.t) return a.t < b.t;
+      if (a.dst != b.dst) return a.dst < b.dst;
+      if (a.src != b.src) return a.src < b.src;
+      return a.seq < b.seq;
+    }
+  };
+
+  /// Everything a node owns. Cache-line sized so two shards' boundary
+  /// nodes never share a line (worker threads write these in parallel).
+  struct alignas(64) NodeState {
+    Rng rng;
+    std::uint64_t emit_seq = 0;
+    std::uint64_t digest = 0xcbf29ce484222325ULL;  // FNV offset basis
+    std::uint64_t events = 0;
+  };
+
+  // alignas(64): workers write now/events/ctx on every commit; without
+  // the alignment a shard's hot fields share a cache line with its
+  // neighbour's heap-vector header and every heap op ping-pongs the line.
+  struct alignas(64) Shard {
+    FourAryHeap<ShardEvent, EventBefore> heap;
+    std::vector<ShardEvent> outbox;  ///< cross-shard sends this window
+    ShardContext ctx;
+    SimTime now = 0;
+    std::uint64_t events = 0;
+  };
+
+  void validate_send(LogicalNode src, LogicalNode dst, SimTime delay) const;
+  void enqueue(std::uint32_t from_shard, ShardEvent ev);
+  void commit(Shard& sh, const ShardEvent& ev);
+  void run_serial(SimTime until);
+  void run_windowed(SimTime until);
+  void run_shard_window(Shard& sh, SimTime window_end, SimTime until);
+  void route_outboxes();
+
+  std::uint32_t nodes_;
+  std::uint32_t base_ = 0;  ///< block partition: floor(nodes / shards)
+  std::uint32_t rem_ = 0;   ///< first `rem_` shards own one extra node
+  std::uint32_t workers_ = 1;
+  double lookahead_ = 0;
+  ShardHandler handler_;
+  std::vector<Shard> shards_;
+  std::vector<NodeState> node_state_;
+  std::unique_ptr<par::Executor> pool_;  ///< null on the serial path
+  std::uint64_t windows_ = 0;
+  std::uint64_t cross_messages_ = 0;
+  bool running_ = false;
+};
+
+inline Rng& ShardContext::rng() noexcept {
+  return eng_->node_state_[node_].rng;
+}
+
+inline void ShardContext::post(SimTime delay, std::uint64_t payload) {
+  if (!(delay >= 0)) {
+    throw std::invalid_argument(
+        "ShardContext::post: negative delay (events cannot be scheduled "
+        "into the past)");
+  }
+  auto& st = eng_->node_state_[node_];
+  eng_->shards_[shard_].heap.push(
+      ShardEvent{now_ + delay, node_, node_, st.emit_seq++, payload});
+}
+
+inline void ShardContext::send(LogicalNode dst, SimTime delay,
+                               std::uint64_t payload) {
+  eng_->validate_send(node_, dst, delay);
+  auto& st = eng_->node_state_[node_];
+  eng_->enqueue(shard_,
+                ShardEvent{now_ + delay, dst, node_, st.emit_seq++, payload});
+}
+
+}  // namespace lmas::sim

@@ -18,6 +18,13 @@ struct PromiseBase {
   std::coroutine_handle<> continuation;
   std::exception_ptr exception;
 
+  /// Set by Engine::spawn on root tasks only: points at the engine's
+  /// root-failure latch so the run loop can stop at the event that killed
+  /// a root instead of draining the queue first. Child tasks leave it
+  /// null — their exceptions rethrow into the awaiting parent, which is
+  /// already prompt.
+  bool* root_failure_latch = nullptr;
+
   std::suspend_always initial_suspend() noexcept { return {}; }
 
   struct FinalAwaiter {
@@ -32,7 +39,10 @@ struct PromiseBase {
   };
   FinalAwaiter final_suspend() noexcept { return {}; }
 
-  void unhandled_exception() noexcept { exception = std::current_exception(); }
+  void unhandled_exception() noexcept {
+    exception = std::current_exception();
+    if (root_failure_latch != nullptr) *root_failure_latch = true;
+  }
 };
 
 template <typename T>

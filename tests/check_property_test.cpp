@@ -79,9 +79,14 @@ TEST(Property, TenantArrivalsAreSeedDeterministic) {
   ASSERT_FALSE(f.has_value()) << f->describe();
 }
 
+TEST(Property, ShardedDigestsMatchSerialAtEveryShardCount) {
+  const auto f = check::suite_sharded_digest(kCases, kSeed);
+  ASSERT_FALSE(f.has_value()) << f->describe();
+}
+
 // The registry the lmas_check driver iterates must cover every suite above.
 TEST(Property, RegistryListsAllSuites) {
-  ASSERT_EQ(check::all_suites().size(), 13u);
+  ASSERT_EQ(check::all_suites().size(), 14u);
   for (const auto& s : check::all_suites()) {
     EXPECT_NE(s.fn, nullptr) << s.name;
     EXPECT_GE(s.default_cases, 100u) << s.name;

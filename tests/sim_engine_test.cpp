@@ -147,15 +147,118 @@ sim::Task<> keeps_running(sim::Engine& eng, int& ticks) {
 
 TEST(Engine, RootExceptionRethrownByRun) {
   // A spawned root task is never awaited, so its stored exception must be
-  // surfaced by run() itself — not silently discarded. Other processes
-  // still complete first: the failure is reported once the loop stops.
+  // surfaced by run() itself — not silently discarded — and the loop must
+  // stop AT the failing event: nothing past a violated invariant may
+  // commit. keeps_running was spawned first, so its t=1 tick fires before
+  // the bomb; everything later stays queued.
   sim::Engine eng;
   int ticks = 0;
   eng.spawn(keeps_running(eng, ticks));
   eng.spawn(root_throws(eng));
   EXPECT_THROW(eng.run(), Boom);
-  EXPECT_EQ(ticks, 5);
+  EXPECT_EQ(ticks, 1);
+  EXPECT_GT(eng.pending_events(), 0u);
 }
+
+TEST(Engine, RunStaysFailedUntilFailedRootIsReaped) {
+  sim::Engine eng;
+  int ticks = 0;
+  eng.spawn(keeps_running(eng, ticks));
+  eng.spawn(root_throws(eng));
+  EXPECT_THROW(eng.run(), Boom);
+  // The failure has not been acknowledged: run() commits nothing more and
+  // keeps rethrowing rather than quietly resuming a poisoned simulation.
+  const auto processed_while_failed = [&] {
+    try {
+      return eng.run();
+    } catch (const Boom&) {
+      return std::size_t(0);
+    }
+  }();
+  EXPECT_EQ(processed_while_failed, 0u);
+  EXPECT_EQ(ticks, 1);
+  // Reaping the failed root acknowledges it; the survivors then finish.
+  eng.reap_completed();
+  eng.run();
+  EXPECT_EQ(ticks, 5);
+  EXPECT_EQ(eng.unfinished_tasks(), 0u);
+}
+
+sim::Task<> immediate_exit(sim::Engine& eng) { co_await eng.yield(); }
+
+TEST(Engine, ReapErasesTraceNamesWithFrames) {
+  // reap_completed frees root frames, whose addresses the coroutine
+  // allocator recycles; a surviving named_roots_ entry would label a
+  // later (even anonymous) spawn with the dead task's name in traces.
+  sim::Engine eng;
+  eng.tracer().enable();
+  eng.spawn(immediate_exit(eng), "doomed-a");
+  eng.spawn(immediate_exit(eng), "doomed-b");
+  EXPECT_EQ(eng.traced_root_names(), 2u);
+  eng.run();
+  eng.reap_completed();
+  EXPECT_EQ(eng.traced_root_names(), 0u);
+  // A frame allocated after the reap very likely reuses a freed address;
+  // either way the map must only ever describe live named roots.
+  eng.spawn(immediate_exit(eng));
+  eng.run();
+  EXPECT_EQ(eng.traced_root_names(), 0u);
+}
+
+// Awaitable that reschedules its coroutine at an absolute (possibly
+// past) time — the hostile input for the schedule_at clamp.
+struct ScheduleAt {
+  sim::Engine& eng;
+  double t;
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) const {
+    eng.schedule_at(h, t);
+  }
+  void await_resume() const noexcept {}
+};
+
+sim::Task<> schedules_into_past(sim::Engine& eng, double* resumed_at) {
+  co_await eng.sleep(5.0);
+  co_await ScheduleAt{eng, 1.0};  // negative-latency modeling bug
+  *resumed_at = eng.now();
+}
+
+#ifdef NDEBUG
+TEST(Engine, PastScheduleClampsToNowAndCounts) {
+  // Release builds clamp (dropping the event would strand the process)
+  // but must not do so silently: the clamp is counted and published.
+  sim::Engine eng;
+  double resumed_at = 0;
+  eng.spawn(schedules_into_past(eng, &resumed_at));
+  EXPECT_EQ(eng.clamped_schedules(), 0u);
+  eng.run();
+  EXPECT_DOUBLE_EQ(resumed_at, 5.0);
+  EXPECT_EQ(eng.clamped_schedules(), 1u);
+  (void)eng.metrics().snapshot();  // collectors materialize the counter
+  const auto* c = eng.metrics().find_counter("engine.clamped_schedules");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->value(), 1u);
+}
+
+TEST(Engine, CleanRunsPublishNoClampCounter) {
+  sim::Engine eng;
+  std::string log;
+  eng.spawn(appender(eng, log, 'a', 1.0));
+  eng.run();
+  EXPECT_EQ(eng.clamped_schedules(), 0u);
+  // Lazily registered: the pinned golden fingerprints rely on clean runs
+  // never materializing the instrument.
+  (void)eng.metrics().snapshot();
+  EXPECT_EQ(eng.metrics().find_counter("engine.clamped_schedules"), nullptr);
+}
+#elif defined(GTEST_HAS_DEATH_TEST) && GTEST_HAS_DEATH_TEST
+TEST(EngineDeathTest, PastScheduleAssertsInDebugBuilds) {
+  sim::Engine eng;
+  double resumed_at = 0;
+  eng.spawn(schedules_into_past(eng, &resumed_at));
+  EXPECT_DEATH(eng.run(), "schedule_at");
+}
+#endif
 
 sim::Task<> never_wakes(sim::Condition& cv) {
   co_await cv.wait();

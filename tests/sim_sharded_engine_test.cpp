@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "sim/sharded_engine.hpp"
+
+namespace sim = lmas::sim;
+
+namespace {
+
+// PHOLD-style workload: every event either hops to a uniformly random
+// other node (delay >= lookahead) or re-posts locally. All randomness
+// flows through the node's private stream, so any ordering or stream
+// mix-up shows up as a digest mismatch, not a flaky count.
+struct Phold {
+  double lookahead;
+  double hop_prob = 0.5;
+
+  void operator()(sim::ShardContext& ctx, const sim::ShardEvent& ev) const {
+    sim::Rng& rng = ctx.rng();
+    const double u = rng.uniform();
+    if (u < hop_prob && ctx.engine().node_count() > 1) {
+      auto dst = sim::LogicalNode(rng.below(ctx.engine().node_count()));
+      if (dst == ctx.node()) dst = (dst + 1) % ctx.engine().node_count();
+      // send() demands a positive delay even when lookahead is 0 (the
+      // serial zero-lookahead configuration), hence the floor.
+      const double base = lookahead > 0 ? lookahead : 1e-6;
+      ctx.send(dst, base * (1.0 + rng.uniform()), ev.payload + 1);
+    } else {
+      ctx.post(rng.exponential(1000.0), ev.payload + 1);
+    }
+  }
+};
+
+std::unique_ptr<sim::ShardedEngine> make_phold(std::uint32_t nodes,
+                                               std::uint32_t shards,
+                                               std::uint32_t workers = 0,
+                                               double lookahead = 50e-6) {
+  auto eng = std::make_unique<sim::ShardedEngine>(
+      nodes,
+      sim::ShardedParams{
+          .shards = shards, .workers = workers, .lookahead = lookahead},
+      Phold{lookahead});
+  for (std::uint32_t n = 0; n < nodes; ++n) {
+    eng->inject(n, n, 1e-6 * double(n % 7), n);
+  }
+  return eng;
+}
+
+TEST(ShardMap, PartitionIsContiguousBalancedAndConsistent) {
+  const auto noop = [](sim::ShardContext&, const sim::ShardEvent&) {};
+  for (const auto& [nodes, shards] :
+       {std::pair{7u, 3u}, {8u, 4u}, {1u, 1u}, {1000u, 16u}, {5u, 5u}}) {
+    sim::ShardedEngine eng(nodes, {.shards = shards, .lookahead = 1e-6},
+                           noop);
+    ASSERT_EQ(eng.shard_count(), shards);
+    sim::LogicalNode expect = 0;
+    std::size_t largest = 0, smallest = nodes;
+    for (std::uint32_t s = 0; s < eng.shard_count(); ++s) {
+      const auto [first, last] = eng.nodes_of(s);
+      ASSERT_EQ(first, expect);  // contiguous, in shard order
+      ASSERT_LT(first, last);
+      largest = std::max<std::size_t>(largest, last - first);
+      smallest = std::min<std::size_t>(smallest, last - first);
+      for (sim::LogicalNode n = first; n < last; ++n) {
+        ASSERT_EQ(eng.shard_of(n), s);
+      }
+      expect = last;
+    }
+    ASSERT_EQ(expect, nodes);        // exhaustive
+    ASSERT_LE(largest - smallest, 1u);  // balanced
+  }
+}
+
+TEST(ShardMap, ShardCountClampsToNodeCount) {
+  const auto noop = [](sim::ShardContext&, const sim::ShardEvent&) {};
+  sim::ShardedEngine eng(3, {.shards = 8, .lookahead = 1e-6}, noop);
+  EXPECT_EQ(eng.shard_count(), 3u);
+}
+
+TEST(ShardedEngine, SerialFastPathRunsWithoutWindows) {
+  auto eng = make_phold(32, 1, 0, 0.0);  // zero lookahead: fine at 1 shard
+  EXPECT_GT(eng->run(0.05), 0u);
+  EXPECT_EQ(eng->windows(), 0u);
+  EXPECT_EQ(eng->cross_shard_messages(), 0u);
+}
+
+TEST(ShardedEngine, DigestInvariantAcrossShardCounts) {
+  auto serial = make_phold(64, 1);
+  const std::uint64_t serial_events = serial->run(0.2);
+  ASSERT_GT(serial_events, 0u);
+  for (const std::uint32_t shards : {2u, 4u}) {
+    auto sharded = make_phold(64, shards);
+    EXPECT_EQ(sharded->run(0.2), serial_events) << shards << " shards";
+    EXPECT_EQ(sharded->digest(), serial->digest()) << shards << " shards";
+    EXPECT_GT(sharded->windows(), 0u);
+    EXPECT_GT(sharded->cross_shard_messages(), 0u);
+    // Per-node chains must match too — the merged digest is built from
+    // them, and a matching merge with mismatched nodes would mean the
+    // merge is insensitive, not that the run was deterministic.
+    for (sim::LogicalNode n = 0; n < 64; ++n) {
+      ASSERT_EQ(sharded->node_digest(n), serial->node_digest(n))
+          << "node " << n;
+    }
+  }
+}
+
+TEST(ShardedEngine, DigestInvariantAcrossWorkerCounts) {
+  auto one = make_phold(48, 4, 1);
+  auto two = make_phold(48, 4, 2);
+  EXPECT_EQ(one->worker_count(), 1u);
+  EXPECT_EQ(two->worker_count(), 2u);
+  EXPECT_EQ(one->run(0.2), two->run(0.2));
+  EXPECT_EQ(one->digest(), two->digest());
+}
+
+TEST(ShardedEngine, ShardDigestsComposeIntoEngineDigest) {
+  auto eng_ptr = make_phold(30, 3);
+  auto& eng = *eng_ptr;
+  eng.run(0.1);
+  // Every shard digest folds that shard's node chains; together they
+  // cover the node set exactly once.
+  std::uint64_t refold = 0xcbf29ce484222325ULL;
+  for (sim::LogicalNode n = 0; n < 30; ++n) {
+    refold = lmas::sim::splitmix64_once(refold ^ eng.node_digest(n));
+  }
+  EXPECT_EQ(eng.digest(), refold);
+  for (std::uint32_t s = 0; s < eng.shard_count(); ++s) {
+    EXPECT_NE(eng.shard_digest(s), 0u);
+  }
+}
+
+TEST(ShardedEngine, RunIsResumableAndCounts) {
+  auto a = make_phold(32, 4);
+  auto b = make_phold(32, 4);
+  const std::uint64_t whole = a->run(0.2);
+  const std::uint64_t split = b->run(0.1) + b->run(0.2);
+  EXPECT_EQ(whole, split);
+  EXPECT_EQ(a->digest(), b->digest());
+  EXPECT_EQ(a->events_processed(), whole);
+}
+
+TEST(ShardedEngine, WindowBoundaryAppliesCrossShardMessages) {
+  // Deterministic two-node ping-pong across two shards: every hop is a
+  // cross-shard message, so the barrier count must equal the hop count.
+  const double L = 1e-3;
+  const auto pingpong = [](sim::ShardContext& ctx, const sim::ShardEvent&) {
+    ctx.send(ctx.node() == 0 ? 1 : 0, 1e-3, 0);
+  };
+  sim::ShardedEngine eng(2, {.shards = 2, .lookahead = L}, pingpong);
+  eng.inject(0, 0, 0.0, 0);
+  const std::uint64_t events = eng.run(10e-3 + L / 2);
+  EXPECT_EQ(events, 11u);                       // t = 0, 1ms, ..., 10ms
+  EXPECT_EQ(eng.cross_shard_messages(), 11u);   // one emitted per commit
+  // Each window holds exactly one event here (the next hop is created at
+  // exactly window start + L), so windows track events 1:1.
+  EXPECT_EQ(eng.windows(), 11u);
+}
+
+TEST(ShardedEngine, ZeroLookaheadWithMultipleShardsThrows) {
+  const auto noop = [](sim::ShardContext&, const sim::ShardEvent&) {};
+  EXPECT_THROW(sim::ShardedEngine(8, {.shards = 2, .lookahead = 0.0}, noop),
+               std::invalid_argument);
+  EXPECT_THROW(sim::ShardedEngine(8, {.shards = 4, .lookahead = -1.0}, noop),
+               std::invalid_argument);
+  EXPECT_NO_THROW(
+      sim::ShardedEngine(8, {.shards = 1, .lookahead = 0.0}, noop));
+}
+
+TEST(ShardedEngine, SendBelowLookaheadThrowsOnEveryShardCount) {
+  // The lookahead contract is enforced on the serial path too: a model
+  // bug must not hide at LMAS_SHARDS=1.
+  for (const std::uint32_t shards : {1u, 2u}) {
+    const auto too_fast = [](sim::ShardContext& ctx, const sim::ShardEvent&) {
+      ctx.send(1, 1e-9, 0);  // below the 1ms lookahead
+    };
+    sim::ShardedEngine eng(4, {.shards = shards, .lookahead = 1e-3},
+                           too_fast);
+    eng.inject(0, 0, 0.0, 0);
+    EXPECT_THROW(eng.run(), std::invalid_argument) << shards << " shards";
+  }
+}
+
+TEST(ShardedEngine, ConstructionAndInjectValidateArguments) {
+  const auto noop = [](sim::ShardContext&, const sim::ShardEvent&) {};
+  EXPECT_THROW(sim::ShardedEngine(0, {.shards = 1}, noop),
+               std::invalid_argument);
+  EXPECT_THROW(sim::ShardedEngine(4, {.shards = 1}, sim::ShardHandler{}),
+               std::invalid_argument);
+  sim::ShardedEngine eng(4, {.shards = 2, .lookahead = 1e-6}, noop);
+  EXPECT_THROW(eng.inject(0, 9, 0.0, 0), std::out_of_range);
+  EXPECT_THROW(eng.inject(9, 0, 0.0, 0), std::out_of_range);
+  EXPECT_THROW(eng.inject(0, 1, -1.0, 0), std::invalid_argument);
+}
+
+TEST(ShardedEngine, DefaultShardsReadsEnvironment) {
+  ASSERT_EQ(setenv("LMAS_SHARDS", "4", 1), 0);
+  EXPECT_EQ(sim::default_shards(), 4u);
+  const auto noop = [](sim::ShardContext&, const sim::ShardEvent&) {};
+  sim::ShardedEngine eng(16, {.lookahead = 1e-6}, noop);  // shards = 0
+  EXPECT_EQ(eng.shard_count(), 4u);
+  ASSERT_EQ(setenv("LMAS_SHARDS", "zebra", 1), 0);
+  EXPECT_EQ(sim::default_shards(), 1u);
+  ASSERT_EQ(setenv("LMAS_SHARDS", "-2", 1), 0);
+  EXPECT_EQ(sim::default_shards(), 1u);
+  ASSERT_EQ(unsetenv("LMAS_SHARDS"), 0);
+  EXPECT_EQ(sim::default_shards(), 1u);
+}
+
+}  // namespace
