@@ -40,9 +40,11 @@ echo "== [5/8] fault + load-manager property suites under ASan/UBSan (reduced ca
 # (router hot-swap, functor migration re-pinning live endpoints) are the
 # two places lifetime bugs would hide; the tenant suites add concurrent
 # jobs sharing one engine (embedded DsmSortJob frames, cross-job manager
-# clients attaching and detaching mid-run).
+# clients attaching and detaching mid-run). topology-conservation runs
+# the same embedded jobs on hierarchical TopologySpecs (spine resources,
+# per-node speeds), covering the rack/spine charging paths.
 for suite in fault-conservation fault-routing lm-switch lm-migration \
-             tenant-conservation tenant-arrival; do
+             tenant-conservation tenant-arrival topology-conservation; do
   UBSAN_OPTIONS="halt_on_error=1" ASAN_OPTIONS="detect_leaks=1" \
     "${SAN_BUILD}/tools/lmas_check" property --suite "${suite}" --cases 20
 done

@@ -6,3 +6,4 @@
 #include "asu/network.hpp"
 #include "asu/node.hpp"
 #include "asu/params.hpp"
+#include "asu/topology.hpp"

@@ -7,6 +7,7 @@
 
 #include "asu/node.hpp"
 #include "asu/params.hpp"
+#include "asu/topology.hpp"
 #include "sim/engine.hpp"
 #include "sim/random.hpp"
 #include "sim/resource.hpp"
@@ -14,60 +15,78 @@
 
 namespace lmas::asu {
 
-/// Conservative lookahead for sharded simulation of a machine with these
-/// parameters (sim::ShardedEngine, DESIGN.md §14): the minimum virtual
-/// time any cross-node message needs to propagate. Every transfer pays at
-/// least `link_latency` (Network::sample_latency returns it as the floor;
-/// fault delay windows only ever add to it), so no node can influence
-/// another sooner than that — which is exactly the window width a
-/// conservative parallel simulation may safely advance without hearing
-/// from other shards. Returns 0 for a degenerate zero-latency topology;
-/// the sharded engine rejects that at shards > 1.
-[[nodiscard]] inline double shard_lookahead(
-    const MachineParams& params) noexcept {
-  return params.link_latency > 0 ? params.link_latency : 0.0;
-}
-
-/// Host<->ASU interconnect: one full-duplex link per (host, ASU) pair,
-/// plus per-node NIC serialization. The paper's network model only uses
-/// host-ASU communication and assumes processors saturate before links;
-/// the defaults preserve that regime while still charging transfer time.
+/// Interconnect of a (possibly hierarchical) machine. Inside a rack the
+/// model is the paper's: one full-duplex link per (host, ASU) pair plus
+/// per-node NIC serialization, processors assumed to saturate before
+/// links. With a hierarchical TopologySpec (racks > 1) a cross-rack
+/// transfer additionally occupies the oversubscribed spine uplink of both
+/// endpoint racks and pays the spine tier's latency on top of the rack
+/// tier's. A flat spec (racks == 1, the default via TopologySpec::flat)
+/// creates no spine resources and charges byte-identically to the
+/// pre-topology flat model.
 class Network {
  public:
-  Network(sim::Engine& eng, const MachineParams& params, unsigned num_hosts,
-          unsigned num_asus)
-      : eng_(&eng),
-        params_(params),
-        num_hosts_(num_hosts),
-        num_asus_(num_asus) {
-    links_.reserve(std::size_t(num_hosts) * num_asus);
-    for (unsigned h = 0; h < num_hosts; ++h) {
-      for (unsigned a = 0; a < num_asus; ++a) {
+  Network(sim::Engine& eng, const TopologySpec& topo)
+      : eng_(&eng), topo_(topo) {
+    topo_.validate();
+    const MachineParams& p = topo_.machine;
+    links_.reserve(std::size_t(p.num_hosts) * p.num_asus);
+    for (unsigned h = 0; h < p.num_hosts; ++h) {
+      for (unsigned a = 0; a < p.num_asus; ++a) {
         links_.push_back(std::make_unique<sim::Resource>(
             eng, "link.h" + std::to_string(h) + ".a" + std::to_string(a),
-            params.util_bin));
+            p.util_bin));
+      }
+    }
+    // Spine uplinks exist only for hierarchical shapes: a flat topology
+    // must not register extra resources (metrics fingerprints of the
+    // pinned goldens enumerate resource names).
+    if (topo_.hierarchical()) {
+      spines_.reserve(topo_.racks);
+      for (unsigned r = 0; r < topo_.racks; ++r) {
+        spines_.push_back(std::make_unique<sim::Resource>(
+            eng, "spine.r" + std::to_string(r), p.util_bin));
       }
     }
   }
 
+  /// Flat-machine adapter: the pre-topology constructor shape.
+  Network(sim::Engine& eng, const MachineParams& params)
+      : Network(eng, TopologySpec::flat(params)) {}
+
   /// Move `bytes` between two nodes. Host<->ASU pairs (the only kind the
-  /// paper's model uses) occupy their dedicated link; same-tier transfers
-  /// charge only the two NICs plus latency; a node-to-itself transfer is
-  /// free. All transfers serialize on sender and receiver NICs.
+  /// paper's model uses) occupy their dedicated rack link; same-tier
+  /// transfers charge only the two NICs plus latency; a node-to-itself
+  /// transfer is free. Cross-rack transfers additionally serialize on the
+  /// source and destination racks' spine uplinks (each charged at the
+  /// spine tier's oversubscribed rate) and pay the summed rack + spine
+  /// latency. All transfers serialize on sender and receiver NICs.
   [[nodiscard]] sim::Task<> transfer(Node& from, Node& to, std::size_t bytes) {
     if (&from == &to) co_return;
     co_await from.nic_transfer(bytes);
     if (from.is_asu() != to.is_asu()) {
       sim::Resource& l = link(from, to);
-      co_await l.use(params_.link_seconds(bytes));
+      co_await l.use(topo_.rack.seconds(bytes));
+    }
+    if (topo_.hierarchical()) {
+      const unsigned ra = rack_of(from);
+      const unsigned rb = rack_of(to);
+      if (ra != rb) {
+        co_await spines_[ra]->use(topo_.spine.seconds(bytes));
+        co_await spines_[rb]->use(topo_.spine.seconds(bytes));
+        co_await eng_->sleep(sample_latency() + topo_.spine.latency);
+        co_await to.nic_transfer(bytes);
+        co_return;
+      }
     }
     co_await eng_->sleep(sample_latency());
     co_await to.nic_transfer(bytes);
   }
 
   [[nodiscard]] const MachineParams& params() const noexcept {
-    return params_;
+    return topo_.machine;
   }
+  [[nodiscard]] const TopologySpec& topology() const noexcept { return topo_; }
 
   // ---- fault windows: link delay / jitter ---------------------------
 
@@ -86,12 +105,13 @@ class Network {
     return delay_active_;
   }
 
-  /// Per-message propagation latency. Outside a delay window this returns
-  /// the configured constant and draws nothing — fault-free runs must not
-  /// consume randomness or perturb digests.
+  /// Per-message rack-tier propagation latency. Outside a delay window
+  /// this returns the configured constant and draws nothing — fault-free
+  /// runs must not consume randomness or perturb digests. Cross-rack
+  /// transfers add the spine tier's latency on top (see transfer).
   [[nodiscard]] double sample_latency() {
-    if (!delay_active_) return params_.link_latency;
-    double d = params_.link_latency + extra_latency_;
+    if (!delay_active_) return topo_.rack.latency;
+    double d = topo_.rack.latency + extra_latency_;
     if (jitter_ > 0) d += jitter_rng_.uniform(0.0, jitter_);
     return d;
   }
@@ -105,15 +125,22 @@ class Network {
     const Node& host = a.is_asu() ? b : a;
     const Node& asu = a.is_asu() ? a : b;
     assert(!host.is_asu() && asu.is_asu());
-    return *links_[std::size_t(host.id()) * num_asus_ + asu.id()];
+    return *links_[std::size_t(host.id()) * topo_.machine.num_asus + asu.id()];
+  }
+
+  /// Rack `r`'s spine uplink (hierarchical topologies only).
+  [[nodiscard]] sim::Resource& spine(unsigned r) { return *spines_.at(r); }
+
+  /// Rack a node lives in, per the topology's block partition.
+  [[nodiscard]] unsigned rack_of(const Node& n) const noexcept {
+    return n.is_asu() ? topo_.rack_of_asu(n.id()) : topo_.rack_of_host(n.id());
   }
 
  private:
   sim::Engine* eng_;
-  MachineParams params_;
-  unsigned num_hosts_;
-  unsigned num_asus_;
+  TopologySpec topo_;
   std::vector<std::unique_ptr<sim::Resource>> links_;
+  std::vector<std::unique_ptr<sim::Resource>> spines_;
   bool delay_active_ = false;
   double extra_latency_ = 0;
   double jitter_ = 0;
@@ -121,31 +148,41 @@ class Network {
   HealthBoard* board_ = nullptr;
 };
 
-/// The emulated machine: H hosts, D ASUs, interconnect (Figure 2).
+/// The emulated machine: H hosts, D ASUs, interconnect (Figure 2) —
+/// described by a TopologySpec (node counts and leaf parameters come from
+/// its embedded MachineParams; racks/spine/speed vectors shape everything
+/// above the leaves).
 class Cluster {
  public:
-  Cluster(sim::Engine& eng, const MachineParams& params)
-      : eng_(&eng), params_(params), board_(eng) {
+  Cluster(sim::Engine& eng, const TopologySpec& topo)
+      : eng_(&eng), topo_(topo), board_(eng) {
+    topo_.validate();
+    const MachineParams& params = topo_.machine;
     hosts_.reserve(params.num_hosts);
     for (unsigned h = 0; h < params.num_hosts; ++h) {
-      hosts_.push_back(
-          std::make_unique<Node>(eng, NodeKind::Host, h, params));
+      hosts_.push_back(std::make_unique<Node>(eng, NodeKind::Host, h, params,
+                                              topo_.host_multiplier(h)));
       hosts_.back()->set_health_board(&board_);
     }
     asus_.reserve(params.num_asus);
     for (unsigned a = 0; a < params.num_asus; ++a) {
-      asus_.push_back(std::make_unique<Node>(eng, NodeKind::Asu, a, params));
+      asus_.push_back(std::make_unique<Node>(eng, NodeKind::Asu, a, params,
+                                             topo_.asu_multiplier(a)));
       asus_.back()->set_health_board(&board_);
     }
-    net_ = std::make_unique<Network>(eng, params, params.num_hosts,
-                                     params.num_asus);
+    net_ = std::make_unique<Network>(eng, topo_);
     net_->set_health_board(&board_);
   }
 
+  /// Flat-machine adapter: the pre-topology constructor shape.
+  Cluster(sim::Engine& eng, const MachineParams& params)
+      : Cluster(eng, TopologySpec::flat(params)) {}
+
   [[nodiscard]] sim::Engine& engine() noexcept { return *eng_; }
   [[nodiscard]] const MachineParams& params() const noexcept {
-    return params_;
+    return topo_.machine;
   }
+  [[nodiscard]] const TopologySpec& topology() const noexcept { return topo_; }
   [[nodiscard]] unsigned num_hosts() const noexcept {
     return unsigned(hosts_.size());
   }
@@ -164,7 +201,7 @@ class Cluster {
 
  private:
   sim::Engine* eng_;
-  MachineParams params_;
+  TopologySpec topo_;
   HealthBoard board_;
   std::vector<std::unique_ptr<Node>> hosts_;
   std::vector<std::unique_ptr<Node>> asus_;

@@ -50,14 +50,19 @@ class HealthBoard {
 /// times by the relative speed of the emulated processor.
 class Node {
  public:
+  /// `speed_multiplier` scales the node's base speed (hosts: 1.0; ASUs:
+  /// (1 - background) / c) for heterogeneous machines — per-node c
+  /// instead of one global ratio. The homogeneous default multiplies by
+  /// exactly 1.0, so flat-topology clusters charge bit-identically.
   Node(sim::Engine& eng, NodeKind kind, unsigned id,
-       const MachineParams& params)
+       const MachineParams& params, double speed_multiplier = 1.0)
       : eng_(&eng),
         kind_(kind),
         id_(id),
-        speed_(kind == NodeKind::Host
-                   ? 1.0
-                   : (1.0 - params.asu_background_load) / params.c),
+        speed_((kind == NodeKind::Host
+                    ? 1.0
+                    : (1.0 - params.asu_background_load) / params.c) *
+               speed_multiplier),
         cpu_(eng, name() + ".cpu", params.util_bin),
         nic_(eng, name() + ".nic", params.util_bin),
         nic_rate_(kind == NodeKind::Host ? params.host_nic_bandwidth

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "asu/params.hpp"
+#include "asu/topology.hpp"
 #include "core/dsm_sort.hpp"
 #include "core/packet.hpp"
 #include "core/workload.hpp"
@@ -27,6 +28,27 @@ inline asu::MachineParams gen_machine(sim::Rng& rng, unsigned size) {
   mp.num_asus = 1 + unsigned(rng.below(std::max(2u, 2 * size)));
   mp.c = 2.0 * double(1 + rng.below(8));
   return mp;
+}
+
+/// A topology over a machine shape: 1–4 racks, spine latency/bandwidth
+/// within an order of magnitude of the rack tier, oversubscription 1–4,
+/// and (half the time) heterogeneous per-ASU speed multipliers in
+/// [0.5, 2]. racks == 1 degenerates to the flat model, so suites drawing
+/// from this generator cover both regimes.
+inline asu::TopologySpec gen_topology(sim::Rng& rng,
+                                      const asu::MachineParams& mp) {
+  auto topo = asu::TopologySpec::flat(mp);
+  topo.racks = 1 + unsigned(rng.below(4));
+  if (topo.hierarchical()) {
+    topo.spine.latency = mp.link_latency * (0.5 + rng.uniform(0.0, 4.0));
+    topo.spine.bandwidth = mp.link_bandwidth * (0.5 + rng.uniform(0.0, 2.0));
+    topo.spine.oversubscription = double(1 + rng.below(4));
+  }
+  if (rng.below(2) == 0) {
+    topo.asu_speed.resize(mp.num_asus);
+    for (auto& s : topo.asu_speed) s = rng.uniform(0.5, 2.0);
+  }
+  return topo;
 }
 
 /// One of the evaluation's key distributions: uniform, exponential, and

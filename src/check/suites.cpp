@@ -142,7 +142,8 @@ std::optional<std::string> prop_packet_order(sim::Rng& rng, unsigned size) {
       core::StageSpec{
           .record_bytes = mp.record_bytes,
           .endpoints = inboxes.endpoints(nodes),
-          .router = core::make_router(kind, rng.split(), plan.subsets),
+          .router = core::make_router(
+              {.kind = kind, .rng = rng.split(), .total_subsets = plan.subsets}),
           .producers = plan.producers,
           .window_per_producer = 4,
           .name = "prop.stage"});
@@ -471,7 +472,8 @@ RoutedRun run_routed_plan(const PacketPlan& plan, core::RouterKind kind,
       core::StageSpec{
           .record_bytes = mp.record_bytes,
           .endpoints = inboxes.endpoints(nodes),
-          .router = core::make_router(kind, router_rng, plan.subsets),
+          .router = core::make_router(
+              {.kind = kind, .rng = router_rng, .total_subsets = plan.subsets}),
           .producers = plan.producers,
           .window_per_producer = 4,
           .name = "prop.fault_stage"});
@@ -635,8 +637,10 @@ SwitchedRun run_switched_plan(const PacketPlan& plan,
   // The production composition: metrics wrapper outside, hot-swap
   // decorator inside, concrete policies innermost.
   auto sw = std::make_unique<core::SwitchableRouter>(
-      core::make_router(baseline, base_rng, plan.subsets),
-      core::make_router(dynamic, dyn_rng, plan.subsets));
+      core::make_router(
+          {.kind = baseline, .rng = base_rng, .total_subsets = plan.subsets}),
+      core::make_router(
+          {.kind = dynamic, .rng = dyn_rng, .total_subsets = plan.subsets}));
   core::SwitchableRouter* sw_raw = sw.get();
   core::StageOutput out(
       eng, cluster.network(),
@@ -780,7 +784,8 @@ MigratedRun run_migrated_plan(const PacketPlan& plan, core::RouterKind kind,
       core::StageSpec{
           .record_bytes = mp.record_bytes,
           .endpoints = inboxes.endpoints(nodes),
-          .router = core::make_router(kind, router_rng, plan.subsets),
+          .router = core::make_router(
+              {.kind = kind, .rng = router_rng, .total_subsets = plan.subsets}),
           .producers = plan.producers,
           .window_per_producer = 4,
           .name = "prop.lmmigrate"});
@@ -1208,6 +1213,167 @@ std::optional<std::string> prop_sharded_digest(sim::Rng& rng,
   return std::nullopt;
 }
 
+// ---- topology conservation -----------------------------------------
+
+std::optional<std::string> prop_topology_conservation(sim::Rng& rng,
+                                                      unsigned size) {
+  // The set contract is placement-free: where packets physically travel
+  // (flat full bisection, or racks under an oversubscribed spine, with
+  // heterogeneous node speeds) must never change what arrives. Run one
+  // DSM-Sort config as an embedded job on a random topology AND on the
+  // flat machine; both must conserve records, checksums, subset
+  // boundaries, and run-sortedness.
+  const asu::MachineParams mp = gen_machine(rng, size);
+  core::DsmSortConfig cfg = gen_dsm_config(rng, size);
+  cfg.run_merge_pass = false;  // embedded jobs are pass-1 only
+  const asu::TopologySpec topo = gen_topology(rng, mp);
+
+  const auto run_on = [&](const asu::TopologySpec& t)
+      -> std::pair<core::DsmSortReport, std::string> {
+    sim::Engine eng;
+    asu::Cluster cluster(eng, t);
+    core::DsmSortJob job(eng, cluster, cfg);
+    eng.spawn(job.body(), "topo-conservation-job");
+    eng.run();
+    if (!job.finished()) return {{}, "job did not finish"};
+    return {job.report(), ""};
+  };
+
+  for (const bool flat : {false, true}) {
+    const auto& t = flat ? asu::TopologySpec::flat(mp) : topo;
+    const auto [rep, err] = run_on(t);
+    const char* shape = flat ? "flat" : "hierarchical";
+    if (!err.empty()) {
+      return fmt("%s (%s racks=%u) [%s]", err.c_str(), shape, t.racks,
+                 cfg_str(mp, cfg).c_str());
+    }
+    if (rep.records_in != cfg.total_records ||
+        rep.records_stored != rep.records_in) {
+      return fmt("%s racks=%u: stored %zu of %zu records [%s]", shape,
+                 t.racks, rep.records_stored, cfg.total_records,
+                 cfg_str(mp, cfg).c_str());
+    }
+    if (!rep.checksum_ok) {
+      return fmt("%s racks=%u: key checksum not conserved [%s]", shape,
+                 t.racks, cfg_str(mp, cfg).c_str());
+    }
+    if (!rep.subsets_ok) {
+      return fmt("%s racks=%u: records crossed subset boundaries [%s]",
+                 shape, t.racks, cfg_str(mp, cfg).c_str());
+    }
+    if (!rep.runs_sorted_ok) {
+      return fmt("%s racks=%u: stored runs not sorted [%s]", shape, t.racks,
+                 cfg_str(mp, cfg).c_str());
+    }
+  }
+  return std::nullopt;
+}
+
+// ---- pod balance ----------------------------------------------------
+
+std::optional<std::string> prop_pod_balance(sim::Rng& rng, unsigned size) {
+  // Balance contracts of the scale-out routers on (possibly) hierarchical
+  // target sets. All load feedback is the running assignment count — the
+  // balls-into-bins regime the mean-field model predicts.
+  const std::size_t k = 2 + rng.below(std::max(2u, 2 * size));
+  const std::size_t n = k * (8 + rng.below(32));
+  const std::vector<core::RouteTarget> targets(k);
+
+  asu::MachineParams mp;
+  mp.num_asus = unsigned(k);
+  const asu::TopologySpec topo = gen_topology(rng, mp);
+
+  core::Packet pkt;  // subset 0 throughout
+  std::vector<std::size_t> count(k, 0);
+  const core::LoadProbe count_probe =
+      [&count](std::span<const core::RouteTarget>, std::size_t i) {
+        return double(count[i]);
+      };
+
+  // (1) SR's per-target floor/ceil cycle bound aggregates to per-rack
+  // bounds: each rack's share lies within the sum of its targets' bounds.
+  {
+    core::SimpleRandomizationRouter sr(rng.split());
+    std::vector<std::size_t> rack_count(topo.racks, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t idx = sr.pick(pkt, targets);
+      if (idx >= k) return fmt("SR pick %zu out of range k=%zu", idx, k);
+      ++rack_count[topo.rack_of_asu(unsigned(idx))];
+    }
+    for (unsigned r = 0; r < topo.racks; ++r) {
+      std::size_t width = 0;  // targets in rack r
+      for (std::size_t i = 0; i < k; ++i) {
+        width += topo.rack_of_asu(unsigned(i)) == r;
+      }
+      const std::size_t lo = width * (n / k);
+      const std::size_t hi = width * (n / k + (n % k ? 1 : 0));
+      if (rack_count[r] < lo || rack_count[r] > hi) {
+        return fmt("SR rack %u got %zu picks, bounds [%zu, %zu] "
+                   "(k=%zu n=%zu racks=%u width=%zu)",
+                   r, rack_count[r], lo, hi, k, n, topo.racks, width);
+      }
+    }
+  }
+
+  // (2) d >= k is exact least-loaded: every pick lands on a target whose
+  // probed load equals the global minimum, so counts stay within 1.
+  {
+    std::fill(count.begin(), count.end(), std::size_t{0});
+    core::PowerOfDChoicesRouter pod(rng.split(), unsigned(k), count_probe);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t idx = pod.pick(pkt, targets);
+      if (idx >= k) return fmt("pod(k) pick %zu out of range k=%zu", idx, k);
+      const auto min_now = *std::min_element(count.begin(), count.end());
+      if (count[idx] != min_now) {
+        return fmt("pod(d=k) picked load %zu, min was %zu (k=%zu pick %zu)",
+                   count[idx], min_now, k, i);
+      }
+      ++count[idx];
+    }
+    const auto [lo, hi] = std::minmax_element(count.begin(), count.end());
+    if (*hi - *lo > 1) {
+      return fmt("pod(d=k) spread %zu after %zu picks (k=%zu)", *hi - *lo,
+                 n, k);
+    }
+  }
+
+  // (3) d = 2 with count feedback: the mean-field gap is
+  // log2(log2(k)) + O(1); assert a margin far above it — a failure means
+  // the sampler stopped consulting load, not an unlucky seed.
+  {
+    std::fill(count.begin(), count.end(), std::size_t{0});
+    core::PowerOfDChoicesRouter pod(rng.split(), 2, count_probe);
+    for (std::size_t i = 0; i < n; ++i) ++count[pod.pick(pkt, targets)];
+    const std::size_t max_count = *std::max_element(count.begin(),
+                                                    count.end());
+    if (max_count > n / k + 16) {
+      return fmt("pod(2) max load %zu vs mean %zu (k=%zu n=%zu)",
+                 max_count, n / k, k, n);
+    }
+  }
+
+  // (4) d = 1 never consults load: even a target advertising zero load
+  // forever must not absorb every pick.
+  if (k >= 2) {
+    const core::LoadProbe favor_zero =
+        [](std::span<const core::RouteTarget>, std::size_t i) {
+          return i == 0 ? 0.0 : 1e9;
+        };
+    core::PowerOfDChoicesRouter pod(rng.split(), 1, favor_zero);
+    std::size_t zero_picks = 0;
+    const std::size_t trials = std::max<std::size_t>(n, 64);
+    for (std::size_t i = 0; i < trials; ++i) {
+      zero_picks += pod.pick(pkt, targets) == 0;
+    }
+    if (zero_picks == trials) {
+      return fmt("pod(1) always picked the advertised-idle target "
+                 "(k=%zu trials=%zu)",
+                 k, trials);
+    }
+  }
+  return std::nullopt;
+}
+
 std::optional<Failure> run_suite(const char* name, std::size_t cases,
                                  std::uint64_t seed, unsigned min_size,
                                  unsigned max_size, const Property& prop) {
@@ -1301,6 +1467,19 @@ std::optional<Failure> suite_sharded_digest(std::size_t cases,
                    prop_sharded_digest);
 }
 
+std::optional<Failure> suite_topology_conservation(std::size_t cases,
+                                                   std::uint64_t seed) {
+  // Each case runs one DSM-Sort twice (hierarchical + flat); sized like
+  // the other whole-sim suites.
+  return run_suite("topology-conservation", cases, seed, 1, 8,
+                   prop_topology_conservation);
+}
+
+std::optional<Failure> suite_pod_balance(std::size_t cases,
+                                         std::uint64_t seed) {
+  return run_suite("pod-balance", cases, seed, 1, 16, prop_pod_balance);
+}
+
 const std::vector<SuiteInfo>& all_suites() {
   static const std::vector<SuiteInfo> kSuites = {
       {"permutation", &suite_permutation, 100},
@@ -1317,6 +1496,8 @@ const std::vector<SuiteInfo>& all_suites() {
       {"tenant-conservation", &suite_tenant_conservation, 100},
       {"tenant-arrival", &suite_tenant_arrival, 100},
       {"sharded-digest", &suite_sharded_digest, 100},
+      {"topology-conservation", &suite_topology_conservation, 100},
+      {"pod-balance", &suite_pod_balance, 100},
   };
   return kSuites;
 }

@@ -78,6 +78,18 @@ namespace lmas::check {
 ///                  digests and event counts at 1, 2 and 4 shards, and a
 ///                  zero-lookahead topology is rejected at construction
 ///                  instead of deadlocking the window loop.
+///  - topology-conservation: placement-freedom of the set contract — the
+///                  same DSM-Sort conserves records, checksums, subset
+///                  boundaries and run-sortedness whether it runs on the
+///                  flat machine or a random hierarchical TopologySpec
+///                  (racks, oversubscribed spine, heterogeneous speeds).
+///  - pod-balance:  balance contracts of the scale-out routers on
+///                  (possibly hierarchical) target sets: SR's floor/ceil
+///                  cycle bound aggregated per rack, power-of-d with a
+///                  full sample is exact least-loaded (spread ≤ 1),
+///                  power-of-two stays within a generous margin of the
+///                  mean-field log-log gap, and power-of-one ignores
+///                  advertised load entirely.
 std::optional<Failure> suite_permutation(std::size_t cases,
                                          std::uint64_t seed);
 std::optional<Failure> suite_packet_order(std::size_t cases,
@@ -105,6 +117,10 @@ std::optional<Failure> suite_tenant_arrival(std::size_t cases,
                                             std::uint64_t seed);
 std::optional<Failure> suite_sharded_digest(std::size_t cases,
                                             std::uint64_t seed);
+std::optional<Failure> suite_topology_conservation(std::size_t cases,
+                                                   std::uint64_t seed);
+std::optional<Failure> suite_pod_balance(std::size_t cases,
+                                         std::uint64_t seed);
 
 struct SuiteInfo {
   std::string_view name;

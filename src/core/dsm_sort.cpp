@@ -263,7 +263,9 @@ class DsmSortSim {
     if (cfg_.load_manager.mode == LoadManagerMode::Manage &&
         cfg_.load_manager.router_swap && cfg_.distribute_on_asus) {
       auto switchable = std::make_unique<SwitchableRouter>(
-          make_router(sort_kind, sort_stream, alpha_),
+          make_router({.kind = sort_kind,
+                       .rng = sort_stream,
+                       .total_subsets = alpha_}),
           std::make_unique<SimpleRandomizationRouter>(
               sim::Rng(cfg_.seed)
                   .stream(sim::stream_id("routing.sort.dynamic"))));
@@ -271,7 +273,11 @@ class DsmSortSim {
       sort_router = std::make_unique<InstrumentedRouter>(
           std::move(switchable), eng_, "sort");
     } else {
-      sort_router = make_router(sort_kind, sort_stream, alpha_, &eng_, "sort");
+      sort_router = make_router({.kind = sort_kind,
+                                 .rng = sort_stream,
+                                 .total_subsets = alpha_,
+                                 .instrument = &eng_,
+                                 .label = "sort"});
     }
     to_sort_ = std::make_unique<StageOutput>(
         eng_, cluster_.network(),

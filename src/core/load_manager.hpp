@@ -51,6 +51,27 @@ struct LoadSample {
   [[nodiscard]] double host_imbalance() const { return imbalance(host_load()); }
   [[nodiscard]] double asu_imbalance() const { return imbalance(asu_load()); }
 
+  /// Aggregate load per rack under `topo`'s block partition: each rack's
+  /// entry is the summed host + ASU load of the nodes it holds. This is
+  /// the tier the hierarchical balance story is about — per-node balance
+  /// can look fine while one rack's spine uplink carries all the traffic.
+  [[nodiscard]] std::vector<double> rack_load(
+      const asu::TopologySpec& topo) const {
+    std::vector<double> v(topo.racks, 0.0);
+    const auto hosts = host_load();
+    const auto asus = asu_load();
+    for (std::size_t h = 0; h < hosts.size(); ++h) {
+      v[topo.rack_of_host(unsigned(h))] += hosts[h];
+    }
+    for (std::size_t a = 0; a < asus.size(); ++a) {
+      v[topo.rack_of_asu(unsigned(a))] += asus[a];
+    }
+    return v;
+  }
+  [[nodiscard]] double rack_imbalance(const asu::TopologySpec& topo) const {
+    return imbalance(rack_load(topo));
+  }
+
   static std::vector<double> combine(const std::vector<double>& backlog,
                                      const std::vector<double>& offered) {
     std::vector<double> v = backlog;
@@ -165,6 +186,19 @@ class LoadMonitor {
     }
     lmas::obs::Gauge& imbalance_gauge =
         eng.metrics().gauge("load.host_imbalance");
+    // Rack-tier gauges exist only on hierarchical topologies: a flat
+    // cluster must keep the exact metric fingerprint it had before
+    // TopologySpec (the pinned goldens enumerate metric names).
+    const asu::TopologySpec& topo = cluster_->topology();
+    std::vector<lmas::obs::Gauge*> rack_gauges;
+    lmas::obs::Gauge* rack_imbalance_gauge = nullptr;
+    if (topo.hierarchical()) {
+      for (unsigned r = 0; r < topo.racks; ++r) {
+        rack_gauges.push_back(
+            &eng.metrics().gauge("rack.load." + std::to_string(r)));
+      }
+      rack_imbalance_gauge = &eng.metrics().gauge("load.rack_imbalance");
+    }
     const std::uint32_t track = eng.tracer().track("load-monitor");
 
     // Offered-work baselines: total_service at the start of the current
@@ -204,6 +238,13 @@ class LoadMonitor {
         asu_gauges[a]->set(b);
       }
       imbalance_gauge.set(s.host_imbalance());
+      if (rack_imbalance_gauge != nullptr) {
+        const auto racks = s.rack_load(topo);
+        for (unsigned r = 0; r < topo.racks; ++r) {
+          rack_gauges[r]->set(racks[r]);
+        }
+        rack_imbalance_gauge->set(LoadSample::imbalance(racks));
+      }
       if (eng.tracer().enabled()) {
         for (unsigned h = 0; h < cluster_->num_hosts(); ++h) {
           eng.tracer().counter(track, "host.backlog." + std::to_string(h),

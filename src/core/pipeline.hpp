@@ -58,7 +58,7 @@ struct Endpoint {
 ///
 ///   StageOutput out(eng, net, {.record_bytes = mp.record_bytes,
 ///                              .endpoints = inboxes.endpoints(nodes),
-///                              .router = make_router(...),
+///                              .router = make_router({.kind = ...}),
 ///                              .producers = 4,
 ///                              .name = "to_sort"});
 ///

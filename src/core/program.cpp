@@ -182,9 +182,11 @@ ProgramStats Program::run() {
             .record_bytes = im.record_bytes(),
             .endpoints = st.inboxes->endpoints(st.spec.placement),
             .router = make_router(
-                st.spec.router,
-                sim::Rng(0x9ab).stream(sim::stream_id("routing", i)),
-                st.spec.router_subsets, im.eng, st.spec.name),
+                {.kind = st.spec.router,
+                 .rng = sim::Rng(0x9ab).stream(sim::stream_id("routing", i)),
+                 .total_subsets = st.spec.router_subsets,
+                 .instrument = im.eng,
+                 .label = st.spec.name}),
             .producers = producers,
             .name = "to_" + st.spec.name}));
   }

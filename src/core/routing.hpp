@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <numeric>
 #include <span>
@@ -121,18 +122,34 @@ class SimpleRandomizationRouter final : public RoutingPolicy {
   std::unordered_map<std::uint32_t, Cycle> cycles_;
 };
 
-/// Dynamic policy: send to the instance whose node has the least queued
-/// CPU work right now. Uses exactly the information the load manager is
-/// entitled to — declared functor costs produce a CPU backlog per node.
+/// The load a router may consult for target index `i`: by default the
+/// target node's queued CPU work — exactly the information the load
+/// manager is entitled to (declared functor costs produce a CPU backlog
+/// per node). Callers routing over synthetic target sets (no asu::Node
+/// behind them — e.g. the sharded-engine scale bench) supply their own
+/// probe instead.
+using LoadProbe = std::function<double(std::span<const RouteTarget>,
+                                       std::size_t)>;
+
+[[nodiscard]] inline double cpu_backlog_probe(
+    std::span<const RouteTarget> targets, std::size_t i) {
+  return targets[i].node->cpu().backlog();
+}
+
+/// Dynamic policy: send to the instance whose probed load is least right
+/// now (first of ties). The default probe reads the node CPU backlog.
 class LeastLoadedRouter final : public RoutingPolicy {
  public:
+  explicit LeastLoadedRouter(LoadProbe probe = {})
+      : probe_(probe ? std::move(probe) : cpu_backlog_probe) {}
+
   std::size_t pick(const Packet&,
                    std::span<const RouteTarget> targets) override {
     if (targets.empty()) return 0;
     std::size_t best = 0;
-    double best_backlog = targets[0].node->cpu().backlog();
+    double best_backlog = probe_(targets, 0);
     for (std::size_t i = 1; i < targets.size(); ++i) {
-      const double b = targets[i].node->cpu().backlog();
+      const double b = probe_(targets, i);
       if (b < best_backlog) {
         best = i;
         best_backlog = b;
@@ -141,6 +158,60 @@ class LeastLoadedRouter final : public RoutingPolicy {
     return best;
   }
   [[nodiscard]] std::string name() const override { return "least-loaded"; }
+
+ private:
+  LoadProbe probe_;
+};
+
+/// Power-of-d-choices (the supermarket model): sample `d` distinct
+/// targets uniformly at random, send to the least-loaded of the sample
+/// (first sampled wins ties). d = 1 degenerates to uniform random; d >=
+/// the target count degenerates to least-loaded with a fixed scan order.
+/// Mean-field theory predicts the fraction of servers with queue >= i
+/// drops from rho^i (random) to rho^((d^i - 1)/(d - 1)) — doubly
+/// exponential in i — for any d >= 2, at probe cost d instead of D
+/// (bench/fig_scale verifies the simulator against that curve).
+class PowerOfDChoicesRouter final : public RoutingPolicy {
+ public:
+  PowerOfDChoicesRouter(sim::Rng rng, unsigned d, LoadProbe probe = {})
+      : rng_(rng),
+        d_(d > 0 ? d : 1),
+        probe_(probe ? std::move(probe) : cpu_backlog_probe) {}
+
+  std::size_t pick(const Packet&,
+                   std::span<const RouteTarget> targets) override {
+    const std::size_t k = targets.size();
+    if (k == 0) return 0;
+    if (scratch_.size() != k) {
+      scratch_.resize(k);
+      std::iota(scratch_.begin(), scratch_.end(), std::size_t{0});
+    }
+    // Partial Fisher-Yates: draw min(d, k) distinct indices. The scratch
+    // permutation persists across picks (only the sampled prefix is
+    // re-randomized), keeping the draw count per pick exactly min(d, k).
+    const std::size_t n = std::min<std::size_t>(d_, k);
+    std::size_t best = 0;
+    double best_load = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      std::swap(scratch_[j], scratch_[j + rng_.below(k - j)]);
+      const std::size_t cand = scratch_[j];
+      const double load = probe_(targets, cand);
+      if (j == 0 || load < best_load) {
+        best = cand;
+        best_load = load;
+      }
+    }
+    return best;
+  }
+  [[nodiscard]] std::string name() const override {
+    return "power-of-" + std::to_string(d_);
+  }
+
+ private:
+  sim::Rng rng_;
+  unsigned d_;
+  LoadProbe probe_;
+  std::vector<std::size_t> scratch_;
 };
 
 /// Decorator that lets the load manager hot-swap a stage's routing policy
@@ -224,40 +295,85 @@ class InstrumentedRouter final : public RoutingPolicy {
   std::vector<lmas::obs::Counter*> counters_;
 };
 
-enum class RouterKind { Static, RoundRobin, SimpleRandomization, LeastLoaded };
+enum class RouterKind {
+  Static,
+  RoundRobin,
+  SimpleRandomization,
+  LeastLoaded,
+  PowerOfD,
+};
 
-/// Build a policy; when `instrument` is non-null the policy is wrapped in
-/// an InstrumentedRouter publishing into that engine's registry/tracer
-/// under `label` (defaults to the policy's own name).
+/// Everything make_router needs, named. Designated initializers replace
+/// the positional-argument tail the old factory had grown:
 ///
-/// `rng` is deliberately NOT defaulted: every SR router must get a
-/// caller-derived named stream (seeding hygiene — a shared default seed
-/// would correlate every uncustomized router; see sim::Rng::stream).
-/// Deterministic kinds ignore it; pass any derived stream.
-inline std::unique_ptr<RoutingPolicy> make_router(
-    RouterKind kind, sim::Rng rng, std::uint32_t total_subsets = 0,
-    sim::Engine* instrument = nullptr, std::string label = "") {
+///   make_router({.kind = RouterKind::SimpleRandomization,
+///                .rng = stream,
+///                .total_subsets = alpha});
+///
+/// `rng` is deliberately value-initialized rather than seeded: every SR /
+/// power-of-d router must get a caller-derived named stream (seeding
+/// hygiene — a shared default seed would correlate every uncustomized
+/// router; see sim::Rng::stream). Deterministic kinds ignore it.
+struct RouterSpec {
+  RouterKind kind = RouterKind::Static;
+  sim::Rng rng{};
+
+  /// Total distribute-subset count (StaticPartitionRouter's block map).
+  std::uint32_t total_subsets = 0;
+
+  /// Load view for the dynamic kinds (LeastLoaded, PowerOfD): maps a
+  /// target index to its current load. Defaults to the target node's CPU
+  /// backlog; callers with synthetic target sets substitute their own.
+  LoadProbe node_of{};
+
+  /// Sample width for PowerOfD.
+  unsigned d_choices = 2;
+
+  /// When non-null, wrap in an InstrumentedRouter publishing into this
+  /// engine's registry/tracer under `label` (default: the policy's name).
+  sim::Engine* instrument = nullptr;
+  std::string label{};
+};
+
+inline std::unique_ptr<RoutingPolicy> make_router(RouterSpec spec) {
   std::unique_ptr<RoutingPolicy> p;
-  switch (kind) {
+  switch (spec.kind) {
     case RouterKind::Static:
-      p = std::make_unique<StaticPartitionRouter>(total_subsets);
+      p = std::make_unique<StaticPartitionRouter>(spec.total_subsets);
       break;
     case RouterKind::RoundRobin:
       p = std::make_unique<RoundRobinRouter>();
       break;
     case RouterKind::SimpleRandomization:
-      p = std::make_unique<SimpleRandomizationRouter>(rng);
+      p = std::make_unique<SimpleRandomizationRouter>(spec.rng);
       break;
     case RouterKind::LeastLoaded:
-      p = std::make_unique<LeastLoadedRouter>();
+      p = std::make_unique<LeastLoadedRouter>(std::move(spec.node_of));
+      break;
+    case RouterKind::PowerOfD:
+      p = std::make_unique<PowerOfDChoicesRouter>(spec.rng, spec.d_choices,
+                                                  std::move(spec.node_of));
       break;
   }
-  if (p && instrument) {
-    if (label.empty()) label = p->name();
-    p = std::make_unique<InstrumentedRouter>(std::move(p), *instrument,
-                                             std::move(label));
+  if (p && spec.instrument) {
+    if (spec.label.empty()) spec.label = p->name();
+    p = std::make_unique<InstrumentedRouter>(std::move(p), *spec.instrument,
+                                             std::move(spec.label));
   }
   return p;
+}
+
+/// Transitional shim for the pre-RouterSpec positional signature; removed
+/// next PR — migrate to make_router(RouterSpec).
+[[deprecated("use make_router(RouterSpec{...})")]]
+inline std::unique_ptr<RoutingPolicy> make_router(
+    RouterKind kind, sim::Rng rng, std::uint32_t total_subsets = 0,
+    sim::Engine* instrument = nullptr, std::string label = "") {
+  return make_router(RouterSpec{.kind = kind,
+                                .rng = rng,
+                                .total_subsets = total_subsets,
+                                .instrument = instrument,
+                                .label = std::move(label)});
 }
 
 inline const char* router_kind_name(RouterKind k) {
@@ -266,6 +382,7 @@ inline const char* router_kind_name(RouterKind k) {
     case RouterKind::RoundRobin: return "round-robin";
     case RouterKind::SimpleRandomization: return "sr";
     case RouterKind::LeastLoaded: return "least-loaded";
+    case RouterKind::PowerOfD: return "power-of-d";
   }
   return "?";
 }

@@ -84,9 +84,19 @@ TEST(Property, ShardedDigestsMatchSerialAtEveryShardCount) {
   ASSERT_FALSE(f.has_value()) << f->describe();
 }
 
+TEST(Property, TopologyChoiceNeverChangesConservation) {
+  const auto f = check::suite_topology_conservation(kCases, kSeed);
+  ASSERT_FALSE(f.has_value()) << f->describe();
+}
+
+TEST(Property, PodBalanceContractsHold) {
+  const auto f = check::suite_pod_balance(kCases, kSeed);
+  ASSERT_FALSE(f.has_value()) << f->describe();
+}
+
 // The registry the lmas_check driver iterates must cover every suite above.
 TEST(Property, RegistryListsAllSuites) {
-  ASSERT_EQ(check::all_suites().size(), 14u);
+  ASSERT_EQ(check::all_suites().size(), 16u);
   for (const auto& s : check::all_suites()) {
     EXPECT_NE(s.fn, nullptr) << s.name;
     EXPECT_GE(s.default_cases, 100u) << s.name;

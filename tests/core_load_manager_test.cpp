@@ -283,4 +283,67 @@ TEST(LoadManagedDsm, MonitorModeObservesWithoutChangingTimings) {
   EXPECT_EQ(b.lm_router_switches, 0u);
 }
 
+// ---------- Rack-tier accounting (hierarchical TopologySpec) ----------
+
+TEST(LoadSample, RackLoadAggregatesTheBlockPartition) {
+  asu::MachineParams mp;
+  mp.num_hosts = 2;
+  mp.num_asus = 4;
+  auto topo = asu::TopologySpec::flat(mp);
+  topo.racks = 2;
+  topo.spine = asu::TierSpec{.latency = 0.001, .bandwidth = 1e9,
+                             .oversubscription = 2.0};
+
+  core::LoadSample s;
+  s.host_backlog = {1.0, 3.0};
+  s.asu_backlog = {1.0, 2.0, 3.0, 4.0};
+  // Block partition: host 0 + ASUs {0, 1} in rack 0, the rest in rack 1.
+  const auto racks = s.rack_load(topo);
+  ASSERT_EQ(racks.size(), 2u);
+  EXPECT_DOUBLE_EQ(racks[0], 1.0 + 1.0 + 2.0);
+  EXPECT_DOUBLE_EQ(racks[1], 3.0 + 3.0 + 4.0);
+  EXPECT_DOUBLE_EQ(s.rack_imbalance(topo),
+                   core::LoadSample::imbalance({4.0, 10.0}));
+}
+
+sim::Task<> rack_gauge_work(asu::Cluster& cl) {
+  co_await cl.host(0).compute(0.3);
+}
+
+TEST(LoadMonitor, RackGaugesExistOnlyOnHierarchicalTopologies) {
+  asu::MachineParams mp;
+  mp.num_hosts = 2;
+  mp.num_asus = 4;
+
+  // Hierarchical: rack gauges appear and carry the sampled load.
+  {
+    sim::Engine eng;
+    auto topo = asu::TopologySpec::flat(mp);
+    topo.racks = 2;
+    topo.spine = asu::TierSpec{.latency = 0.001, .bandwidth = 1e9,
+                               .oversubscription = 2.0};
+    asu::Cluster cl(eng, topo);
+    core::LoadMonitor mon(cl, 0.05);
+    mon.start(4);
+    eng.spawn(rack_gauge_work(cl), "work");
+    eng.run();
+    EXPECT_NE(eng.metrics().find_gauge("rack.load.0"), nullptr);
+    EXPECT_NE(eng.metrics().find_gauge("rack.load.1"), nullptr);
+    EXPECT_NE(eng.metrics().find_gauge("load.rack_imbalance"), nullptr);
+  }
+
+  // Flat: the metric fingerprint must stay exactly pre-topology (the
+  // pinned goldens enumerate metric names).
+  {
+    sim::Engine eng;
+    asu::Cluster cl(eng, asu::TopologySpec::flat(mp));
+    core::LoadMonitor mon(cl, 0.05);
+    mon.start(4);
+    eng.spawn(rack_gauge_work(cl), "work");
+    eng.run();
+    EXPECT_EQ(eng.metrics().find_gauge("rack.load.0"), nullptr);
+    EXPECT_EQ(eng.metrics().find_gauge("load.rack_imbalance"), nullptr);
+  }
+}
+
 }  // namespace

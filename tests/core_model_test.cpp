@@ -108,10 +108,18 @@ TEST(Routing, FactoryProducesAllKinds) {
                     RouterKind::SimpleRandomization,
                     RouterKind::LeastLoaded}) {
     auto r = core::make_router(
-        kind, sim::Rng(7).stream(sim::stream_id("routing-test")));
+        {.kind = kind,
+         .rng = sim::Rng(7).stream(sim::stream_id("routing-test"))});
     ASSERT_NE(r, nullptr);
     EXPECT_EQ(r->name(), core::router_kind_name(kind));
   }
+  // PowerOfD reports its sample width, not the kind tag.
+  auto pod = core::make_router(
+      {.kind = RouterKind::PowerOfD,
+       .rng = sim::Rng(7).stream(sim::stream_id("routing-test")),
+       .d_choices = 3});
+  ASSERT_NE(pod, nullptr);
+  EXPECT_EQ(pod->name(), "power-of-3");
 }
 
 // ---------- containers ----------

@@ -113,11 +113,48 @@ TEST(RoutingEdge, MakeRouterHandlesEmptyAndSingleForAllKinds) {
   const std::vector<core::RouteTarget> one = {{&node}};
   for (const auto kind :
        {core::RouterKind::Static, core::RouterKind::RoundRobin,
-        core::RouterKind::SimpleRandomization,
-        core::RouterKind::LeastLoaded}) {
-    auto r = core::make_router(kind, sim::Rng(11), 4);
+        core::RouterKind::SimpleRandomization, core::RouterKind::LeastLoaded,
+        core::RouterKind::PowerOfD}) {
+    auto r = core::make_router(
+        {.kind = kind, .rng = sim::Rng(11), .total_subsets = 4});
     EXPECT_EQ(r->pick(packet(2), none), 0u) << r->name();
     EXPECT_EQ(r->pick(packet(2), one), 0u) << r->name();
+  }
+}
+
+TEST(RoutingEdge, PowerOfDWithFullSampleIsLeastLoaded) {
+  // d >= target count degenerates to an exact arg-min over the probe
+  // (first sampled wins ties) — the d -> D limit the mean-field model
+  // calls "least loaded". A synthetic probe keeps the targets nodeless.
+  const std::vector<double> loads = {5.0, 2.0, 7.0, 2.0};
+  const std::vector<core::RouteTarget> targets(loads.size());
+  core::PowerOfDChoicesRouter pod(
+      sim::Rng(3), 16,
+      [&loads](std::span<const core::RouteTarget>, std::size_t i) {
+        return loads[i];
+      });
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t got = pod.pick(packet(0), targets);
+    EXPECT_DOUBLE_EQ(loads[got], 2.0) << got;
+  }
+}
+
+TEST(RoutingEdge, PowerOfOneIgnoresLoad) {
+  // d = 1 is uniform random assignment: over enough picks every target is
+  // hit even when one target advertises zero load.
+  const std::vector<double> loads = {0.0, 9.0, 9.0, 9.0};
+  const std::vector<core::RouteTarget> targets(loads.size());
+  core::PowerOfDChoicesRouter pod(
+      sim::Rng(5), 1,
+      [&loads](std::span<const core::RouteTarget>, std::size_t i) {
+        return loads[i];
+      });
+  std::vector<int> hits(targets.size(), 0);
+  for (int trial = 0; trial < 256; ++trial) {
+    ++hits[pod.pick(packet(0), targets)];
+  }
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_GT(hits[i], 0) << i;
   }
 }
 

@@ -4,13 +4,17 @@
 /// blocks. Reads artifacts produced with DsmSortConfig::telemetry
 /// enabled (fig9_speedup's detailed cell, every fig10_adapt cell).
 ///
-///   lmas_report [quantiles|series|tenants|all] BENCH_file.json
+///   lmas_report [quantiles|series|tenants|racks|all] BENCH_file.json
 ///
 /// Blocks are found at the artifact root (fig9 style) and inside each
-/// `results[]` entry (sweep style, labeled by the entry's `cell` key).
-/// `tenants` groups the job-completion histograms of a multi-tenant
-/// artifact (fig_tenancy) by tenant label: one row per
-/// `dsm.job_seconds.<tenant>` block plus the aggregate.
+/// `results[]` entry (sweep style, labeled by the entry's `cell` or
+/// `name` key). `tenants` groups the job-completion histograms of a
+/// multi-tenant artifact (fig_tenancy) by tenant label: one row per
+/// `dsm.job_seconds.<tenant>` block plus the aggregate. `racks` renders
+/// the per-rack balance table of a hierarchical-topology artifact
+/// (fig_scale): one row per `rack.queue.<r>` histogram — the
+/// distribution of per-ASU mean queue length inside rack r — plus the
+/// machine-wide aggregate.
 
 #include <algorithm>
 #include <cstdio>
@@ -43,6 +47,7 @@ std::vector<Block> find_blocks(const obs::Json& doc, const char* key) {
       const obs::Json* b = entry.find(key);
       if (b == nullptr || !b->is_object()) continue;
       const obs::Json* cell = entry.find("cell");
+      if (cell == nullptr) cell = entry.find("name");
       out.push_back({cell != nullptr ? cell->as_string() : "results[]", b});
     }
   }
@@ -104,6 +109,49 @@ bool print_tenant_quantiles(const Block& blk) {
   return true;
 }
 
+/// Per-rack balance table: the `rack.queue.<r>` histograms of one cell —
+/// each the distribution of per-ASU mean queue length inside rack r —
+/// with the bare `rack.queue` block as the (all) row. Flat-topology
+/// artifacts carry no such keys and print nothing.
+bool print_rack_quantiles(const Block& blk) {
+  static const std::string kAggregate = "rack.queue";
+  static const std::string kPrefix = kAggregate + ".";
+  std::vector<std::pair<std::string, const obs::Json*>> rows;
+  for (const auto& [name, h] : blk.json->members()) {
+    if (name.compare(0, kPrefix.size(), kPrefix) == 0) {
+      rows.emplace_back(name.substr(kPrefix.size()), &h);
+    }
+  }
+  if (rows.empty()) return false;
+  // Rack keys are numeric suffixes; order the table by rack id, not by
+  // the registry's lexicographic key order ("10" before "2").
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    if (a.first.size() != b.first.size()) {
+      return a.first.size() < b.first.size();
+    }
+    return a.first < b.first;
+  });
+  if (const obs::Json* agg = blk.json->find(kAggregate); agg != nullptr) {
+    rows.emplace_back("(all)", agg);
+  }
+  if (!blk.label.empty()) std::printf("\n[%s]\n", blk.label.c_str());
+  std::size_t w = std::strlen("rack");
+  for (const auto& [name, h] : rows) w = std::max(w, name.size());
+  std::printf("%-*s %10s %12s %12s %12s %12s %12s\n", int(w), "rack",
+              "asus", "mean(q)", "p50(q)", "p90(q)", "p99(q)", "max(q)");
+  for (const auto& [name, h] : rows) {
+    const auto field = [h = h](const char* k) {
+      const obs::Json* v = h->find(k);
+      return v != nullptr ? v->as_double() : 0.0;
+    };
+    std::printf("%-*s %10lld %12.4f %12.4f %12.4f %12.4f %12.4f\n", int(w),
+                name.c_str(), static_cast<long long>(field("count")),
+                field("mean"), field("p50"), field("p90"), field("p99"),
+                field("max"));
+  }
+  return true;
+}
+
 /// One probe as a fixed-width sparkline: samples are bucketed into 64
 /// columns (mean per column) and scaled to the probe's own max.
 void print_series_line(const std::string& name, std::size_t name_w,
@@ -154,8 +202,8 @@ void print_series(const Block& blk) {
 }
 
 int usage() {
-  std::fprintf(stderr, "usage: lmas_report [quantiles|series|tenants|all] "
-                       "BENCH_file.json\n");
+  std::fprintf(stderr, "usage: lmas_report [quantiles|series|tenants|racks|"
+                       "all] BENCH_file.json\n");
   return 2;
 }
 
@@ -173,7 +221,7 @@ int main(int argc, char** argv) {
     return usage();
   }
   if (mode != "quantiles" && mode != "series" && mode != "tenants" &&
-      mode != "all") {
+      mode != "racks" && mode != "all") {
     return usage();
   }
 
@@ -217,6 +265,22 @@ int main(int argc, char** argv) {
         header = true;
       }
       any = print_tenant_quantiles(b) || any;
+    }
+  }
+  if (mode == "racks" || mode == "all") {
+    const auto blocks = find_blocks(*doc, "histograms");
+    bool header = false;
+    for (const Block& b : blocks) {
+      if (!header) {
+        bool has = false;
+        for (const auto& [name, h] : b.json->members()) {
+          has = has || name.rfind("rack.queue.", 0) == 0;
+        }
+        if (!has) continue;
+        std::printf("\n== per-rack balance ==\n");
+        header = true;
+      }
+      any = print_rack_quantiles(b) || any;
     }
   }
   if (mode == "series" || mode == "all") {
