@@ -3,32 +3,37 @@
 /// exponential), but instead of hard-wiring the managed router, pass 1
 /// starts on static partitioning and a LoadManager control process
 /// watches the LoadMonitor's per-window load signal, hot-swaps the sort
-/// router to SR when host imbalance sustains, migrates sort instances
-/// off overloaded hosts, and journals every decision.
+/// router to SR when host imbalance sustains, and plans budgeted
+/// migrations through the pressure-driven placer (pre-copy vs stop-copy
+/// priced from each instance's declared working set), journaling every
+/// decision.
 ///
-/// Four cells, skewed input throughout:
+/// Managed-vs-unmanaged × fault-intensity matrix, skewed input
+/// throughout. Three intensities, each run unmanaged (Monitor mode:
+/// observes, never acts) and managed (Manage mode):
 ///
-///   unmanaged/clean      static split, Monitor mode (observes only)
-///   managed/clean        static split + LoadManager (Manage mode)
-///   unmanaged/perturbed  + 25% ASU background load and a mid-run host-0
-///                        slowdown window, Monitor mode
-///   managed/perturbed    the same perturbation, Manage mode
+///   none    clean machine, no faults
+///   mild    10% ASU background load + a mid-run 2x host-0 slowdown
+///   severe  25% ASU background load + a 3x host-0 slowdown for the
+///           middle third + a transient ASU crash (records park/retry)
 ///
 /// The unmanaged static reference runs first (serially — it fixes the
-/// horizon H that scales the sampling period and the fault window); the
-/// four cells then form a SweepSpec evaluated through the parallel
+/// horizon H that scales the sampling period and the fault windows); the
+/// six cells then form a SweepSpec evaluated through the parallel
 /// executor. Results come back in submission order: bit-identical
 /// output at any LMAS_JOBS.
 ///
-/// Acceptance gates: each managed cell must beat its unmanaged
-/// counterpart on BOTH pass-1 time and peak host imbalance; across the
-/// managed cells, at least one router switch and at least one migration
-/// must be journaled; every run conserves records.
+/// Acceptance gates: at EVERY intensity the managed cell must beat its
+/// unmanaged counterpart on pass-1 time, actionable-mean host imbalance,
+/// and pass-1 tail latency (to_sort queue-wait p99), without worsening
+/// the peak; across the managed cells, at least one router switch, one
+/// migration, and one journaled placer decision; every run conserves
+/// records.
 ///
 /// Writes BENCH_fig10_adapt.json (schema lmas-bench-v1): one entry per
 /// cell carrying the full dsm_report_to_json payload, including the
-/// manager's decision journal. Set LMAS_TRACE=1 to export Chrome traces
-/// (the load manager journals onto its own track).
+/// manager's decision journal and the placer block. Set LMAS_TRACE=1 to
+/// export Chrome traces (the load manager journals onto its own track).
 
 #include <cstdio>
 #include <cstdlib>
@@ -53,15 +58,37 @@ bool trace_requested() {
   return v != nullptr && v[0] == '1';
 }
 
-asu::MachineParams machine(bool perturbed) {
+/// Fault intensity: background load stolen from every ASU plus a
+/// horizon-scaled fault plan (built once H is known).
+enum class Intensity { None, Mild, Severe };
+
+double background_load(Intensity i) {
+  switch (i) {
+    case Intensity::None: return 0.0;
+    case Intensity::Mild: return 0.10;
+    case Intensity::Severe: return 0.25;
+  }
+  return 0.0;
+}
+
+const char* intensity_name(Intensity i) {
+  switch (i) {
+    case Intensity::None: return "none";
+    case Intensity::Mild: return "mild";
+    case Intensity::Severe: return "severe";
+  }
+  return "?";
+}
+
+asu::MachineParams machine(Intensity i) {
   asu::MachineParams mp;
   mp.num_hosts = 2;
   mp.num_asus = 16;
   mp.c = 8.0;
   mp.util_bin = 0.05;
-  // The perturbed cells steal a quarter of every ASU's cycles for
+  // The perturbed cells steal a slice of every ASU's cycles for
   // unrelated storage-unit work (the paper's shared-ASU scenario).
-  if (perturbed) mp.asu_background_load = 0.25;
+  mp.asu_background_load = background_load(i);
   return mp;
 }
 
@@ -77,6 +104,9 @@ core::DsmSortConfig base_config() {
 
 /// Control-loop tuning scaled to the measured horizon: ~64 samples per
 /// run, act after 2 sustained hot samples, hold 4 after each action.
+/// Managed cells get a 2-move per-tick budget so one gate opening can
+/// fix both a hot host and a planned follow-up (the placer's virtual
+/// rebalance keeps the two moves off the same destination).
 core::LoadManagerConfig manager_cfg(double H, bool act) {
   core::LoadManagerConfig cfg;
   cfg.mode = act ? core::LoadManagerMode::Manage
@@ -87,22 +117,35 @@ core::LoadManagerConfig manager_cfg(double H, bool act) {
   cfg.cooldown_samples = 4;
   cfg.migrate_hysteresis = 2;
   cfg.dwell_samples = 8;
+  cfg.budget_moves_per_tick = 2;
   return cfg;
 }
 
-/// Mid-run perturbation, scaled to H: host 0 runs at a third of its
-/// speed for the middle third of the run (the window the manager must
-/// steer around by migrating host 0's sort instance away).
-fault::FaultPlan make_window(double H) {
+/// Horizon-scaled fault plans per intensity. Mild: host 0 at half speed
+/// for a fifth of the run. Severe: host 0 at a third of its speed for
+/// the middle third, plus a transient early ASU crash (accepted records
+/// park and retry — nothing is lost) — the schedule the placer must
+/// steer around rather than merely survive.
+fault::FaultPlan make_window(Intensity i, double H) {
   fault::FaultPlan plan;
-  plan.slowdown(/*on_asu=*/false, 0, 0.35 * H, 0.30 * H, 3.0);
+  switch (i) {
+    case Intensity::None:
+      break;
+    case Intensity::Mild:
+      plan.slowdown(/*on_asu=*/false, 0, 0.40 * H, 0.20 * H, 2.0);
+      break;
+    case Intensity::Severe:
+      plan.slowdown(/*on_asu=*/false, 0, 0.35 * H, 0.30 * H, 3.0);
+      plan.crash(/*on_asu=*/true, 3, 0.15 * H, 0.05 * H);
+      break;
+  }
   plan.normalize();
   return plan;
 }
 
 struct Cell {
   bool managed = false;
-  bool perturbed = false;
+  Intensity intensity = Intensity::None;
   const char* key = "";
 };
 
@@ -118,44 +161,49 @@ int main() {
     report.params()["c"] = 8.0;
     report.params()["alpha"] = double(cfg.alpha);
     report.params()["key_dist"] = "half_uniform_half_exp";
-    report.params()["asu_background_load_perturbed"] = 0.25;
     std::printf("# Figure 10 with online management: 2 hosts + 16 ASUs, "
-                "n=%zu, skewed input\n", cfg.total_records);
+                "n=%zu, skewed input, managed x fault-intensity matrix\n",
+                cfg.total_records);
   }
   report.results() = obs::Json::array();
 
   // Unmanaged static reference: fixes the horizon H that scales the
-  // sampling period and the perturbation window. Serial by necessity.
+  // sampling period and the perturbation windows. Serial by necessity.
   const core::DsmSortReport base =
-      core::run_dsm_sort(machine(false), base_config());
+      core::run_dsm_sort(machine(Intensity::None), base_config());
   bool all_ok = base.ok();
   const double H = base.pass1_seconds;
-  const fault::FaultPlan window = make_window(H);
   std::printf("# horizon H = unmanaged static pass 1 = %.3fs; manager "
               "period H/64 = %.4fs\n", H, H / 64.0);
   {
-    obs::Json plan_json = obs::Json::array();
-    for (const auto& e : window.events) {
-      const std::string d = fault::describe(e);
-      std::printf("# perturbation: %s\n", d.c_str());
-      plan_json.push_back(d);
+    obs::Json plans_json = obs::Json::object();
+    for (Intensity i : {Intensity::Mild, Intensity::Severe}) {
+      obs::Json plan_json = obs::Json::array();
+      for (const auto& e : make_window(i, H).events) {
+        const std::string d = fault::describe(e);
+        std::printf("# perturbation[%s]: %s\n", intensity_name(i), d.c_str());
+        plan_json.push_back(d);
+      }
+      plans_json[intensity_name(i)] = std::move(plan_json);
     }
-    report.params()["fault_plan"] = std::move(plan_json);
+    report.params()["fault_plans"] = std::move(plans_json);
     report.params()["manager_period"] = H / 64.0;
   }
 
   benchio::SweepSpec<Cell, core::DsmSortReport> sweep;
   sweep.report_name = "fig10_adapt";
   sweep.cells = {
-      {false, false, "unmanaged-clean"},
-      {true, false, "managed-clean"},
-      {false, true, "unmanaged-perturbed"},
-      {true, true, "managed-perturbed"},
+      {false, Intensity::None, "unmanaged-none"},
+      {true, Intensity::None, "managed-none"},
+      {false, Intensity::Mild, "unmanaged-mild"},
+      {true, Intensity::Mild, "managed-mild"},
+      {false, Intensity::Severe, "unmanaged-severe"},
+      {true, Intensity::Severe, "managed-severe"},
   };
-  sweep.run_fn = [H, &window](const Cell& cell) {
+  sweep.run_fn = [H](const Cell& cell) {
     core::DsmSortConfig c = base_config();
     c.load_manager = manager_cfg(H, cell.managed);
-    if (cell.perturbed) c.faults = window;
+    c.faults = make_window(cell.intensity, H);
     // Telemetry on every cell: per-stage latency quantiles answer the
     // tail question the mean imbalance hides (does management shorten
     // the p99 packet service time, not just the average?), and the
@@ -167,7 +215,7 @@ int main() {
     if (trace_requested()) {
       c.trace_file = std::string("trace_fig10_adapt_") + cell.key + ".json";
     }
-    return core::run_dsm_sort(machine(cell.perturbed), c);
+    return core::run_dsm_sort(machine(cell.intensity), c);
   };
 
   benchio::SweepStats stats;
@@ -181,23 +229,11 @@ int main() {
     obs::Json entry = core::dsm_report_to_json(cells[run]);
     entry["cell"] = sweep.cells[run].key;
     entry["managed"] = sweep.cells[run].managed;
-    entry["perturbed"] = sweep.cells[run].perturbed;
+    entry["intensity"] = intensity_name(sweep.cells[run].intensity);
     report.results().push_back(std::move(entry));
   }
-  report.add_digest(cells[3].digest);  // the managed perturbed run
+  report.add_digest(cells.back().digest);  // the managed severe run
 
-  std::printf("\n%-20s %10s %12s %12s %9s %11s %7s\n", "cell", "pass1(s)",
-              "mean.imbal", "peak.imbal", "switches", "migrations",
-              "valid");
-  for (std::size_t run = 0; run < cells.size(); ++run) {
-    const auto& r = cells[run];
-    std::printf("%-20s %10.3f %12.3f %12.3f %9llu %11llu %7s\n",
-                sweep.cells[run].key, r.pass1_seconds,
-                r.mean_host_imbalance, r.peak_host_imbalance,
-                static_cast<unsigned long long>(r.lm_router_switches),
-                static_cast<unsigned long long>(r.lm_migrations),
-                r.ok() ? "ok" : "FAIL");
-  }
   // Tail latencies per cell: sort-stage packet service time quantiles
   // from the run's latency histograms (the managed cells should pull the
   // p99 in, since migration/SR stop packets from queueing behind a hot
@@ -208,15 +244,19 @@ int main() {
     const obs::Json* v = h != nullptr ? h->find(q) : nullptr;
     return v != nullptr ? v->as_double() : 0.0;
   };
-  std::printf("\n%-20s %12s %12s %12s %12s\n", "cell", "sort.p50(s)",
-              "sort.p99(s)", "wait.p50(s)", "wait.p99(s)");
+
+  std::printf("\n%-18s %10s %12s %12s %12s %9s %11s %7s\n", "cell",
+              "pass1(s)", "mean.imbal", "peak.imbal", "wait.p99(s)",
+              "switches", "migrations", "valid");
   for (std::size_t run = 0; run < cells.size(); ++run) {
     const auto& r = cells[run];
-    std::printf("%-20s %12.5f %12.5f %12.5f %12.5f\n", sweep.cells[run].key,
-                hist_q(r, "sort.packet_seconds", "p50"),
-                hist_q(r, "sort.packet_seconds", "p99"),
-                hist_q(r, "to_sort.queue_wait_seconds", "p50"),
-                hist_q(r, "to_sort.queue_wait_seconds", "p99"));
+    std::printf("%-18s %10.3f %12.3f %12.3f %12.5f %9llu %11llu %7s\n",
+                sweep.cells[run].key, r.pass1_seconds,
+                r.mean_host_imbalance, r.peak_host_imbalance,
+                hist_q(r, "to_sort.queue_wait_seconds", "p99"),
+                static_cast<unsigned long long>(r.lm_router_switches),
+                static_cast<unsigned long long>(r.lm_migrations),
+                r.ok() ? "ok" : "FAIL");
   }
 
   std::printf("\n# decision journals:\n");
@@ -226,36 +266,53 @@ int main() {
                   e.what.c_str());
     }
   }
+  std::printf("# placer decisions:\n");
+  std::size_t placer_decisions = 0;
+  for (std::size_t run = 0; run < cells.size(); ++run) {
+    for (const auto& d : cells[run].lm_decisions) {
+      ++placer_decisions;
+      std::printf("#   [%s] t=%.4f i%zu %s -> %s (%s, %zu B, stall "
+                  "%.5fs, gain %.4fs)\n",
+                  sweep.cells[run].key, d.time, d.instance, d.from.c_str(),
+                  d.to.c_str(), core::migration_mode_name(d.mode), d.bytes,
+                  d.est_stall, d.gain);
+    }
+  }
 
-  // Acceptance gates. The imbalance comparison uses the actionable-mean
-  // statistic: a raw peak saturates at 1.0 for both runs, because the
-  // manager acts only AFTER observing the same sustained-hot windows
-  // the unmanaged run suffers (and any lone-straggler drain window
-  // reads as imbalance 1.0). What management shrinks is how long the
-  // hot phases last — exactly what the mean integrates. The peak must
-  // still not get worse.
-  const auto beats = [](const core::DsmSortReport& managed,
-                        const core::DsmSortReport& unmanaged) {
-    return managed.pass1_seconds < unmanaged.pass1_seconds &&
-           managed.mean_host_imbalance < unmanaged.mean_host_imbalance &&
-           managed.peak_host_imbalance <= unmanaged.peak_host_imbalance;
-  };
-  const bool clean_wins = beats(cells[1], cells[0]);
-  const bool perturbed_wins = beats(cells[3], cells[2]);
-  const std::uint64_t switches =
-      cells[1].lm_router_switches + cells[3].lm_router_switches;
-  const std::uint64_t migrations =
-      cells[1].lm_migrations + cells[3].lm_migrations;
-  std::printf("# managed %s unmanaged (clean), managed %s unmanaged "
-              "(perturbed)\n",
-              clean_wins ? "beats" : "DOES NOT beat",
-              perturbed_wins ? "beats" : "DOES NOT beat");
+  // Acceptance gates, per intensity. The imbalance comparison uses the
+  // actionable-mean statistic: a raw peak saturates at 1.0 for both
+  // runs, because the manager acts only AFTER observing the same
+  // sustained-hot windows the unmanaged run suffers (and any
+  // lone-straggler drain window reads as imbalance 1.0). What
+  // management shrinks is how long the hot phases last — exactly what
+  // the mean integrates. The peak must still not get worse, and the
+  // pass-1 tail (queue-wait p99) must come in too.
+  std::uint64_t switches = 0, migrations = 0;
+  for (std::size_t pair = 0; pair < cells.size() / 2; ++pair) {
+    const core::DsmSortReport& unmanaged = cells[2 * pair];
+    const core::DsmSortReport& managed = cells[2 * pair + 1];
+    const double u_p99 = hist_q(unmanaged, "to_sort.queue_wait_seconds",
+                                "p99");
+    const double m_p99 = hist_q(managed, "to_sort.queue_wait_seconds",
+                                "p99");
+    const bool wins =
+        managed.pass1_seconds < unmanaged.pass1_seconds &&
+        managed.mean_host_imbalance < unmanaged.mean_host_imbalance &&
+        managed.peak_host_imbalance <= unmanaged.peak_host_imbalance &&
+        m_p99 < u_p99;
+    std::printf("# managed %s unmanaged at intensity %s\n",
+                wins ? "beats" : "DOES NOT beat",
+                intensity_name(sweep.cells[2 * pair].intensity));
+    all_ok &= wins;
+    switches += managed.lm_router_switches;
+    migrations += managed.lm_migrations;
+  }
   std::printf("# journaled across managed cells: %llu router switch(es), "
-              "%llu migration(s)\n",
+              "%llu migration(s), %zu placer decision(s)\n",
               static_cast<unsigned long long>(switches),
-              static_cast<unsigned long long>(migrations));
-  all_ok &= clean_wins && perturbed_wins;
-  all_ok &= switches >= 1 && migrations >= 1;
+              static_cast<unsigned long long>(migrations),
+              placer_decisions);
+  all_ok &= switches >= 1 && migrations >= 1 && placer_decisions >= 1;
 
   benchio::stamp_sweep(report, stats, sweep_sim_events);
   std::printf("# sweep: %zu cells on %u job(s), wall %.2fs\n", stats.cells,

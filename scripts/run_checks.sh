@@ -43,8 +43,12 @@ echo "== [5/8] fault + load-manager property suites under ASan/UBSan (reduced ca
 # clients attaching and detaching mid-run). topology-conservation runs
 # the same embedded jobs on hierarchical TopologySpecs (spine resources,
 # per-node speeds), covering the rack/spine charging paths.
+# migration-economy drives the budgeted placer with concurrent pre-copy
+# transfers under crash schedules — background bulk transfers racing
+# instance migration is a fresh lifetime surface.
 for suite in fault-conservation fault-routing lm-switch lm-migration \
-             tenant-conservation tenant-arrival topology-conservation; do
+             tenant-conservation tenant-arrival topology-conservation \
+             migration-economy; do
   UBSAN_OPTIONS="halt_on_error=1" ASAN_OPTIONS="detect_leaks=1" \
     "${SAN_BUILD}/tools/lmas_check" property --suite "${suite}" --cases 20
 done

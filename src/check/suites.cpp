@@ -1374,6 +1374,118 @@ std::optional<std::string> prop_pod_balance(sim::Rng& rng, unsigned size) {
   return std::nullopt;
 }
 
+// ---- migration economy ---------------------------------------------
+
+// The budgeted placer's safety contract. One managed DSM-Sort per case:
+// random per-tick move/byte budgets, an aggressive control loop (short
+// period, low hysteresis) so migrations actually fire, and — half the
+// time — a random fault plan (crash windows included) underneath. The
+// run must conserve records/checksums/subsets; every journaled placer
+// tick must respect both budgets; and the managed run must replay
+// bit-identically (plan + execute of concurrent pre-copy transfers is
+// part of the digest).
+std::optional<std::string> prop_migration_economy(sim::Rng& rng,
+                                                  unsigned size) {
+  asu::MachineParams mp = gen_machine(rng, size);
+  mp.num_hosts = 2;  // migration needs somewhere to go
+  core::DsmSortConfig cfg = gen_dsm_config(rng, size);
+  // Static partitioning + a (usually) skewed distribution builds the
+  // sustained imbalance the placer reacts to; single-pass so the
+  // measured horizon brackets the managed run.
+  cfg.sort_router = core::RouterKind::Static;
+  cfg.run_merge_pass = false;
+  if (rng.below(2) == 0) cfg.key_dist = core::KeyDist::Exponential;
+
+  const core::DsmSortReport base = run_dsm_sort(mp, cfg);
+  if (!base.ok()) {
+    return fmt("unmanaged baseline failed validation [%s]",
+               cfg_str(mp, cfg).c_str());
+  }
+
+  core::LoadManagerConfig lm;
+  lm.mode = core::LoadManagerMode::Manage;
+  lm.period = std::max(base.pass1_seconds, 1e-6) / 32.0;
+  lm.promote_hysteresis = 1 + rng.below(2);
+  lm.migrate_hysteresis = 1 + rng.below(2);
+  lm.cooldown_samples = rng.below(3);
+  lm.dwell_samples = 1 + rng.below(4);
+  lm.budget_moves_per_tick = 1 + rng.below(3);
+  // Half the time cap bytes per tick too (4 KiB .. 4 MiB — low caps make
+  // state-heavy instances inadmissible, which the budget check must
+  // still honor); otherwise unlimited.
+  lm.budget_bytes_per_tick = rng.below(2) == 0
+                                 ? std::size_t(-1)
+                                 : std::size_t(1) << (12 + rng.below(11));
+  lm.precopy_stall_fraction = rng.uniform(0.0, 0.5);
+  cfg.load_manager = lm;
+  if (rng.below(2) == 0) {
+    cfg.faults = gen_fault_plan(rng, mp, base.pass1_seconds, size);
+  }
+
+  const core::DsmSortReport rep = run_dsm_sort(mp, cfg);
+  if (rep.records_stored != rep.records_in || !rep.checksum_ok) {
+    return fmt("managed run lost records: stored %zu of %zu, checksum %s "
+               "(%zu migrations, %zu faults) [%s]",
+               rep.records_stored, rep.records_in,
+               rep.checksum_ok ? "ok" : "BAD",
+               std::size_t(rep.lm_migrations), cfg.faults.size(),
+               cfg_str(mp, cfg).c_str());
+  }
+  if (!rep.subsets_ok) {
+    return fmt("records crossed subset boundaries under managed "
+               "migration [%s]",
+               cfg_str(mp, cfg).c_str());
+  }
+
+  // Budget accounting: the placer journals every admitted move with the
+  // tick timestamp it was planned at. Group by identical time — one
+  // group per manager tick — and check both budgets.
+  std::map<double, std::pair<std::size_t, std::size_t>> ticks;
+  for (const auto& d : rep.lm_decisions) {
+    if (d.bytes < core::kMigrationOverheadBytes) {
+      return fmt("placer decision at t=%.6f declares %zu bytes, below the "
+                 "%zu-byte migration overhead [%s]",
+                 d.time, d.bytes, core::kMigrationOverheadBytes,
+                 cfg_str(mp, cfg).c_str());
+    }
+    auto& [moves, bytes] = ticks[d.time];
+    ++moves;
+    bytes += d.bytes;
+  }
+  for (const auto& [time, tally] : ticks) {
+    if (tally.first > lm.budget_moves_per_tick) {
+      return fmt("placer tick at t=%.6f admitted %zu moves over a budget "
+                 "of %zu [%s]",
+                 time, tally.first, lm.budget_moves_per_tick,
+                 cfg_str(mp, cfg).c_str());
+    }
+    if (tally.second > lm.budget_bytes_per_tick) {
+      return fmt("placer tick at t=%.6f admitted %zu bytes over a budget "
+                 "of %zu [%s]",
+                 time, tally.second, lm.budget_bytes_per_tick,
+                 cfg_str(mp, cfg).c_str());
+    }
+  }
+  if (rep.lm_migrations > rep.lm_decisions.size()) {
+    return fmt("%zu migrations executed but only %zu placer decisions "
+               "journaled [%s]",
+               std::size_t(rep.lm_migrations), rep.lm_decisions.size(),
+               cfg_str(mp, cfg).c_str());
+  }
+
+  // Same managed config (same budgets, same fault plan) replays
+  // bit-identically.
+  const core::DsmSortReport again = run_dsm_sort(mp, cfg);
+  if (again.digest != rep.digest) {
+    return fmt("managed run not deterministic: 0x%016llx vs 0x%016llx "
+               "(%zu decisions) [%s]",
+               static_cast<unsigned long long>(rep.digest),
+               static_cast<unsigned long long>(again.digest),
+               rep.lm_decisions.size(), cfg_str(mp, cfg).c_str());
+  }
+  return std::nullopt;
+}
+
 std::optional<Failure> run_suite(const char* name, std::size_t cases,
                                  std::uint64_t seed, unsigned min_size,
                                  unsigned max_size, const Property& prop) {
@@ -1480,6 +1592,14 @@ std::optional<Failure> suite_pod_balance(std::size_t cases,
   return run_suite("pod-balance", cases, seed, 1, 16, prop_pod_balance);
 }
 
+std::optional<Failure> suite_migration_economy(std::size_t cases,
+                                               std::uint64_t seed) {
+  // Each case runs one baseline plus two managed DSM-Sorts (replay
+  // included); sized like the other whole-sim suites.
+  return run_suite("migration-economy", cases, seed, 1, 8,
+                   prop_migration_economy);
+}
+
 const std::vector<SuiteInfo>& all_suites() {
   static const std::vector<SuiteInfo> kSuites = {
       {"permutation", &suite_permutation, 100},
@@ -1498,6 +1618,7 @@ const std::vector<SuiteInfo>& all_suites() {
       {"sharded-digest", &suite_sharded_digest, 100},
       {"topology-conservation", &suite_topology_conservation, 100},
       {"pod-balance", &suite_pod_balance, 100},
+      {"migration-economy", &suite_migration_economy, 100},
   };
   return kSuites;
 }

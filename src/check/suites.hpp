@@ -90,6 +90,16 @@ namespace lmas::check {
 ///                  power-of-two stays within a generous margin of the
 ///                  mean-field log-log gap, and power-of-one ignores
 ///                  advertised load entirely.
+///  - migration-economy: the budgeted placer's safety contract — a
+///                  managed DSM-Sort with random per-tick move/byte
+///                  budgets (and, half the time, a random fault plan
+///                  with crash windows underneath) still conserves
+///                  records, checksums and subset boundaries; every
+///                  journaled placer tick respects both budgets
+///                  (moves per tick ≤ budget, declared bytes per tick
+///                  ≤ budget); each decision's declared bytes cover at
+///                  least the migration overhead; and the managed run
+///                  replays bit-identically.
 std::optional<Failure> suite_permutation(std::size_t cases,
                                          std::uint64_t seed);
 std::optional<Failure> suite_packet_order(std::size_t cases,
@@ -121,6 +131,8 @@ std::optional<Failure> suite_topology_conservation(std::size_t cases,
                                                    std::uint64_t seed);
 std::optional<Failure> suite_pod_balance(std::size_t cases,
                                          std::uint64_t seed);
+std::optional<Failure> suite_migration_economy(std::size_t cases,
+                                               std::uint64_t seed);
 
 struct SuiteInfo {
   std::string_view name;

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "asu/params.hpp"
+#include "asu/topology.hpp"
 #include "core/dsm_sort.hpp"
 
 namespace lmas::core {
@@ -24,11 +25,24 @@ struct Pass1Prediction {
   std::string bottleneck;
 };
 
-inline Pass1Prediction predict_pass1(const asu::MachineParams& mp,
-                                     const DsmSortConfig& cfg) {
+namespace detail {
+
+/// Shared body of the flat and topology-aware predictors. The speed
+/// floors are the slowest node's relative speed per tier (1.0 = the
+/// homogeneous machine): the pipeline completes when its slowest station
+/// finishes, and on a heterogeneous topology the slowest station is the
+/// slowest *node*, whose CPU charges stretch by 1/floor. Only the
+/// compute components stretch — NIC serialization, disk, and links are
+/// not scaled by the per-node CPU multiplier.
+inline Pass1Prediction predict_pass1_scaled(const asu::MachineParams& mp,
+                                            const DsmSortConfig& cfg,
+                                            double host_speed_floor,
+                                            double asu_speed_floor) {
   const double n = double(cfg.total_records);
   const double d = double(mp.num_asus);
   const double h = double(mp.num_hosts);
+  const double host_floor = std::max(1e-9, host_speed_floor);
+  const double asu_floor = std::max(1e-9, asu_speed_floor);
 
   Pass1Prediction p;
   // A station's serial work is its CPU charge plus its own send-side NIC
@@ -38,13 +52,14 @@ inline Pass1Prediction predict_pass1(const asu::MachineParams& mp,
   const double asu_send_nic = double(mp.record_bytes) / mp.asu_nic_bandwidth;
   p.host_cpu_seconds =
       n *
-      (mp.cost.sort_per_record(cfg.host_run_length(), /*on_asu=*/false) +
+      (mp.cost.sort_per_record(cfg.host_run_length(), /*on_asu=*/false) /
+           host_floor +
        host_send_nic) /
       h;
   const double asu_free = std::max(1e-9, 1.0 - mp.asu_background_load);
   p.asu_cpu_seconds =
       cfg.distribute_on_asus
-          ? (n / d) * (mp.c / asu_free *
+          ? (n / d) * (mp.c / asu_free / asu_floor *
                            mp.cost.distribute_per_record(cfg.alpha,
                                                          /*on_asu=*/true) +
                        asu_send_nic)
@@ -73,6 +88,32 @@ inline Pass1Prediction predict_pass1(const asu::MachineParams& mp,
   return p;
 }
 
+}  // namespace detail
+
+inline Pass1Prediction predict_pass1(const asu::MachineParams& mp,
+                                     const DsmSortConfig& cfg) {
+  return detail::predict_pass1_scaled(mp, cfg, 1.0, 1.0);
+}
+
+/// Topology-aware prediction: folds the spec's per-node speed
+/// multipliers into the declared-cost evaluation via the slowest-node
+/// floors. A flat spec (no multipliers) is bit-identical to the flat
+/// predictor.
+inline Pass1Prediction predict_pass1(const asu::MachineParams& mp,
+                                     const DsmSortConfig& cfg,
+                                     const asu::TopologySpec& topo) {
+  double host_floor = 1.0, asu_floor = 1.0;
+  for (unsigned h = 0; h < mp.num_hosts; ++h) {
+    const double m = topo.host_multiplier(h);
+    host_floor = h == 0 ? m : std::min(host_floor, m);
+  }
+  for (unsigned a = 0; a < mp.num_asus; ++a) {
+    const double m = topo.asu_multiplier(a);
+    asu_floor = a == 0 ? m : std::min(asu_floor, m);
+  }
+  return detail::predict_pass1_scaled(mp, cfg, host_floor, asu_floor);
+}
+
 /// Predicted pass-1 speedup of a configuration over the passive baseline
 /// (all computation on the hosts) on the same machine.
 inline double predict_speedup(const asu::MachineParams& mp,
@@ -95,6 +136,29 @@ inline unsigned choose_alpha(const asu::MachineParams& mp,
     cfg.alpha = a;
     cfg.distribute_on_asus = true;
     const double t = predict_pass1(mp, cfg).seconds;
+    if (t < best_time) {
+      best_time = t;
+      best = a;
+    }
+  }
+  return best;
+}
+
+/// Topology-aware adaptive configuration: on a heterogeneous spec the
+/// slowest ASU's stretched distribute cost shifts the host/ASU tradeoff,
+/// so the best alpha generally differs from the homogeneous answer. Flat
+/// specs pick exactly what the flat overload picks.
+inline unsigned choose_alpha(const asu::MachineParams& mp,
+                             const DsmSortConfig& base,
+                             std::span<const unsigned> candidates,
+                             const asu::TopologySpec& topo) {
+  unsigned best = candidates.empty() ? base.alpha : candidates.front();
+  double best_time = 1e300;
+  for (unsigned a : candidates) {
+    DsmSortConfig cfg = base;
+    cfg.alpha = a;
+    cfg.distribute_on_asus = true;
+    const double t = predict_pass1(mp, cfg, topo).seconds;
     if (t < best_time) {
       best_time = t;
       best = a;

@@ -29,6 +29,12 @@ namespace em = lmas::em;
 
 constexpr std::uint32_t kSubsetDoneMarker = 0xffffffffu;
 
+/// Fraction of a sort instance's staged records assumed re-dirtied while
+/// a pre-copy bulk transfer runs in the background (the stalled delta on
+/// top of kMigrationOverheadBytes). Declared to the placer and honored by
+/// the consult point, so the priced stall and the paid stall agree.
+constexpr double kPrecopyDirtyFraction = 0.125;
+
 /// Wall-clock seconds on the emulation host (the paper's fine-grained
 /// processor cycle counter, in portable form).
 double wall_seconds() {
@@ -103,9 +109,11 @@ class DsmSortSim {
       rep.mean_host_imbalance = monitor_->mean_host_imbalance();
     }
     if (manager_) {
+      rep.lm_managed = true;
       rep.lm_migrations = manager_->migrations();
       rep.lm_router_switches = manager_->router_switches();
       rep.lm_events = manager_->events();
+      rep.lm_decisions = manager_->decisions();
     }
     collect_utilization(rep);
     rep.metrics = eng_.metrics().snapshot();
@@ -166,6 +174,12 @@ class DsmSortSim {
   void set_external_manager(LoadManager* manager, std::size_t client) {
     ext_manager_ = manager;
     ext_client_ = client;
+    // Declare each sort instance's migration economics to the shared
+    // arbiter. Must run after the scheduler's client_instances() call
+    // (which resets declarations), which the wiring order guarantees.
+    for (unsigned hh = 0; hh < h_; ++hh) {
+      manager->declare_instance(client, hh, sort_declaration(hh));
+    }
   }
 
  private:
@@ -289,12 +303,34 @@ class DsmSortSim {
                   .charge_scale = charge_scale_,
                   .telemetry = cfg_.telemetry.histograms});
     // Runs are striped across ASUs at packet granularity (Section 4.3:
-    // merged/sorted runs are stored striped across the ASUs).
+    // merged/sorted runs are stored striped across the ASUs). On a
+    // hierarchical topology the striping prefers the producing sort
+    // instance's own rack (run_id encodes the producer: hh * 0x100000,
+    // so run_id >> 20 recovers it; sort_rack_ tracks migrations), which
+    // keeps run chunks off the oversubscribed spine. Flat topologies
+    // build the exact pre-existing RoundRobinRouter — byte-identical.
+    std::unique_ptr<RoutingPolicy> store_router;
+    const asu_ns::TopologySpec& topo = cluster_.topology();
+    if (cfg_.rack_affinity_store && topo.hierarchical()) {
+      sort_rack_.assign(h_, 0);
+      for (unsigned hh = 0; hh < h_; ++hh) {
+        sort_rack_[hh] = topo.rack_of_host(hh);
+      }
+      store_router = std::make_unique<RackAffinityRouter>(
+          [this](const Packet& p) {
+            return sort_rack_[std::size_t(p.run_id >> 20) % h_];
+          },
+          [this](const asu_ns::Node* n) {
+            return cluster_.topology().rack_of_asu(unsigned(n->id()));
+          });
+    } else {
+      store_router = std::make_unique<RoundRobinRouter>();
+    }
     to_store_ = std::make_unique<StageOutput>(
         eng_, cluster_.network(),
         StageSpec{.record_bytes = mp_.record_bytes,
                   .endpoints = store_in_->endpoints(asu_nodes),
-                  .router = std::make_unique<RoundRobinRouter>(),
+                  .router = std::move(store_router),
                   .producers = h_,
                   .name = pfx("to_store"),
                   .charge_scale = charge_scale_,
@@ -319,6 +355,7 @@ class DsmSortSim {
 
     stored_.assign(d_, {});
     records_sorted_per_host_.assign(h_, 0);
+    sort_staged_records_.assign(h_, 0);
     store_end_.assign(d_, 0.0);
 
     // Fault layer: spawned only for a non-empty plan so fault-free runs
@@ -358,8 +395,13 @@ class DsmSortSim {
         }
         if (cfg_.load_manager.migration) {
           // Sort instances (one per host) may migrate; any host is a
-          // candidate destination.
+          // candidate destination. Each declares its live working set
+          // (staged records) and wire cost so the placer can price
+          // moves and pick pre-copy vs stop-copy.
           manager_->manage_instances(host_nodes_vec(), host_nodes_vec());
+          for (unsigned hh = 0; hh < h_; ++hh) {
+            manager_->declare_instance(hh, sort_declaration(hh));
+          }
         }
         monitor_->set_observer(
             [this](const LoadSample& s) { manager_->on_sample(s); });
@@ -461,6 +503,25 @@ class DsmSortSim {
     nodes.reserve(h_);
     for (unsigned i = 0; i < h_; ++i) nodes.push_back(&cluster_.host(i));
     return nodes;
+  }
+
+  /// The migration economics of sort instance `hh`: its working set is
+  /// the records currently staged toward incomplete runs (exactly the
+  /// bytes the consult point ships), the fixed overhead is the control/
+  /// context cost every move pays, and the wire cost is the declared
+  /// host-to-host path (serialize out of one NIC, across a link, into
+  /// the other NIC) — an estimate for *pricing*; the actual transfer is
+  /// charged by the network model when the move executes.
+  [[nodiscard]] MigrationDeclaration sort_declaration(unsigned hh) {
+    MigrationDeclaration decl;
+    decl.working_set_bytes = [this, hh] {
+      return sort_staged_records_[hh] * mp_.record_bytes;
+    };
+    decl.overhead_bytes = kMigrationOverheadBytes;
+    decl.wire_seconds_per_byte =
+        2.0 / mp_.host_nic_bandwidth + 1.0 / mp_.link_bandwidth;
+    decl.dirty_fraction = kPrecopyDirtyFraction;
+    return decl;
   }
 
   /// Per-ASU workload stream: the splitter pre-pass must regenerate the
@@ -621,17 +682,32 @@ class DsmSortSim {
       // the fixed control/context overhead). Packets already in flight
       // complete against the old location's accounting.
       if (manager_ != nullptr || ext_manager_ != nullptr) {
-        asu_ns::Node* target =
+        const MigrationPlan& plan =
             manager_ != nullptr
-                ? manager_->migration_target(hh)
-                : ext_manager_->migration_target(ext_client_, hh);
+                ? manager_->migration_plan(hh)
+                : ext_manager_->migration_plan(ext_client_, hh);
+        asu_ns::Node* target = plan.to;
         if (target != nullptr && target != node) {
           std::size_t staged = 0;
           for (const auto& [s, buf] : staging) staged += buf.size();
+          const std::size_t state_bytes = staged * mp_.record_bytes;
           const double t_move = eng_.now();
-          co_await cluster_.network().transfer(
-              *node, *target,
-              staged * mp_.record_bytes + kMigrationOverheadBytes);
+          if (plan.mode == MigrationMode::PreCopy && state_bytes > 0) {
+            // Pre-copy: the bulk state ships in the background (its
+            // wire charges are real, but the instance does not wait on
+            // them); the stalled transfer is only the fixed overhead
+            // plus the dirty delta assumed re-staged meanwhile.
+            eng_.spawn(precopy_bulk(*node, *target, state_bytes),
+                       pfx("sort") + std::to_string(hh) + ".precopy");
+            const std::size_t dirty = std::size_t(
+                double(state_bytes) * kPrecopyDirtyFraction);
+            co_await cluster_.network().transfer(
+                *node, *target, dirty + kMigrationOverheadBytes);
+          } else {
+            // Stop-copy: freeze for the whole working set + overhead.
+            co_await cluster_.network().transfer(
+                *node, *target, state_bytes + kMigrationOverheadBytes);
+          }
           if (migration_hist_ != nullptr) {
             migration_hist_->observe(eng_.now() - t_move);
           }
@@ -643,6 +719,10 @@ class DsmSortSim {
                                     eng_.now(), p->trace_id);
           }
           node = target;
+          if (!sort_rack_.empty()) {
+            sort_rack_[hh] =
+                cluster_.topology().rack_of_host(unsigned(target->id()));
+          }
           to_sort_->set_target_node(hh, *target);
           if (manager_ != nullptr) {
             manager_->migration_performed(hh, *target);
@@ -654,11 +734,13 @@ class DsmSortSim {
       const std::uint64_t parent_flow = p->trace_id;
       auto& buf = staging[p->subset];
       buf.insert(buf.end(), p->records.begin(), p->records.end());
+      sort_staged_records_[hh] += p->records.size();
       to_sort_->pool().release(std::move(p->records));
       while (buf.size() >= run_len) {
         std::vector<em::KeyRecord> block(buf.begin(),
                                          buf.begin() + std::ptrdiff_t(run_len));
         buf.erase(buf.begin(), buf.begin() + std::ptrdiff_t(run_len));
+        sort_staged_records_[hh] -= run_len;
         co_await emit_run(*node, hh, p->subset, std::move(block),
                           next_run_id++, parent_flow);
       }
@@ -667,11 +749,21 @@ class DsmSortSim {
     // Input closed: flush partial blocks as short runs.
     for (auto& [subset, buf] : staging) {
       if (!buf.empty()) {
+        sort_staged_records_[hh] -= buf.size();
         co_await emit_run(*node, hh, subset, std::move(buf), next_run_id++,
                           /*parent_flow=*/0);
       }
     }
     to_store_->producer_done();
+  }
+
+  /// Background half of a pre-copy move: ship the bulk working set
+  /// without the instance waiting on it. The wire charges are real —
+  /// pre-copy trades stall time for total bytes (the dirty delta ships
+  /// twice), exactly the tradeoff the placer priced.
+  sim::Task<> precopy_bulk(asu_ns::Node& from, asu_ns::Node& to,
+                           std::size_t bytes) {
+    co_await cluster_.network().transfer(from, to, bytes);
   }
 
   sim::Task<> emit_run(asu_ns::Node& node, unsigned hh, std::uint32_t subset,
@@ -1175,6 +1267,15 @@ class DsmSortSim {
   std::vector<std::size_t> count_in_;
   std::vector<std::vector<StoredRun>> stored_;  // per ASU
   std::vector<std::size_t> records_sorted_per_host_;
+  /// Live working set per sort instance (records staged toward
+  /// incomplete runs) — the quantity its MigrationDeclaration reports.
+  /// Pure bookkeeping on existing control flow: no events, no charges,
+  /// digest-neutral in every mode.
+  std::vector<std::size_t> sort_staged_records_;
+  /// Current rack of each sort instance (hierarchical topologies with
+  /// rack_affinity_store only; empty otherwise). Migrations update it so
+  /// run storage follows the instance to its new rack.
+  std::vector<unsigned> sort_rack_;
   std::vector<double> store_end_;
   double pass1_end_ = 0;
 
@@ -1271,6 +1372,26 @@ obs::Json dsm_report_to_json(const DsmSortReport& rep) {
     lm_events.push_back(std::move(entry));
   }
   j["lm_events"] = std::move(lm_events);
+  // The placer decision journal is present iff the run constructed a
+  // manager (config-driven: mode == Manage), so serial and parallel
+  // sweeps emit identically shaped artifacts.
+  if (rep.lm_managed) {
+    obs::Json placer = obs::Json::array();
+    for (const auto& d : rep.lm_decisions) {
+      obs::Json entry = obs::Json::object();
+      entry["time"] = d.time;
+      entry["client"] = d.client;
+      entry["instance"] = d.instance;
+      entry["from"] = d.from;
+      entry["to"] = d.to;
+      entry["mode"] = std::string(migration_mode_name(d.mode));
+      entry["bytes"] = d.bytes;
+      entry["est_stall_seconds"] = d.est_stall;
+      entry["gain_seconds"] = d.gain;
+      placer.push_back(std::move(entry));
+    }
+    j["placer"] = std::move(placer);
+  }
   obs::Json util = obs::Json::object();
   const auto add_nodes = [&](const std::vector<NodeUtilization>& nodes) {
     for (const auto& n : nodes) {

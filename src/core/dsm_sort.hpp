@@ -87,6 +87,15 @@ struct DsmSortConfig {
   /// Run pass 2 (the final merges) as well; Fig. 9 reports pass 1 only.
   bool run_merge_pass = false;
 
+  /// Rack-locality preference for run storage on hierarchical
+  /// topologies: sorted-run chunks round-robin over the ASUs in the
+  /// producing sort instance's own rack (RackAffinityRouter) instead of
+  /// over all ASUs, keeping pass-1 run traffic off the oversubscribed
+  /// spine. No effect on flat specs — those build the exact pre-existing
+  /// RoundRobinRouter, so flat runs (and all pinned goldens) are
+  /// byte-identical whatever this is set to.
+  bool rack_affinity_store = true;
+
   /// ASU-side pre-merge fan-in gamma_1 (gamma = gamma_1 * gamma_2 split
   /// between ASUs and hosts): 0 = merge all local runs per subset at the
   /// ASU, 1 = no ASU merge (hosts take the full fan-in).
@@ -193,6 +202,14 @@ struct DsmSortReport {
   std::uint64_t lm_migrations = 0;
   std::uint64_t lm_router_switches = 0;
   std::vector<LoadManagerEvent> lm_events;
+
+  /// Structured placer journal (one entry per planned move with mode,
+  /// priced bytes, stall estimate, gain). `lm_managed` records whether
+  /// the run constructed a manager at all — config-driven, so artifact
+  /// shape (the `placer` block's presence) never depends on runtime
+  /// state.
+  bool lm_managed = false;
+  std::vector<PlacerDecision> lm_decisions;
 
   double util_bin_seconds = 0;
 

@@ -176,13 +176,18 @@ class LoadMonitor {
     // samples() vector stays as the compatibility accessor.
     sim::Engine& eng = cluster_->engine();
     std::vector<lmas::obs::Gauge*> host_gauges, asu_gauges;
+    std::vector<lmas::obs::Gauge*> host_pressure, asu_pressure;
     for (unsigned h = 0; h < cluster_->num_hosts(); ++h) {
       host_gauges.push_back(
           &eng.metrics().gauge("host.backlog." + std::to_string(h)));
+      host_pressure.push_back(
+          &eng.metrics().gauge("pressure.host." + std::to_string(h)));
     }
     for (unsigned a = 0; a < cluster_->num_asus(); ++a) {
       asu_gauges.push_back(
           &eng.metrics().gauge("asu.backlog." + std::to_string(a)));
+      asu_pressure.push_back(
+          &eng.metrics().gauge("pressure.asu." + std::to_string(a)));
     }
     lmas::obs::Gauge& imbalance_gauge =
         eng.metrics().gauge("load.host_imbalance");
@@ -217,25 +222,33 @@ class LoadMonitor {
       LoadSample s;
       s.time = eng.now();
       s.period = period_;
+      // Pressure = (queued backlog + work accepted this window) per
+      // window second: the dimensionless utilization-like signal the
+      // placer's economy ranks nodes by (DESIGN.md §16).
+      const double win = period_ > 0 ? period_ : 1.0;
       for (unsigned h = 0; h < cluster_->num_hosts(); ++h) {
         const asu::Node& n = cluster_->host(h);
         const double b = n.cpu().backlog();
         const double total = n.cpu().total_service();
+        const double offered = total - host_service_base[h];
         s.host_backlog.push_back(b);
-        s.host_offered.push_back(total - host_service_base[h]);
+        s.host_offered.push_back(offered);
         host_service_base[h] = total;
         s.host_rate.push_back(n.speed() * n.cpu().rate_scale());
         host_gauges[h]->set(b);
+        host_pressure[h]->set((b + offered) / win);
       }
       for (unsigned a = 0; a < cluster_->num_asus(); ++a) {
         const asu::Node& n = cluster_->asu(a);
         const double b = n.cpu().backlog();
         const double total = n.cpu().total_service();
+        const double offered = total - asu_service_base[a];
         s.asu_backlog.push_back(b);
-        s.asu_offered.push_back(total - asu_service_base[a]);
+        s.asu_offered.push_back(offered);
         asu_service_base[a] = total;
         s.asu_rate.push_back(n.speed() * n.cpu().rate_scale());
         asu_gauges[a]->set(b);
+        asu_pressure[a]->set((b + offered) / win);
       }
       imbalance_gauge.set(s.host_imbalance());
       if (rack_imbalance_gauge != nullptr) {
@@ -294,6 +307,80 @@ class LoadMonitor {
 /// reporting) but never acts; Manage acts.
 enum class LoadManagerMode { Off, Monitor, Manage };
 
+/// How a planned move ships the instance's state (the economy's cost
+/// model, DESIGN.md §16). StopCopy freezes the instance for the whole
+/// working-set transfer; PreCopy ships the bulk in the background while
+/// the instance keeps consuming, then stalls only for the fixed control
+/// overhead plus the dirty delta that accumulated meanwhile.
+enum class MigrationMode { StopCopy, PreCopy };
+
+inline const char* migration_mode_name(MigrationMode m) noexcept {
+  return m == MigrationMode::PreCopy ? "pre-copy" : "stop-copy";
+}
+
+/// Declared migration economics of one functor instance (ROADMAP item 5:
+/// every migratable instance carries a declared working-set size and
+/// migration cost). The working set is a callback, not a number, because
+/// the placer must price the move at planning time with the *live*
+/// staged size — a sort functor's state grows and shrinks with every
+/// packet. All fields are optional: a default declaration prices the
+/// move at the fixed overhead only and always stop-copies, which is
+/// exactly the pre-economy behavior.
+struct MigrationDeclaration {
+  /// Live working-set size in bytes (staged records the move must ship).
+  /// Unset = 0: the instance declares no bulk state.
+  std::function<std::size_t()> working_set_bytes{};
+
+  /// Fixed control/context cost of any move, shipped stalled in either
+  /// mode (mirrors core::kMigrationOverheadBytes).
+  std::size_t overhead_bytes = 4096;
+
+  /// Declared wire cost of the move's path, seconds per byte. 0 (unset)
+  /// disables stall estimation: the placer prices every move at zero
+  /// stall and never chooses pre-copy.
+  double wire_seconds_per_byte = 0;
+
+  /// Fraction of the working set expected to be re-dirtied during a
+  /// background bulk copy (the pre-copy delta the instance still stalls
+  /// for).
+  double dirty_fraction = 0.125;
+
+  /// Total bytes a move of this instance ships while stalled under
+  /// stop-copy — the quantity the placer's byte budget meters.
+  [[nodiscard]] std::size_t declared_bytes() const {
+    return (working_set_bytes ? working_set_bytes() : 0) + overhead_bytes;
+  }
+};
+
+/// One planned move, priced by the placer from the instance's
+/// declaration. The stage-side consult point reads the mode to decide
+/// how to pay: stop-copy = one stalled transfer of the whole state;
+/// pre-copy = background bulk + a short stalled transfer of
+/// overhead + dirty delta.
+struct MigrationPlan {
+  asu::Node* to = nullptr;
+  MigrationMode mode = MigrationMode::StopCopy;
+  std::size_t bytes = 0;       ///< declared total at planning time
+  double est_stall = 0;        ///< seconds the instance is expected frozen
+  double gain = 0;             ///< load-here − load-there at planning time
+};
+
+/// One structured placer decision (the economy's journal, serialized
+/// into bench artifacts as the `placer` block). Every *planned* move is
+/// recorded here at planning time; confirmation still flows through
+/// migration_performed() and the lm.* counters.
+struct PlacerDecision {
+  double time = 0;
+  std::string client;          ///< client label ("" = anonymous client 0)
+  std::size_t instance = 0;
+  std::string from;
+  std::string to;
+  MigrationMode mode = MigrationMode::StopCopy;
+  std::size_t bytes = 0;
+  double est_stall = 0;
+  double gain = 0;
+};
+
 /// Tuning for the control loop. The defaults follow the hysteresis /
 /// cooldown discipline of Section 3.3's reconfiguration discussion: act
 /// only on a *sustained* signal, then hold still long enough for the last
@@ -336,6 +423,25 @@ struct LoadManagerConfig {
   std::size_t cooldown_samples = 4;
   /// Per-instance lockout after its own migration (anti-ping-pong).
   std::size_t dwell_samples = 8;
+
+  /// Migration budget, metered per manager tick across ALL clients. The
+  /// defaults (one move, unlimited bytes) reproduce the pre-economy
+  /// one-move-per-tick arbiter exactly. Raising budget_moves_per_tick
+  /// lets the placer admit several moves in one gate opening (greedy by
+  /// gain, with a virtual-rebalance update between admissions so it
+  /// never piles two moves onto the same cold node); lowering
+  /// budget_bytes_per_tick makes state-heavy instances inadmissible
+  /// until they drain.
+  std::size_t budget_moves_per_tick = 1;
+  std::size_t budget_bytes_per_tick = std::size_t(-1);
+
+  /// Pre-copy selection threshold: when an admitted move's stop-copy
+  /// stall estimate (declared bytes × declared wire cost) exceeds this
+  /// fraction of the sampling window, the placer orders pre-copy
+  /// instead — the bulk ships in the background and only
+  /// overhead + dirty-delta bytes ship stalled. Declarations without a
+  /// wire cost always stop-copy (stall estimate 0).
+  double precopy_stall_fraction = 0.25;
 };
 
 /// One journaled control decision (also emitted as a trace instant on the
@@ -361,9 +467,11 @@ struct LoadManagerEvent {
 /// further labeled clients (one per tenant job); their actions charge
 /// both the aggregate counters and per-tenant `lm.<label>.*` counters,
 /// and their journal lines carry the label. Decisions are arbitrated
-/// globally: one shared cooldown, one migration plan per tick across ALL
-/// clients' instances, chosen against aggregate per-node load read
-/// directly off the candidate nodes.
+/// globally: one shared cooldown and one migration *budget* per tick
+/// across ALL clients' instances (moves and bytes,
+/// LoadManagerConfig::budget_*), chosen against aggregate per-node load
+/// read directly off the candidate nodes and priced from each
+/// instance's MigrationDeclaration.
 ///
 /// Division of labor for migration: the manager only *plans* a move (it
 /// runs off the sampling tick and cannot touch functor state); the stage
@@ -404,6 +512,7 @@ class LoadManager {
     cl.router = nullptr;
     cl.placement.clear();
     cl.pending.clear();
+    cl.declarations.clear();
     cl.dwell_left.clear();
     if (!cl.label.empty()) journal(eng_->now(), cl.label + ": detached");
   }
@@ -427,12 +536,25 @@ class LoadManager {
     Client& cl = clients_.at(c);
     cl.placement = std::move(placement);
     cl.candidates = std::move(candidates);
-    cl.pending.assign(cl.placement.size(), nullptr);
+    cl.pending.assign(cl.placement.size(), MigrationPlan{});
     cl.dwell_left.assign(cl.placement.size(), 0);
+    cl.declarations.assign(cl.placement.size(), MigrationDeclaration{});
     cl.cand_service.clear();
     for (const asu::Node* n : cl.candidates) {
       cl.cand_service.push_back(n->cpu().total_service());
     }
+  }
+
+  /// Declare instance `i`'s migration economics (working set, wire cost,
+  /// dirty fraction). Call after client_instances / manage_instances —
+  /// that call resets declarations to the default (overhead-only,
+  /// stop-copy) declaration.
+  void declare_instance(std::size_t c, std::size_t i,
+                        MigrationDeclaration decl) {
+    clients_.at(c).declarations.at(i) = std::move(decl);
+  }
+  void declare_instance(std::size_t i, MigrationDeclaration decl) {
+    declare_instance(0, i, std::move(decl));
   }
 
   /// The decision tick; plug into LoadMonitor::set_observer.
@@ -456,7 +578,20 @@ class LoadManager {
   [[nodiscard]] asu::Node* migration_target(std::size_t c,
                                             std::size_t i) const {
     const Client& cl = clients_.at(c);
-    return i < cl.pending.size() ? cl.pending[i] : nullptr;
+    return i < cl.pending.size() ? cl.pending[i].to : nullptr;
+  }
+
+  /// Full pending plan for instance `i` (mode, priced bytes, stall
+  /// estimate) — the consult point reads this to choose how to pay for
+  /// the move. `to == nullptr` means no plan.
+  [[nodiscard]] const MigrationPlan& migration_plan(std::size_t c,
+                                                    std::size_t i) const {
+    static const MigrationPlan none{};
+    const Client& cl = clients_.at(c);
+    return i < cl.pending.size() ? cl.pending[i] : none;
+  }
+  [[nodiscard]] const MigrationPlan& migration_plan(std::size_t i) const {
+    return migration_plan(0, i);
   }
 
   /// Confirm that instance `i` now runs on `to` (the stage already paid
@@ -467,7 +602,7 @@ class LoadManager {
   void migration_performed(std::size_t c, std::size_t i, asu::Node& to) {
     Client& cl = clients_.at(c);
     cl.placement.at(i) = &to;
-    cl.pending.at(i) = nullptr;
+    cl.pending.at(i) = MigrationPlan{};
     cl.dwell_left.at(i) = cfg_.dwell_samples;
     cl.migrations->inc();
     if (cl.migrations != migrations_counter_) migrations_counter_->inc();
@@ -490,6 +625,11 @@ class LoadManager {
   [[nodiscard]] const std::vector<LoadManagerEvent>& events() const noexcept {
     return journal_;
   }
+  /// Structured placer journal: one entry per planned move, in planning
+  /// order (serialized into bench artifacts as the `placer` block).
+  [[nodiscard]] const std::vector<PlacerDecision>& decisions() const noexcept {
+    return decisions_;
+  }
 
  private:
   /// Per-program decision state. Streaks are per client (each router has
@@ -503,7 +643,8 @@ class LoadManager {
     SwitchableRouter* router = nullptr;
     std::vector<asu::Node*> placement;
     std::vector<asu::Node*> candidates;
-    std::vector<asu::Node*> pending;
+    std::vector<MigrationPlan> pending;
+    std::vector<MigrationDeclaration> declarations;
     std::vector<std::size_t> dwell_left;
     std::vector<double> cand_service;  // offered-work baselines
     std::size_t promote_streak = 0;
@@ -583,57 +724,142 @@ class LoadManager {
   /// queue. Hence the comparison is load-here vs load-there, and the
   /// factor + dwell absorb the transient where the old node is still
   /// draining work the instance left behind.
+  /// One candidate move the placer considers this tick, priced from the
+  /// instance's declaration.
+  struct Move {
+    Client* cl = nullptr;
+    std::size_t i = 0;       // instance index within the client
+    std::size_t from_j = 0;  // indices into the client's candidate set
+    std::size_t to_j = 0;
+    MigrationPlan plan;
+  };
+
   void maybe_plan_migration(const LoadSample& s) {
     if (!cfg_.migration) return;
-    Client* best_cl = nullptr;
-    std::size_t best_i = 0;
-    asu::Node* best_to = nullptr;
-    double best_gain = 0;
-    bool any_candidate = false;
-    for (auto& cl : clients_) {
+    // Refresh every client's candidate load vector once per tick (queued
+    // backlog + offered-work delta since the previous tick, in
+    // wall-seconds on each node's own CPU). Baselines advance every tick
+    // whether or not the gate opens, exactly as before the economy.
+    std::vector<std::vector<double>> loads(clients_.size());
+    for (std::size_t c = 0; c < clients_.size(); ++c) {
+      Client& cl = clients_[c];
       if (!cl.active || cl.placement.empty()) continue;
-      std::vector<double> load(cl.candidates.size(), 0);
+      loads[c].assign(cl.candidates.size(), 0);
       for (std::size_t j = 0; j < cl.candidates.size(); ++j) {
         const double total = cl.candidates[j]->cpu().total_service();
-        load[j] =
+        loads[c][j] =
             cl.candidates[j]->cpu().backlog() + (total - cl.cand_service[j]);
         cl.cand_service[j] = total;
       }
-      for (std::size_t i = 0; i < cl.placement.size(); ++i) {
-        if (cl.dwell_left[i] > 0 || cl.pending[i] != nullptr) continue;
-        asu::Node* from = cl.placement[i];
-        const auto from_it =
-            std::find(cl.candidates.begin(), cl.candidates.end(), from);
-        if (from_it == cl.candidates.end()) continue;
-        const double load_here =
-            load[std::size_t(from_it - cl.candidates.begin())];
-        if (load_here / window(s) < cfg_.min_actionable_load) continue;
-        for (std::size_t j = 0; j < cl.candidates.size(); ++j) {
-          asu::Node* to = cl.candidates[j];
-          if (to == from || !to->running()) continue;
-          if (load_here >= cfg_.migrate_factor * load[j] &&
-              load_here - load[j] > best_gain) {
-            best_cl = &cl;
-            best_i = i;
-            best_to = to;
-            best_gain = load_here - load[j];
-            any_candidate = true;
+    }
+
+    const auto best_move = [&](std::size_t bytes_left) {
+      Move best;
+      for (std::size_t c = 0; c < clients_.size(); ++c) {
+        Client& cl = clients_[c];
+        if (!cl.active || cl.placement.empty()) continue;
+        const auto& load = loads[c];
+        for (std::size_t i = 0; i < cl.placement.size(); ++i) {
+          if (cl.dwell_left[i] > 0 || cl.pending[i].to != nullptr) continue;
+          asu::Node* from = cl.placement[i];
+          const auto from_it =
+              std::find(cl.candidates.begin(), cl.candidates.end(), from);
+          if (from_it == cl.candidates.end()) continue;
+          const std::size_t fj = std::size_t(from_it - cl.candidates.begin());
+          const double load_here = load[fj];
+          if (load_here / window(s) < cfg_.min_actionable_load) continue;
+          const std::size_t bytes = cl.declarations[i].declared_bytes();
+          if (bytes > bytes_left) continue;  // over the byte budget: wait
+          for (std::size_t j = 0; j < cl.candidates.size(); ++j) {
+            asu::Node* to = cl.candidates[j];
+            if (to == from || !to->running()) continue;
+            if (load_here >= cfg_.migrate_factor * load[j] &&
+                load_here - load[j] > best.plan.gain) {
+              best.cl = &cl;
+              best.i = i;
+              best.from_j = fj;
+              best.to_j = j;
+              best.plan = price(cl.declarations[i], to, bytes,
+                                load_here - load[j], window(s));
+            }
           }
         }
       }
+      return best;
+    };
+
+    // The hysteresis streak counts ticks where at least one admissible
+    // move exists (gain, factor, actionability, AND byte budget — a move
+    // too fat for the per-tick budget cannot sustain the streak).
+    const bool any = best_move(cfg_.budget_bytes_per_tick).cl != nullptr;
+    migrate_streak_ = any ? migrate_streak_ + 1 : 0;
+    if (!any || migrate_streak_ < cfg_.migrate_hysteresis ||
+        cooldown_left_ != 0) {
+      return;
     }
-    (void)any_candidate;
-    migrate_streak_ = best_to != nullptr ? migrate_streak_ + 1 : 0;
-    if (best_to != nullptr && migrate_streak_ >= cfg_.migrate_hysteresis &&
-        cooldown_left_ == 0) {
-      best_cl->pending[best_i] = best_to;
+
+    // Gate open: greedily admit moves by descending gain until either
+    // budget is exhausted. After each admission the admitted pair's
+    // loads are virtually rebalanced to their mean so a second move in
+    // the same tick never dog-piles the node the first move just chose
+    // (the classic budgeted-placer failure mode).
+    std::size_t moves_left = cfg_.budget_moves_per_tick;
+    std::size_t bytes_left = cfg_.budget_bytes_per_tick;
+    std::size_t planned = 0;
+    while (moves_left > 0) {
+      Move m = best_move(bytes_left);
+      if (m.cl == nullptr) break;
+      m.cl->pending[m.i] = m.plan;
+      --moves_left;
+      bytes_left -= m.plan.bytes;
+      ++planned;
+      auto& load = loads[std::size_t(
+          std::find_if(clients_.begin(), clients_.end(),
+                       [&](const Client& cl) { return &cl == m.cl; }) -
+          clients_.begin())];
+      const double mean = (load[m.from_j] + load[m.to_j]) / 2.0;
+      load[m.from_j] = load[m.to_j] = mean;
+      journal(eng_->now(),
+              tag(*m.cl) + "plan migrate i" + std::to_string(m.i) + " " +
+                  m.cl->placement[m.i]->name() + " -> " + m.plan.to->name() +
+                  " (" + migration_mode_name(m.plan.mode) + ", " +
+                  std::to_string(m.plan.bytes) + " B)");
+      decisions_.push_back({eng_->now(), m.cl->label, m.i,
+                            m.cl->placement[m.i]->name(), m.plan.to->name(),
+                            m.plan.mode, m.plan.bytes, m.plan.est_stall,
+                            m.plan.gain});
+    }
+    if (planned > 0) {
       cooldown_left_ = cfg_.cooldown_samples;
       migrate_streak_ = 0;
-      journal(eng_->now(), tag(*best_cl) + "plan migrate i" +
-                               std::to_string(best_i) + " " +
-                               best_cl->placement[best_i]->name() + " -> " +
-                               best_to->name());
     }
+  }
+
+  /// Price a move from the instance's declaration: stop-copy stalls for
+  /// the whole declared state; pre-copy is chosen when that stall would
+  /// exceed `precopy_stall_fraction` of the sampling window AND the
+  /// declaration carries both a wire cost and bulk state worth shipping
+  /// in the background.
+  [[nodiscard]] MigrationPlan price(const MigrationDeclaration& decl,
+                                    asu::Node* to, std::size_t bytes,
+                                    double gain, double win) const {
+    MigrationPlan p;
+    p.to = to;
+    p.bytes = bytes;
+    p.gain = gain;
+    const std::size_t ws = bytes - decl.overhead_bytes;
+    const double stop_stall = double(bytes) * decl.wire_seconds_per_byte;
+    if (decl.wire_seconds_per_byte > 0 && ws > 0 &&
+        stop_stall > cfg_.precopy_stall_fraction * win) {
+      p.mode = MigrationMode::PreCopy;
+      p.est_stall =
+          (double(decl.overhead_bytes) + decl.dirty_fraction * double(ws)) *
+          decl.wire_seconds_per_byte;
+    } else {
+      p.mode = MigrationMode::StopCopy;
+      p.est_stall = stop_stall;
+    }
+    return p;
   }
 
   /// Normalizing window for the actionability floor: the sample's own
@@ -657,6 +883,7 @@ class LoadManager {
   std::size_t migrate_streak_ = 0;
   std::size_t cooldown_left_ = 0;
   std::vector<LoadManagerEvent> journal_;
+  std::vector<PlacerDecision> decisions_;
   obs::Counter* migrations_counter_;
   obs::Counter* switches_counter_;
   std::uint32_t track_;

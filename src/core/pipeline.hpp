@@ -359,6 +359,22 @@ class StageOutput {
           co_await net_->link(*from, *ep.node)
               .use(charge_scale_ * double(bytes) / link_bandwidth());
         }
+        // Cross-rack hop on a hierarchical topology: occupy both racks'
+        // oversubscribed spine uplinks and pay the spine tier's latency,
+        // mirroring Network::transfer. Flat topologies take neither
+        // branch nor any extra charge (pinned goldens are all flat).
+        const asu::TopologySpec& topo = net_->topology();
+        if (topo.hierarchical()) {
+          const unsigned ra = net_->rack_of(*from);
+          const unsigned rb = net_->rack_of(*ep.node);
+          if (ra != rb) {
+            co_await net_->spine(ra).use(charge_scale_ *
+                                         topo.spine.seconds(bytes));
+            co_await net_->spine(rb).use(charge_scale_ *
+                                         topo.spine.seconds(bytes));
+            co_await eng_->sleep(topo.spine.latency);
+          }
+        }
         co_await eng_->sleep(net_->sample_latency());
         co_await ep.node->nic_transfer(bytes, charge_scale_);
       }

@@ -80,6 +80,48 @@ class RoundRobinRouter final : public RoutingPolicy {
   std::size_t next_ = 0;
 };
 
+/// Rack-locality preference for hierarchical topologies: prefer targets
+/// in the same rack as the packet's producer, round-robin among them
+/// (per-source-rack cursor, so each rack's producers spread over their
+/// local targets evenly); fall back to a global round-robin only when
+/// the producer's rack holds no healthy target. On a 2-rack topology
+/// this keeps pass-1 run chunks off the oversubscribed spine entirely
+/// when every rack has stores — the topology-blind RoundRobinRouter
+/// ships (racks-1)/racks of all bytes cross-rack. Deterministic: no RNG,
+/// cursors only. The rack callbacks keep the router independent of any
+/// concrete TopologySpec wiring (callers bind them to rack_of_host /
+/// rack_of_asu).
+class RackAffinityRouter final : public RoutingPolicy {
+ public:
+  using SourceRack = std::function<unsigned(const Packet&)>;
+  using TargetRack = std::function<unsigned(const asu::Node*)>;
+
+  RackAffinityRouter(SourceRack source_rack, TargetRack target_rack)
+      : source_rack_(std::move(source_rack)),
+        target_rack_(std::move(target_rack)) {}
+
+  std::size_t pick(const Packet& p,
+                   std::span<const RouteTarget> targets) override {
+    if (targets.empty()) return 0;
+    const unsigned rack = source_rack_(p);
+    local_.clear();
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      if (target_rack_(targets[i].node) == rack) local_.push_back(i);
+    }
+    if (local_.empty()) return global_next_++ % targets.size();
+    if (rack_next_.size() <= rack) rack_next_.resize(rack + 1, 0);
+    return local_[rack_next_[rack]++ % local_.size()];
+  }
+  [[nodiscard]] std::string name() const override { return "rack-affinity"; }
+
+ private:
+  SourceRack source_rack_;
+  TargetRack target_rack_;
+  std::vector<std::size_t> rack_next_;  // per-source-rack cursor
+  std::size_t global_next_ = 0;
+  std::vector<std::size_t> local_;      // scratch: local target indices
+};
+
 /// Simple randomization (SR) in the randomized-cycling style of Vitter &
 /// Hutchinson [35]: for every subset, targets are visited in a random
 /// cyclic order, reshuffled each cycle. Each subset's records spread
@@ -361,19 +403,6 @@ inline std::unique_ptr<RoutingPolicy> make_router(RouterSpec spec) {
                                              std::move(spec.label));
   }
   return p;
-}
-
-/// Transitional shim for the pre-RouterSpec positional signature; removed
-/// next PR — migrate to make_router(RouterSpec).
-[[deprecated("use make_router(RouterSpec{...})")]]
-inline std::unique_ptr<RoutingPolicy> make_router(
-    RouterKind kind, sim::Rng rng, std::uint32_t total_subsets = 0,
-    sim::Engine* instrument = nullptr, std::string label = "") {
-  return make_router(RouterSpec{.kind = kind,
-                                .rng = rng,
-                                .total_subsets = total_subsets,
-                                .instrument = instrument,
-                                .label = std::move(label)});
 }
 
 inline const char* router_kind_name(RouterKind k) {

@@ -480,9 +480,11 @@ class TenantScheduler {
       rep.tenants.push_back(std::move(st));
     }
     if (manager_ != nullptr) {
+      rep.lm_managed = true;
       rep.lm_migrations = manager_->migrations();
       rep.lm_router_switches = manager_->router_switches();
       rep.lm_events = manager_->events();
+      rep.lm_decisions = manager_->decisions();
     }
     rep.metrics = eng_.metrics().snapshot();
     if (cfg_.telemetry_histograms) {
@@ -568,6 +570,23 @@ obs::Json tenancy_report_to_json(const TenancyReport& rep) {
     lm_events.push_back(std::move(entry));
   }
   j["lm_events"] = std::move(lm_events);
+  if (rep.lm_managed) {
+    obs::Json placer = obs::Json::array();
+    for (const auto& d : rep.lm_decisions) {
+      obs::Json entry = obs::Json::object();
+      entry["time"] = d.time;
+      entry["client"] = d.client;
+      entry["instance"] = d.instance;
+      entry["from"] = d.from;
+      entry["to"] = d.to;
+      entry["mode"] = std::string(core::migration_mode_name(d.mode));
+      entry["bytes"] = d.bytes;
+      entry["est_stall_seconds"] = d.est_stall;
+      entry["gain_seconds"] = d.gain;
+      placer.push_back(std::move(entry));
+    }
+    j["placer"] = std::move(placer);
+  }
   if (!rep.histograms.is_null()) j["histograms"] = rep.histograms;
   j["metrics"] = rep.metrics;
   return j;

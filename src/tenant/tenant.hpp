@@ -161,6 +161,13 @@ struct TenancyReport {
   std::uint64_t lm_migrations = 0;
   std::uint64_t lm_router_switches = 0;
   std::vector<core::LoadManagerEvent> lm_events;
+  /// Structured placer journal of the shared cross-job arbiter (one
+  /// entry per planned move, labeled by tenant); empty when unmanaged.
+  /// lm_managed mirrors whether a manager existed (config-driven), so
+  /// the serialized `placer` block's presence never depends on runtime
+  /// state.
+  bool lm_managed = false;
+  std::vector<core::PlacerDecision> lm_decisions;
 
   obs::Json metrics;
   obs::Json histograms;

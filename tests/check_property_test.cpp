@@ -96,7 +96,7 @@ TEST(Property, PodBalanceContractsHold) {
 
 // The registry the lmas_check driver iterates must cover every suite above.
 TEST(Property, RegistryListsAllSuites) {
-  ASSERT_EQ(check::all_suites().size(), 16u);
+  ASSERT_EQ(check::all_suites().size(), 17u);
   for (const auto& s : check::all_suites()) {
     EXPECT_NE(s.fn, nullptr) << s.name;
     EXPECT_GE(s.default_cases, 100u) << s.name;

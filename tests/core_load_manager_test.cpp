@@ -198,6 +198,155 @@ TEST(LoadManager, PlansMigrationOffOverloadedNodeWithDwell) {
   }
 }
 
+// ---------- Migration economy (budgeted placer) ----------
+
+TEST(LoadManager, BudgetAdmitsMultipleMovesPerTick) {
+  sim::Engine eng;
+  asu::MachineParams mp;
+  mp.num_hosts = 4;
+  mp.num_asus = 1;
+  asu::Cluster cluster(eng, mp);
+  std::vector<asu::Node*> hosts;
+  for (unsigned h = 0; h < 4; ++h) hosts.push_back(&cluster.host(h));
+
+  auto cfg = manage_cfg();
+  cfg.router_swap = false;
+  cfg.budget_moves_per_tick = 2;
+  core::LoadManager lm(eng, cfg);
+  lm.manage_instances(hosts, hosts);
+
+  // Two drowning hosts, two idle ones (the placer reads load off the
+  // node CPUs). One gate opening must admit both moves in the same tick
+  // — and the virtual rebalance must route them to *different* idle
+  // hosts (after the first admission the first destination no longer
+  // looks idle).
+  hosts[0]->cpu().post(10.0);
+  hosts[1]->cpu().post(10.0);
+  lm.on_sample(sample_at(0.1, {10.0, 10.0, 0.0, 0.0}));
+  EXPECT_EQ(lm.decisions().size(), 0u);  // hysteresis not met
+  lm.on_sample(sample_at(0.2, {10.0, 10.0, 0.0, 0.0}));
+  ASSERT_EQ(lm.decisions().size(), 2u);
+  EXPECT_EQ(lm.decisions()[0].time, lm.decisions()[1].time);
+  asu::Node* to0 = lm.migration_target(0);
+  asu::Node* to1 = lm.migration_target(1);
+  ASSERT_NE(to0, nullptr);
+  ASSERT_NE(to1, nullptr);
+  EXPECT_NE(to0, to1);
+  EXPECT_TRUE(to0 == hosts[2] || to0 == hosts[3]);
+  EXPECT_TRUE(to1 == hosts[2] || to1 == hosts[3]);
+}
+
+TEST(LoadManager, ByteBudgetMakesHeavyInstancesInadmissible) {
+  sim::Engine eng;
+  asu::MachineParams mp;
+  mp.num_hosts = 2;
+  mp.num_asus = 1;
+  asu::Cluster cluster(eng, mp);
+  asu::Node* h0 = &cluster.host(0);
+  asu::Node* h1 = &cluster.host(1);
+
+  auto cfg = manage_cfg();
+  cfg.router_swap = false;
+  cfg.budget_bytes_per_tick = 10000;  // ~10 KB per tick
+  core::LoadManager lm(eng, cfg);
+  lm.manage_instances({h0, h1}, {h0, h1});
+  core::MigrationDeclaration heavy;
+  heavy.working_set_bytes = [] { return std::size_t(1) << 20; };  // 1 MiB
+  lm.declare_instance(0, heavy);
+
+  // Sustained overload, but the instance's declared bytes exceed the
+  // tick budget every tick: the placer must never admit the move.
+  h0->cpu().post(10.0);
+  for (int i = 0; i < 6; ++i) {
+    lm.on_sample(sample_at(0.1 * (i + 1), {10.0, 0.0}));
+    EXPECT_EQ(lm.migration_target(0), nullptr);
+  }
+  EXPECT_EQ(lm.decisions().size(), 0u);
+
+  // Same pressure with the budget lifted: planned on the second sample,
+  // and the journal prices the declared megabyte.
+  cfg.budget_bytes_per_tick = std::size_t(-1);
+  core::LoadManager lifted(eng, cfg);
+  lifted.manage_instances({h0, h1}, {h0, h1});
+  lifted.declare_instance(0, heavy);
+  lifted.on_sample(sample_at(0.1, {10.0, 0.0}));
+  lifted.on_sample(sample_at(0.2, {10.0, 0.0}));
+  EXPECT_EQ(lifted.migration_target(0), h1);
+  ASSERT_EQ(lifted.decisions().size(), 1u);
+  EXPECT_EQ(lifted.decisions()[0].bytes, (std::size_t(1) << 20) + 4096);
+}
+
+TEST(LoadManager, PricesPreCopyForBulkStateAndStopCopyForLight) {
+  sim::Engine eng;
+  asu::MachineParams mp;
+  mp.num_hosts = 2;
+  mp.num_asus = 1;
+  asu::Cluster cluster(eng, mp);
+  asu::Node* h0 = &cluster.host(0);
+  asu::Node* h1 = &cluster.host(1);
+
+  auto cfg = manage_cfg();
+  cfg.router_swap = false;
+  h0->cpu().post(10.0);
+  const auto plan_with = [&](core::MigrationDeclaration decl) {
+    core::LoadManager lm(eng, cfg);
+    lm.manage_instances({h0, h1}, {h0, h1});
+    lm.declare_instance(0, std::move(decl));
+    lm.on_sample(sample_at(0.1, {10.0, 0.0}));
+    lm.on_sample(sample_at(0.2, {10.0, 0.0}));
+    EXPECT_EQ(lm.migration_target(0), h1);
+    return lm.migration_plan(0);
+  };
+
+  // Bulk state on a priced wire: the stop-copy stall (~1s) dwarfs the
+  // window, so the placer chooses pre-copy and estimates the stall as
+  // overhead + dirty delta only.
+  core::MigrationDeclaration bulk;
+  bulk.working_set_bytes = [] { return std::size_t(1) << 20; };
+  bulk.wire_seconds_per_byte = 1e-6;
+  const core::MigrationPlan pre = plan_with(bulk);
+  EXPECT_EQ(pre.mode, core::MigrationMode::PreCopy);
+  const double stop_stall = double((std::size_t(1) << 20) + 4096) * 1e-6;
+  EXPECT_LT(pre.est_stall, stop_stall);
+  EXPECT_NEAR(pre.est_stall, (4096.0 + 0.125 * double(1 << 20)) * 1e-6,
+              1e-12);
+  EXPECT_GT(pre.gain, 0.0);
+
+  // A default declaration (no working set, no wire cost) prices the move
+  // at the fixed overhead and stop-copies — the pre-economy behavior.
+  const core::MigrationPlan stop = plan_with(core::MigrationDeclaration{});
+  EXPECT_EQ(stop.mode, core::MigrationMode::StopCopy);
+  EXPECT_EQ(stop.bytes, 4096u);
+  EXPECT_EQ(stop.est_stall, 0.0);
+}
+
+sim::Task<> pressure_work(asu::Cluster& cl) {
+  co_await cl.host(0).compute(0.3);
+}
+
+TEST(LoadMonitor, PublishesPerNodePressureGauges) {
+  sim::Engine eng;
+  asu::MachineParams mp;
+  mp.num_hosts = 2;
+  mp.num_asus = 3;
+  asu::Cluster cl(eng, mp);
+  core::LoadMonitor mon(cl, 0.05);
+  mon.start(4);
+  eng.spawn(pressure_work(cl), "work");
+  eng.run();
+  // One gauge per node, normalized to the sampling window: the global
+  // placer (and the admission controller) read cluster pressure straight
+  // off the metrics registry.
+  for (unsigned h = 0; h < mp.num_hosts; ++h) {
+    EXPECT_NE(eng.metrics().find_gauge("pressure.host." + std::to_string(h)),
+              nullptr);
+  }
+  for (unsigned a = 0; a < mp.num_asus; ++a) {
+    EXPECT_NE(eng.metrics().find_gauge("pressure.asu." + std::to_string(a)),
+              nullptr);
+  }
+}
+
 // ---------- DSM-Sort integration ----------
 
 asu::MachineParams dsm_machine() {

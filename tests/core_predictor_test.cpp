@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "core/core.hpp"
 
 namespace core = lmas::core;
@@ -86,6 +88,77 @@ TEST(Predictor, ChooseAlphaEmptyCandidatesKeepsBase) {
   core::DsmSortConfig cfg;
   cfg.alpha = 64;
   EXPECT_EQ(core::choose_alpha(machine(1, 8), cfg, {}), 64u);
+}
+
+// Regression: the declared-cost evaluation must see TopologySpec
+// per-node speed multipliers. Before the topology-aware overloads, a
+// heterogeneous spec silently fell back to the homogeneous model, so a
+// machine with one slow ASU tier got the same alpha as the uniform one
+// — these tests fail against that behavior.
+
+TEST(Predictor, FlatTopologyPredictsIdenticallyToFlatModel) {
+  core::DsmSortConfig cfg;
+  cfg.total_records = 1 << 22;
+  cfg.alpha = 16;
+  const auto mp = machine(2, 16);
+  const auto topo = asu::TopologySpec::flat(mp);
+  const auto flat = core::predict_pass1(mp, cfg);
+  const auto spec = core::predict_pass1(mp, cfg, topo);
+  EXPECT_EQ(spec.seconds, flat.seconds);
+  EXPECT_EQ(spec.asu_cpu_seconds, flat.asu_cpu_seconds);
+  EXPECT_EQ(spec.bottleneck, flat.bottleneck);
+}
+
+TEST(Predictor, SlowAsuTierStretchesAsuTimeByTheFloor) {
+  core::DsmSortConfig cfg;
+  cfg.total_records = 1 << 22;
+  cfg.alpha = 64;
+  const auto mp = machine(1, 8);
+  auto topo = asu::TopologySpec::flat(mp);
+  topo.asu_speed.assign(mp.num_asus, 1.0);
+  topo.asu_speed[5] = 0.25;  // one ASU at quarter speed
+  const auto flat = core::predict_pass1(mp, cfg);
+  const auto spec = core::predict_pass1(mp, cfg, topo);
+  // The pipeline completes when the slowest node finishes: the ASU CPU
+  // component stretches by exactly 1/0.25; NIC/disk/link terms and the
+  // host tier do not move.
+  const double asu_nic = (double(cfg.total_records) / mp.num_asus) *
+                         double(mp.record_bytes) / mp.asu_nic_bandwidth;
+  EXPECT_NEAR(spec.asu_cpu_seconds - asu_nic,
+              (flat.asu_cpu_seconds - asu_nic) * 4.0, 1e-9);
+  EXPECT_EQ(spec.host_cpu_seconds, flat.host_cpu_seconds);
+  EXPECT_EQ(spec.disk_seconds, flat.disk_seconds);
+  EXPECT_EQ(spec.net_seconds, flat.net_seconds);
+}
+
+TEST(Predictor, ChooseAlphaAdaptsToHeterogeneousAsuSpeeds) {
+  core::DsmSortConfig cfg;
+  cfg.total_records = 1 << 22;
+  const auto mp = machine(1, 8);
+  auto topo = asu::TopologySpec::flat(mp);
+  topo.asu_speed.assign(mp.num_asus, 1.0);
+  topo.asu_speed[3] = 0.2;  // slowest station is a fifth-speed ASU
+  const std::vector<unsigned> cand = {1, 2, 4, 8, 16, 32, 64, 128, 256};
+
+  const unsigned flat_alpha = core::choose_alpha(mp, cfg, cand);
+  const unsigned hetero_alpha = core::choose_alpha(mp, cfg, cand, topo);
+  // The stretched distribute cost shifts work back toward the host tier:
+  // the heterogeneous machine wants a different (smaller) alpha...
+  EXPECT_NE(hetero_alpha, flat_alpha);
+  EXPECT_LT(hetero_alpha, flat_alpha);
+  // ...and under the heterogeneous model that choice strictly beats the
+  // topology-blind one (otherwise the overload changed nothing).
+  core::DsmSortConfig at_hetero = cfg;
+  at_hetero.alpha = hetero_alpha;
+  at_hetero.distribute_on_asus = true;
+  core::DsmSortConfig at_flat = cfg;
+  at_flat.alpha = flat_alpha;
+  at_flat.distribute_on_asus = true;
+  EXPECT_LT(core::predict_pass1(mp, at_hetero, topo).seconds,
+            core::predict_pass1(mp, at_flat, topo).seconds);
+  // A flat spec picks exactly the homogeneous answer.
+  EXPECT_EQ(core::choose_alpha(mp, cfg, cand, asu::TopologySpec::flat(mp)),
+            flat_alpha);
 }
 
 }  // namespace

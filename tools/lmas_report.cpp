@@ -4,7 +4,7 @@
 /// blocks. Reads artifacts produced with DsmSortConfig::telemetry
 /// enabled (fig9_speedup's detailed cell, every fig10_adapt cell).
 ///
-///   lmas_report [quantiles|series|tenants|racks|all] BENCH_file.json
+///   lmas_report [quantiles|series|tenants|racks|placer|all] BENCH_file.json
 ///
 /// Blocks are found at the artifact root (fig9 style) and inside each
 /// `results[]` entry (sweep style, labeled by the entry's `cell` or
@@ -14,7 +14,11 @@
 /// the per-rack balance table of a hierarchical-topology artifact
 /// (fig_scale): one row per `rack.queue.<r>` histogram — the
 /// distribution of per-ASU mean queue length inside rack r — plus the
-/// machine-wide aggregate.
+/// machine-wide aggregate. `placer` renders the load manager's decision
+/// journal of a managed artifact (fig10_adapt, fig_tenancy): one row per
+/// planned migration — tick time, client, instance, route, pre-copy vs
+/// stop-copy, declared bytes, and the cost model's estimated stall and
+/// expected gain.
 
 #include <algorithm>
 #include <cstdio>
@@ -152,6 +156,59 @@ bool print_rack_quantiles(const Block& blk) {
   return true;
 }
 
+/// Collect the `placer` decision arrays (find_blocks only surfaces
+/// objects; the journal is an array of decision records, so it needs its
+/// own finder). A managed artifact carries the block even when no
+/// migration was planned — presence is config-driven — so empty arrays
+/// are collected too and render as a zero-row table.
+std::vector<Block> find_placer_blocks(const obs::Json& doc) {
+  std::vector<Block> out;
+  if (const obs::Json* b = doc.find("placer"); b != nullptr && b->is_array()) {
+    out.push_back({"", b});
+  }
+  if (const obs::Json* results = doc.find("results");
+      results != nullptr && results->is_array()) {
+    for (const obs::Json& entry : results->items()) {
+      const obs::Json* b = entry.find("placer");
+      if (b == nullptr || !b->is_array()) continue;
+      const obs::Json* cell = entry.find("cell");
+      if (cell == nullptr) cell = entry.find("name");
+      out.push_back({cell != nullptr ? cell->as_string() : "results[]", b});
+    }
+  }
+  return out;
+}
+
+/// Decision-journal table of one managed cell: what the budgeted placer
+/// planned, when, and at what priced cost.
+void print_placer(const Block& blk) {
+  if (!blk.label.empty()) std::printf("\n[%s]\n", blk.label.c_str());
+  if (blk.json->size() == 0) {
+    std::printf("(managed, no migrations planned)\n");
+    return;
+  }
+  std::printf("%10s %-12s %8s %-22s %-9s %12s %10s %10s\n", "t(s)",
+              "client", "instance", "route", "mode", "bytes", "stall(s)",
+              "gain(s)");
+  for (const obs::Json& d : blk.json->items()) {
+    const auto str = [&d](const char* k) {
+      const obs::Json* v = d.find(k);
+      return v != nullptr ? v->as_string() : std::string{};
+    };
+    const auto num = [&d](const char* k) {
+      const obs::Json* v = d.find(k);
+      return v != nullptr ? v->as_double() : 0.0;
+    };
+    const std::string route = str("from") + " -> " + str("to");
+    const std::string client = str("client");
+    std::printf("%10.4f %-12s %8lld %-22s %-9s %12lld %10.5f %10.4f\n",
+                num("time"), client.empty() ? "-" : client.c_str(),
+                static_cast<long long>(num("instance")), route.c_str(),
+                str("mode").c_str(), static_cast<long long>(num("bytes")),
+                num("est_stall_seconds"), num("gain_seconds"));
+  }
+}
+
 /// One probe as a fixed-width sparkline: samples are bucketed into 64
 /// columns (mean per column) and scaled to the probe's own max.
 void print_series_line(const std::string& name, std::size_t name_w,
@@ -203,7 +260,7 @@ void print_series(const Block& blk) {
 
 int usage() {
   std::fprintf(stderr, "usage: lmas_report [quantiles|series|tenants|racks|"
-                       "all] BENCH_file.json\n");
+                       "placer|all] BENCH_file.json\n");
   return 2;
 }
 
@@ -221,7 +278,7 @@ int main(int argc, char** argv) {
     return usage();
   }
   if (mode != "quantiles" && mode != "series" && mode != "tenants" &&
-      mode != "racks" && mode != "all") {
+      mode != "racks" && mode != "placer" && mode != "all") {
     return usage();
   }
 
@@ -281,6 +338,14 @@ int main(int argc, char** argv) {
         header = true;
       }
       any = print_rack_quantiles(b) || any;
+    }
+  }
+  if (mode == "placer" || mode == "all") {
+    const auto blocks = find_placer_blocks(*doc);
+    if (!blocks.empty()) std::printf("\n== placer decisions ==\n");
+    for (const Block& b : blocks) {
+      print_placer(b);
+      any = true;
     }
   }
   if (mode == "series" || mode == "all") {
